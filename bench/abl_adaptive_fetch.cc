@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: the "judicious fetch policy" the paper proposes in
+ * section 6.1 item 3 — slow down fetching for a thread in a region
+ * of low execution rate — implemented as FetchPolicy::Adaptive and
+ * compared against the three policies of section 5.1.
+ */
+
+#include "bench_util.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+int
+main()
+{
+    printHeader("Ablation: adaptive fetch (section 6.1)",
+                "adaptive (commit-stall-scored) fetch vs the paper's "
+                "three policies, 4 threads",
+                "adaptive should match or beat round robin on "
+                "synchronization-bound benchmarks (LL5) by stealing "
+                "fetch slots from stalled threads");
+
+    MachineConfig true_rr = paperConfig(4);
+    MachineConfig masked = paperConfig(4);
+    masked.fetchPolicy = FetchPolicy::MaskedRoundRobin;
+    MachineConfig cswitch = paperConfig(4);
+    cswitch.fetchPolicy = FetchPolicy::ConditionalSwitch;
+    MachineConfig adaptive = paperConfig(4);
+    adaptive.fetchPolicy = FetchPolicy::Adaptive;
+
+    std::vector<Variant> variants = {
+        {"TrueRR", true_rr},
+        {"MaskedRR", masked},
+        {"CSwitch", cswitch},
+        {"Adaptive", adaptive},
+    };
+    printCyclesTable(allWorkloads(), variants);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation: result bypassing on vs off (paper Table 2). Without
+ * bypassing a dependent instruction issues at least one cycle after
+ * its producer's writeback.
+ */
+
+#include "bench_util.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+int
+main()
+{
+    printHeader("Ablation: bypassing",
+                "result bypassing enabled vs disabled, 4 threads",
+                "bypassing ahead on every benchmark; multithreading "
+                "partially hides the lost cycle by filling it with "
+                "other threads' instructions");
+
+    MachineConfig with = paperConfig(4);
+    MachineConfig without = paperConfig(4);
+    without.bypassing = false;
+    MachineConfig with1 = paperConfig(1);
+    MachineConfig without1 = paperConfig(1);
+    without1.bypassing = false;
+
+    std::vector<Variant> variants = {
+        {"1T/bypass", with1},
+        {"1T/no-bypass", without1},
+        {"4T/bypass", with},
+        {"4T/no-bypass", without},
+    };
+    printCyclesTable(allWorkloads(), variants);
+    return 0;
+}

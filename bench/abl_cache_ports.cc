@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation: extra cache ports (paper section 6.1 item 1: "employ more
+ * cache ports and functional units, especially the scarce ones").
+ * Swept together with a second load unit, since ports without load
+ * bandwidth (or vice versa) leave the other the bottleneck.
+ */
+
+#include "bench_util.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+int
+main()
+{
+    printHeader("Ablation: cache ports (section 6.1)",
+                "1 vs 2 data-cache ports, with 1 or 2 load units, "
+                "4 threads",
+                "memory-bound benchmarks (Sieve, Matrix) gain from "
+                "the port+load-unit combination; compute-bound ones "
+                "barely move");
+
+    auto with_ports = [](std::uint32_t ports, unsigned load_units) {
+        MachineConfig cfg = paperConfig(4);
+        cfg.dcache.ports = ports;
+        cfg.fu.count[static_cast<unsigned>(FuClass::Load)] = load_units;
+        return cfg;
+    };
+
+    std::vector<Variant> variants = {
+        {"1port/1load", with_ports(1, 1)},
+        {"2port/1load", with_ports(2, 1)},
+        {"2port/2load", with_ports(2, 2)},
+    };
+    printCyclesTable(allWorkloads(), variants);
+    return 0;
+}

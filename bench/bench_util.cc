@@ -1,0 +1,174 @@
+#include "bench_util.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+namespace bench
+{
+
+unsigned
+benchScale()
+{
+    const char *env = std::getenv("SDSP_BENCH_SCALE");
+    if (!env)
+        return 100;
+    int value = std::atoi(env);
+    if (value < 1 || value > 1000)
+        fatal("SDSP_BENCH_SCALE out of range: %s", env);
+    return static_cast<unsigned>(value);
+}
+
+MachineConfig
+paperConfig(unsigned threads)
+{
+    MachineConfig cfg;
+    cfg.numThreads = threads;
+    cfg.maxCycles = 500'000'000;
+    return cfg;
+}
+
+std::vector<const Workload *>
+groupI()
+{
+    return workloadsInGroup(BenchmarkGroup::LivermoreLoops);
+}
+
+std::vector<const Workload *>
+groupII()
+{
+    return workloadsInGroup(BenchmarkGroup::GroupII);
+}
+
+namespace
+{
+
+/** Experiment id of the last printHeader, slugged for file names. */
+std::string g_experiment_slug;
+
+} // namespace
+
+void
+printHeader(const std::string &experiment_id, const std::string &title,
+            const std::string &paper_expectation)
+{
+    g_experiment_slug.clear();
+    for (char ch : experiment_id) {
+        g_experiment_slug += std::isalnum(static_cast<unsigned char>(ch))
+                                 ? static_cast<char>(std::tolower(
+                                       static_cast<unsigned char>(ch)))
+                                 : '_';
+    }
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s: %s\n", experiment_id.c_str(), title.c_str());
+    std::printf("paper expectation: %s\n", paper_expectation.c_str());
+    std::printf("problem scale: %u%%\n", benchScale());
+    std::printf("================================================="
+                "=============\n");
+}
+
+RunResult
+runChecked(const Workload &workload, const MachineConfig &config)
+{
+    RunResult result = runWorkload(workload, config, benchScale());
+    requireGood(result);
+    return result;
+}
+
+void
+exportCsv(const Table &table, const std::string &suffix)
+{
+    const char *dir = std::getenv("SDSP_BENCH_CSV");
+    if (!dir || !*dir)
+        return;
+    std::string path = std::string(dir) + "/" + g_experiment_slug +
+                       suffix + ".csv";
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    file << table.toCsv();
+    std::printf("(csv written to %s)\n", path.c_str());
+}
+
+std::vector<std::vector<Cycle>>
+printCyclesTable(const std::vector<const Workload *> &workloads,
+                 const std::vector<Variant> &variants)
+{
+    std::vector<std::string> header{"benchmark"};
+    for (const Variant &variant : variants)
+        header.push_back(variant.name);
+    Table table(header);
+
+    std::vector<std::vector<Cycle>> cycles;
+    std::vector<double> sums(variants.size(), 0.0);
+    for (const Workload *workload : workloads) {
+        table.beginRow();
+        table.cell(workload->name());
+        std::vector<Cycle> row;
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            RunResult result =
+                runChecked(*workload, variants[v].config);
+            row.push_back(result.cycles);
+            sums[v] += static_cast<double>(result.cycles);
+            table.cell(result.cycles);
+        }
+        cycles.push_back(std::move(row));
+    }
+    table.beginRow();
+    table.cell(std::string("mean"));
+    for (double sum : sums)
+        table.cell(sum / static_cast<double>(workloads.size()), 1);
+    std::printf("\ncycles:\n%s", table.toAscii().c_str());
+    exportCsv(table, "_cycles");
+    return cycles;
+}
+
+void
+printSpeedupTable(const std::vector<const Workload *> &workloads,
+                  const std::vector<Variant> &variants,
+                  const std::vector<std::vector<Cycle>> &cycles,
+                  std::size_t base_col)
+{
+    std::vector<std::string> header{"benchmark"};
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        if (v != base_col)
+            header.push_back(variants[v].name);
+    }
+    Table table(header);
+
+    std::vector<double> sums(variants.size(), 0.0);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        table.beginRow();
+        table.cell(workloads[w]->name());
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            if (v == base_col)
+                continue;
+            double speedup =
+                speedupPercent(cycles[w][v], cycles[w][base_col]);
+            sums[v] += speedup;
+            table.cell(speedup, 1);
+        }
+    }
+    table.beginRow();
+    table.cell(std::string("mean"));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        if (v != base_col)
+            table.cell(sums[v] / static_cast<double>(workloads.size()),
+                       1);
+    }
+    std::printf("\nspeedup vs %s (%%, paper section 5.2 formula):\n%s",
+                variants[base_col].name.c_str(),
+                table.toAscii().c_str());
+    exportCsv(table, "_speedup");
+}
+
+} // namespace bench
+} // namespace sdsp

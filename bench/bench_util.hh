@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction bench binaries.
+ *
+ * Every figure and table from the paper's evaluation section has one
+ * binary (see DESIGN.md section 3 for the index). They all print an
+ * experiment header (what the paper reports, what shape to expect), a
+ * measurement table, and exit non-zero if any run fails verification
+ * — so the bench suite doubles as an end-to-end regression test at
+ * full problem scale.
+ *
+ * The problem-size scale (percent) can be overridden with the
+ * SDSP_BENCH_SCALE environment variable (default 100), and every
+ * printed table is also written as CSV into the directory named by
+ * SDSP_BENCH_CSV (if set) for plotting.
+ */
+
+#ifndef SDSP_BENCH_BENCH_UTIL_HH
+#define SDSP_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+namespace bench
+{
+
+/** Problem-size scale in percent (SDSP_BENCH_SCALE, default 100). */
+unsigned benchScale();
+
+/** The paper's default machine (Table 2) for @p threads threads. */
+MachineConfig paperConfig(unsigned threads = 4);
+
+/** Group I (Livermore loops). */
+std::vector<const Workload *> groupI();
+
+/** Group II (Laplace, MPD, Matrix, Sieve, Water). */
+std::vector<const Workload *> groupII();
+
+/** Print the experiment banner (also names any CSV exports). */
+void printHeader(const std::string &experiment_id,
+                 const std::string &title,
+                 const std::string &paper_expectation);
+
+/**
+ * Write @p table as CSV into $SDSP_BENCH_CSV/<experiment><suffix>.csv
+ * when that environment variable names a directory; otherwise a
+ * no-op. The experiment name comes from the last printHeader call.
+ */
+void exportCsv(const Table &table, const std::string &suffix = "");
+
+/** Run one benchmark, fatal unless it finishes and verifies. */
+RunResult runChecked(const Workload &workload,
+                     const MachineConfig &config);
+
+/** A named machine configuration (one table column). */
+struct Variant
+{
+    std::string name;
+    MachineConfig config;
+};
+
+/**
+ * Run each workload under each variant and print a cycles table
+ * (rows: benchmarks; columns: variants), followed by a row of means.
+ *
+ * @return cycles[workload][variant].
+ */
+std::vector<std::vector<Cycle>>
+printCyclesTable(const std::vector<const Workload *> &workloads,
+                 const std::vector<Variant> &variants);
+
+/**
+ * Print a speedup table relative to a baseline column, using the
+ * paper's formula (section 5.2).
+ *
+ * @param cycles    As returned by printCyclesTable.
+ * @param base_col  Index of the single-threaded baseline column.
+ */
+void printSpeedupTable(
+    const std::vector<const Workload *> &workloads,
+    const std::vector<Variant> &variants,
+    const std::vector<std::vector<Cycle>> &cycles,
+    std::size_t base_col);
+
+} // namespace bench
+} // namespace sdsp
+
+#endif // SDSP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Bench binary regenerating the paper's Figure 8 (see DESIGN.md
+ * section 3 for the experiment index).
+ */
+
+#include "figures.hh"
+
+int
+main()
+{
+    return sdsp::bench::runCacheFigure(
+        "Figure 8", sdsp::BenchmarkGroup::GroupII);
+}

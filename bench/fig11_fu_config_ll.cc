@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Bench binary regenerating the paper's Figure 11 (see DESIGN.md
+ * section 3 for the experiment index).
+ */
+
+#include "figures.hh"
+
+int
+main()
+{
+    return sdsp::bench::runFuConfigFigure(
+        "Figure 11", sdsp::BenchmarkGroup::LivermoreLoops);
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Bench binary regenerating the paper's Figure 12 (see DESIGN.md
+ * section 3 for the experiment index).
+ */
+
+#include "figures.hh"
+
+int
+main()
+{
+    return sdsp::bench::runFuConfigFigure(
+        "Figure 12", sdsp::BenchmarkGroup::GroupII);
+}

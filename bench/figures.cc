@@ -1,0 +1,244 @@
+#include "figures.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+namespace bench
+{
+
+namespace
+{
+
+std::vector<const Workload *>
+of(BenchmarkGroup group)
+{
+    return workloadsInGroup(group);
+}
+
+const char *
+groupName(BenchmarkGroup group)
+{
+    return group == BenchmarkGroup::LivermoreLoops
+               ? "Group I (Livermore loops)"
+               : "Group II (Laplace, MPD, Matrix, Sieve, Water)";
+}
+
+} // namespace
+
+int
+runFetchPolicyFigure(const std::string &figure, BenchmarkGroup group)
+{
+    printHeader(figure,
+                std::string("cycles of execution of ") +
+                    groupName(group) + " under the fetch policies",
+                "TrueRR ~ MaskedRR ~ CSwitch, all well ahead of the "
+                "single-threaded base case for most benchmarks "
+                "(LL5 behind it)");
+
+    MachineConfig true_rr = paperConfig(4);
+    MachineConfig masked = paperConfig(4);
+    masked.fetchPolicy = FetchPolicy::MaskedRoundRobin;
+    MachineConfig cswitch = paperConfig(4);
+    cswitch.fetchPolicy = FetchPolicy::ConditionalSwitch;
+
+    std::vector<Variant> variants = {
+        {"BaseCase", paperConfig(1)},
+        {"TrueRR", true_rr},
+        {"MaskedRR", masked},
+        {"CSwitch", cswitch},
+    };
+    auto cycles = printCyclesTable(of(group), variants);
+    printSpeedupTable(of(group), variants, cycles, 0);
+    return 0;
+}
+
+int
+runThreadCountFigure(const std::string &figure, BenchmarkGroup group)
+{
+    printHeader(figure,
+                std::string("cycles of execution of ") +
+                    groupName(group) + " for 1-6 threads",
+                "peak improvements mostly +20..55%; LL5 negative; "
+                "Livermore group deteriorates by ~6 threads");
+
+    std::vector<Variant> variants;
+    for (unsigned threads = 1; threads <= 6; ++threads) {
+        variants.push_back(
+            {format("%uT", threads), paperConfig(threads)});
+    }
+    auto cycles = printCyclesTable(of(group), variants);
+    printSpeedupTable(of(group), variants, cycles, 0);
+
+    // Peak improvement per benchmark (the paper's section 5.2
+    // summary statistic).
+    Table peaks({"benchmark", "peak speedup %", "at threads"});
+    double sum = 0.0;
+    auto workloads = of(group);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        double best = -1e9;
+        unsigned best_threads = 2;
+        for (std::size_t v = 1; v < variants.size(); ++v) {
+            double speedup = speedupPercent(cycles[w][v], cycles[w][0]);
+            if (speedup > best) {
+                best = speedup;
+                best_threads = static_cast<unsigned>(v + 1);
+            }
+        }
+        sum += best;
+        peaks.beginRow();
+        peaks.cell(workloads[w]->name());
+        peaks.cell(best, 1);
+        peaks.cell(std::uint64_t{best_threads});
+    }
+    std::printf("\npeak improvement per benchmark:\n%s",
+                peaks.toAscii().c_str());
+    std::printf("group average peak improvement: %.1f%%\n",
+                sum / static_cast<double>(workloads.size()));
+    return 0;
+}
+
+int
+runCacheFigure(const std::string &figure, BenchmarkGroup group)
+{
+    printHeader(figure,
+                std::string("average cycles of ") + groupName(group) +
+                    " with direct-mapped vs 2-way associative caches, "
+                    "1-6 threads",
+                "associative ahead of direct everywhere, and the gap "
+                "widens as threads contend for the cache");
+
+    Table table({"threads", "direct", "assoc", "assoc gain %"});
+    for (unsigned threads = 1; threads <= 6; ++threads) {
+        double direct_sum = 0.0, assoc_sum = 0.0;
+        for (const Workload *workload : of(group)) {
+            MachineConfig direct = paperConfig(threads);
+            direct.dcache.ways = 1;
+            direct_sum += static_cast<double>(
+                runChecked(*workload, direct).cycles);
+            assoc_sum += static_cast<double>(
+                runChecked(*workload, paperConfig(threads)).cycles);
+        }
+        double n = static_cast<double>(of(group).size());
+        table.beginRow();
+        table.cell(std::uint64_t{threads});
+        table.cell(direct_sum / n, 1);
+        table.cell(assoc_sum / n, 1);
+        table.cell((direct_sum - assoc_sum) / direct_sum * 100.0, 2);
+    }
+    std::printf("\n%s", table.toAscii().c_str());
+    return 0;
+}
+
+int
+runSuDepthFigure(const std::string &figure, BenchmarkGroup group)
+{
+    printHeader(figure,
+                std::string("performance of ") + groupName(group) +
+                    " for scheduling units of 16/32/48/64 entries, "
+                    "1 and 4 threads",
+                "big step 16->32, small 32->48, negligible 48->64; a "
+                "deeper SU narrows the multithreading advantage; "
+                "occasional inversions from commit-time predictor "
+                "updates and the restricted load/store policy");
+
+    std::vector<Variant> variants;
+    for (unsigned threads : {4u, 1u}) {
+        for (unsigned entries : {16u, 32u, 48u, 64u}) {
+            MachineConfig cfg = paperConfig(threads);
+            cfg.suEntries = entries;
+            variants.push_back(
+                {format("%uT/SU%u", threads, entries), cfg});
+        }
+    }
+    printCyclesTable(of(group), variants);
+    return 0;
+}
+
+int
+runFuConfigFigure(const std::string &figure, BenchmarkGroup group)
+{
+    printHeader(figure,
+                std::string("cycles of ") + groupName(group) +
+                    " with default vs enhanced (++) functional units",
+                "multithreaded speedup over single-threaded is larger "
+                "under the enhanced configuration, especially for the "
+                "compute-bound Livermore group");
+
+    MachineConfig base1 = paperConfig(1);
+    MachineConfig base4 = paperConfig(4);
+    MachineConfig enh1 = paperConfig(1);
+    enh1.fu = FuConfig::sdspEnhanced();
+    MachineConfig enh4 = paperConfig(4);
+    enh4.fu = FuConfig::sdspEnhanced();
+
+    std::vector<Variant> variants = {
+        {"Base", base1},
+        {"Base++", enh1},
+        {"4Thread", base4},
+        {"4Thread++", enh4},
+    };
+    auto cycles = printCyclesTable(of(group), variants);
+
+    // The paper's headline: relative multithreaded speedup within
+    // each FU configuration.
+    auto workloads = of(group);
+    double default_sum = 0.0, enhanced_sum = 0.0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        default_sum += speedupPercent(cycles[w][2], cycles[w][0]);
+        enhanced_sum += speedupPercent(cycles[w][3], cycles[w][1]);
+    }
+    double n = static_cast<double>(workloads.size());
+    std::printf("\nmultithreading speedup, default FUs:  %.1f%%\n",
+                default_sum / n);
+    std::printf("multithreading speedup, enhanced FUs: %.1f%%\n",
+                enhanced_sum / n);
+    return 0;
+}
+
+int
+runCommitFigure(const std::string &figure, BenchmarkGroup group)
+{
+    printHeader(figure,
+                std::string("cycles of ") + groupName(group) +
+                    " committing from multiple (four) vs the lowest "
+                    "block only, 4 threads",
+                "flexible result commit ahead (Group I ~+x%, Group II "
+                "smaller); without it, scheduling-unit stalls occur "
+                "more often");
+
+    MachineConfig lowest = paperConfig(4);
+    lowest.commitPolicy = CommitPolicy::LowestBlockOnly;
+    std::vector<Variant> variants = {
+        {"Multiple", paperConfig(4)},
+        {"Lowest", lowest},
+    };
+    auto cycles = printCyclesTable(of(group), variants);
+
+    // SU-stall counts, the paper's explanation for the gap.
+    Table stalls(
+        {"benchmark", "suStalls multiple", "suStalls lowest",
+         "flexCommits"});
+    auto workloads = of(group);
+    double gain_sum = 0.0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        RunResult multiple = runChecked(*workloads[w], variants[0].config);
+        RunResult only_lowest =
+            runChecked(*workloads[w], variants[1].config);
+        stalls.beginRow();
+        stalls.cell(workloads[w]->name());
+        stalls.cell(multiple.suStalls);
+        stalls.cell(only_lowest.suStalls);
+        stalls.cell(multiple.flexCommits);
+        gain_sum += speedupPercent(cycles[w][0], cycles[w][1]);
+    }
+    std::printf("\n%s", stalls.toAscii().c_str());
+    std::printf("average improvement from flexible commit: %.1f%%\n",
+                gain_sum / static_cast<double>(workloads.size()));
+    return 0;
+}
+
+} // namespace bench
+} // namespace sdsp

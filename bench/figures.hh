@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementations of the paper's figures/tables, shared between the
+ * Group I and Group II bench binaries (each figure pair differs only
+ * in the benchmark group it reports).
+ */
+
+#ifndef SDSP_BENCH_FIGURES_HH
+#define SDSP_BENCH_FIGURES_HH
+
+#include "bench_util.hh"
+
+namespace sdsp
+{
+namespace bench
+{
+
+/** Figures 3/4: cycles under the three fetch policies vs base case. */
+int runFetchPolicyFigure(const std::string &figure,
+                         BenchmarkGroup group);
+
+/** Figures 5/6: cycles for 1-6 threads. */
+int runThreadCountFigure(const std::string &figure,
+                         BenchmarkGroup group);
+
+/** Figures 7/8: direct vs associative cache, 1-6 threads (group
+ *  average cycles). */
+int runCacheFigure(const std::string &figure, BenchmarkGroup group);
+
+/** Figures 9/10: SU depth {16,32,48,64} x {1,4} threads. */
+int runSuDepthFigure(const std::string &figure, BenchmarkGroup group);
+
+/** Figures 11/12: default vs enhanced functional units. */
+int runFuConfigFigure(const std::string &figure, BenchmarkGroup group);
+
+/** Figures 13/14: flexible vs lowest-block-only result commit. */
+int runCommitFigure(const std::string &figure, BenchmarkGroup group);
+
+} // namespace bench
+} // namespace sdsp
+
+#endif // SDSP_BENCH_FIGURES_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot
+ * components: end-to-end simulation throughput (simulated cycles per
+ * wall second), cache probes, predictor lookups, assembly, and the
+ * functional interpreter. These track the *simulator's* performance,
+ * not the simulated machine's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hh"
+#include "branch/predictor.hh"
+#include "core/processor.hh"
+#include "isa/interpreter.hh"
+#include "memory/cache.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace sdsp;
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    auto threads = static_cast<unsigned>(state.range(0));
+    MachineConfig cfg;
+    cfg.numThreads = threads;
+    WorkloadImage image = workloadByName("Matrix").build(threads, 40);
+
+    std::uint64_t simulated = 0;
+    for (auto _ : state) {
+        Processor cpu(cfg, image.program);
+        SimResult result = cpu.run();
+        simulated += result.cycles;
+    }
+    state.counters["simCyclesPerSec"] = benchmark::Counter(
+        static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(1)->Arg(4);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    DataCache cache(cfg);
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        ++now;
+        cache.beginCycle(now);
+        // The cache blocks on double misses; probe like the pipeline
+        // does.
+        if (cache.canAccept(now))
+            benchmark::DoNotOptimize(cache.access(addr, now, false));
+        addr = (addr + 40) & 0xFFF8;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PredictorLookup(benchmark::State &state)
+{
+    BranchPredictor btb(512);
+    for (InstAddr pc = 0; pc < 512; pc += 3)
+        btb.update(pc, true, pc + 7);
+    InstAddr pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.predict(pc));
+        pc = (pc + 13) & 1023;
+    }
+}
+BENCHMARK(BM_PredictorLookup);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    std::string source = R"(
+        .dword counter 0
+            la   r1, counter
+            ldi  r2, 100
+        loop:
+            ld   r3, 0(r1)
+            addi r3, r3, 1
+            st   r3, 0(r1)
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+    )";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(assemble(source));
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_InterpreterRun(benchmark::State &state)
+{
+    WorkloadImage image = workloadByName("Sieve").build(2, 20);
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        Interpreter interp(image.program, 2);
+        interp.run();
+        executed += interp.totalInstructionCount();
+    }
+    state.counters["instPerSec"] = benchmark::Counter(
+        static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload characterization: dynamic instruction mix of each
+ * benchmark (the standard companion table to an evaluation like the
+ * paper's — it explains *why* each benchmark responds to each design
+ * axis, e.g. Water's FP-divide share vs Sieve's store share).
+ *
+ * Counted on the functional interpreter at 4 threads, so the numbers
+ * are architectural (no wrong-path pollution).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "isa/interpreter.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+int
+main()
+{
+    printHeader("Workload characterization",
+                "dynamic instruction mix per benchmark (percent of "
+                "committed instructions, 4 threads)",
+                "Group I is FP-multiply/add heavy; Water is the FP "
+                "divide/sqrt user; Sieve is integer stores; the sync "
+                "benchmarks show their spin overhead as extra "
+                "loads/branches");
+
+    std::vector<std::string> header{"benchmark", "dyn.insts"};
+    for (unsigned cls = 0; cls < kNumFuClasses; ++cls)
+        header.push_back(fuClassName(static_cast<FuClass>(cls)));
+    Table table(header);
+
+    for (const Workload *workload : allWorkloads()) {
+        WorkloadImage image = workload->build(4, benchScale());
+        Interpreter interp(image.program, 4);
+        if (!interp.run())
+            fatal("%s did not terminate", workload->name().c_str());
+
+        double total =
+            static_cast<double>(interp.totalInstructionCount());
+        table.beginRow();
+        table.cell(workload->name());
+        table.cell(interp.totalInstructionCount());
+        for (unsigned cls = 0; cls < kNumFuClasses; ++cls) {
+            table.cell(100.0 *
+                           static_cast<double>(
+                               interp.classCounts()[cls]) /
+                           total,
+                       1);
+        }
+    }
+    std::printf("\n%s", table.toAscii().c_str());
+    return 0;
+}

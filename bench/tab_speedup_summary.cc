@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bench binary regenerating the paper's section 5.2 summary
+ * statistics: peak improvement per benchmark over 2-6 threads
+ * (relative to the single-threaded base case), group averages, and
+ * the per-thread-count averages the paper quotes for the Livermore
+ * loops.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+int
+main()
+{
+    printHeader("Section 5.2 summary",
+                "peak multithreading improvement per benchmark",
+                "peak improvements roughly -8%..+75% with most "
+                "benchmarks gaining 20-55%; LL5 negative; Livermore "
+                "average positive at 3 threads, deteriorating by 6");
+
+    Table table({"benchmark", "group", "base cycles", "peak speedup %",
+                 "at threads"});
+    double group_sum[2] = {0.0, 0.0};
+    unsigned group_count[2] = {0, 0};
+    std::vector<std::vector<double>> ll_speedups(7);
+
+    for (const Workload *workload : allWorkloads()) {
+        Cycle base = runChecked(*workload, paperConfig(1)).cycles;
+        double best = -1e9;
+        unsigned best_threads = 2;
+        for (unsigned threads = 2; threads <= 6; ++threads) {
+            Cycle cycles =
+                runChecked(*workload, paperConfig(threads)).cycles;
+            double speedup = speedupPercent(cycles, base);
+            if (workload->group() == BenchmarkGroup::LivermoreLoops)
+                ll_speedups[threads].push_back(speedup);
+            if (speedup > best) {
+                best = speedup;
+                best_threads = threads;
+            }
+        }
+        unsigned group_idx =
+            workload->group() == BenchmarkGroup::LivermoreLoops ? 0 : 1;
+        group_sum[group_idx] += best;
+        ++group_count[group_idx];
+
+        table.beginRow();
+        table.cell(workload->name());
+        table.cell(group_idx == 0 ? "I" : "II");
+        table.cell(base);
+        table.cell(best, 1);
+        table.cell(std::uint64_t{best_threads});
+    }
+    std::printf("\n%s", table.toAscii().c_str());
+    std::printf("\naverage peak improvement, Group I : %.1f%%\n",
+                group_sum[0] / group_count[0]);
+    std::printf("average peak improvement, Group II: %.1f%%\n",
+                group_sum[1] / group_count[1]);
+
+    std::printf("\nLivermore average speedup by thread count:\n");
+    for (unsigned threads = 2; threads <= 6; ++threads) {
+        std::printf("  %u threads: %+.1f%%\n", threads,
+                    mean(ll_speedups[threads]));
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Design-space exploration over the paper's configuration axes.
+ *
+ * Sweeps thread count x fetch policy for one benchmark (default:
+ * Water; pass another suite name as argv[1]) and prints a
+ * cycles matrix plus the best configuration found — the kind of
+ * what-if study the simulator exists for.
+ *
+ *   $ ./build/examples/design_explorer [benchmark] [scale%]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sdsp;
+
+    const char *name = argc > 1 ? argv[1] : "Water";
+    unsigned scale = argc > 2
+                         ? static_cast<unsigned>(std::atoi(argv[2]))
+                         : 60;
+    const Workload &workload = workloadByName(name);
+
+    const FetchPolicy policies[] = {
+        FetchPolicy::TrueRoundRobin,
+        FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch,
+        FetchPolicy::Adaptive,
+    };
+
+    std::printf("design space: %s at %u%% scale "
+                "(threads 1-6 x fetch policy)\n\n",
+                name, scale);
+
+    Table table({"threads", "TrueRR", "MaskedRR", "CSwitch",
+                 "Adaptive"});
+    Cycle best_cycles = ~Cycle{0};
+    std::string best_name;
+    for (unsigned threads = 1; threads <= 6; ++threads) {
+        table.beginRow();
+        table.cell(std::uint64_t{threads});
+        for (FetchPolicy policy : policies) {
+            MachineConfig cfg;
+            cfg.numThreads = threads;
+            cfg.fetchPolicy = policy;
+            RunResult result = runWorkload(workload, cfg, scale);
+            requireGood(result);
+            table.cell(result.cycles);
+            if (result.cycles < best_cycles) {
+                best_cycles = result.cycles;
+                best_name = format("%u threads / %s", threads,
+                                   fetchPolicyName(policy));
+            }
+        }
+    }
+    std::printf("%s\n", table.toAscii().c_str());
+    std::printf("best configuration: %s (%llu cycles)\n",
+                best_name.c_str(),
+                static_cast<unsigned long long>(best_cycles));
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: the smallest useful program against the public API.
+ *
+ * Builds the paper's default 4-thread machine, runs the Matrix
+ * benchmark on it and on a single-threaded baseline, verifies both
+ * runs against the C++ reference, and prints the multithreading
+ * speedup with a few headline statistics.
+ *
+ *   $ ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+int
+main()
+{
+    using namespace sdsp;
+
+    // 1. Pick a benchmark from the suite (the paper's eleven are all
+    //    registered; see src/workloads).
+    const Workload &matrix = workloadByName("Matrix");
+
+    // 2. Configure the machine. MachineConfig defaults to the
+    //    paper's Table 2: 4 threads, True Round Robin fetch, 32-entry
+    //    scheduling unit, flexible result commit, 8 KB 2-way cache.
+    MachineConfig multithreaded;
+    MachineConfig baseline;
+    baseline.numThreads = 1;
+
+    // 3. Run. runWorkload() builds the benchmark for the configured
+    //    thread count, simulates it cycle by cycle, and verifies the
+    //    final memory image against a C++ reference implementation.
+    RunResult mt = runWorkload(matrix, multithreaded);
+    RunResult st = runWorkload(matrix, baseline);
+    requireGood(mt);
+    requireGood(st);
+
+    // 4. Report, using the paper's speedup formula.
+    std::printf("benchmark        : %s\n", mt.benchmark.c_str());
+    std::printf("baseline (1T)    : %llu cycles, IPC %.2f\n",
+                static_cast<unsigned long long>(st.cycles), st.ipc);
+    std::printf("multithreaded 4T : %llu cycles, IPC %.2f\n",
+                static_cast<unsigned long long>(mt.cycles), mt.ipc);
+    std::printf("speedup          : %+.1f%%\n",
+                speedupPercent(mt.cycles, st.cycles));
+    std::printf("cache hit rate   : %.1f%%\n",
+                100.0 * mt.cacheHitRate);
+    std::printf("branch accuracy  : %.1f%%\n",
+                100.0 * mt.branchAccuracy);
+    std::printf("flexible commits : %llu\n",
+                static_cast<unsigned long long>(mt.flexCommits));
+    return 0;
+}

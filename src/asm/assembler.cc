@@ -1,0 +1,442 @@
+#include "asm/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+/** One parsed operand. */
+struct Operand
+{
+    enum class Kind { Reg, Imm, Mem, Symbol } kind;
+    RegIndex reg = 0;       //!< Reg and Mem (base register)
+    std::int64_t imm = 0;   //!< Imm and Mem (offset)
+    std::string symbol;     //!< Symbol
+};
+
+struct Line
+{
+    int number;
+    std::string mnemonic;
+    std::vector<Operand> operands;
+};
+
+[[noreturn]] void
+syntaxError(int line, const std::string &message)
+{
+    fatal("assembly error on line %d: %s", line, message.c_str());
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    auto pos = line.find_first_of(";#");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+isIdentChar(char ch)
+{
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+           ch == '.';
+}
+
+std::optional<std::int64_t>
+parseInt(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    long long value = std::strtoll(text.c_str(), &end, 0);
+    if (end != text.c_str() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<RegIndex>
+parseReg(const std::string &text)
+{
+    if (text.size() < 2 || (text[0] != 'r' && text[0] != 'R'))
+        return std::nullopt;
+    auto value = parseInt(text.substr(1));
+    if (!value || *value < 0 || *value >= kNumArchRegs)
+        return std::nullopt;
+    return static_cast<RegIndex>(*value);
+}
+
+Operand
+parseOperand(const std::string &raw, int line)
+{
+    std::string text = trim(raw);
+    if (text.empty())
+        syntaxError(line, "empty operand");
+
+    if (auto reg = parseReg(text))
+        return {Operand::Kind::Reg, *reg, 0, {}};
+
+    // imm(rN) memory operand.
+    auto open = text.find('(');
+    if (open != std::string::npos && text.back() == ')') {
+        auto offset = parseInt(trim(text.substr(0, open)));
+        auto base = parseReg(
+            trim(text.substr(open + 1, text.size() - open - 2)));
+        if (!offset || !base)
+            syntaxError(line, "malformed memory operand '" + text + "'");
+        return {Operand::Kind::Mem, *base, *offset, {}};
+    }
+
+    if (auto value = parseInt(text))
+        return {Operand::Kind::Imm, 0, *value, {}};
+
+    for (char ch : text) {
+        if (!isIdentChar(ch))
+            syntaxError(line, "malformed operand '" + text + "'");
+    }
+    return {Operand::Kind::Symbol, 0, 0, text};
+}
+
+/** Find the opcode whose mnemonic matches @p name (lower-cased). */
+std::optional<Opcode>
+findOpcode(const std::string &name)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        std::string mnemonic = opName(op);
+        for (char &ch : mnemonic)
+            ch = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        if (mnemonic == name)
+            return op;
+    }
+    return std::nullopt;
+}
+
+RegIndex
+expectReg(const Line &line, std::size_t index)
+{
+    if (index >= line.operands.size() ||
+        line.operands[index].kind != Operand::Kind::Reg) {
+        syntaxError(line.number, "operand " + std::to_string(index + 1) +
+                                     " of '" + line.mnemonic +
+                                     "' must be a register");
+    }
+    return line.operands[index].reg;
+}
+
+std::int64_t
+expectImm(const Line &line, std::size_t index)
+{
+    if (index >= line.operands.size() ||
+        line.operands[index].kind != Operand::Kind::Imm) {
+        syntaxError(line.number, "operand " + std::to_string(index + 1) +
+                                     " of '" + line.mnemonic +
+                                     "' must be an immediate");
+    }
+    return line.operands[index].imm;
+}
+
+const Operand &
+expectMem(const Line &line, std::size_t index)
+{
+    if (index >= line.operands.size() ||
+        line.operands[index].kind != Operand::Kind::Mem) {
+        syntaxError(line.number, "operand " + std::to_string(index + 1) +
+                                     " of '" + line.mnemonic +
+                                     "' must be offset(reg)");
+    }
+    return line.operands[index];
+}
+
+std::string
+expectSymbol(const Line &line, std::size_t index)
+{
+    if (index >= line.operands.size() ||
+        line.operands[index].kind != Operand::Kind::Symbol) {
+        syntaxError(line.number, "operand " + std::to_string(index + 1) +
+                                     " of '" + line.mnemonic +
+                                     "' must be a label");
+    }
+    return line.operands[index].symbol;
+}
+
+void
+expectArity(const Line &line, std::size_t arity)
+{
+    if (line.operands.size() != arity) {
+        syntaxError(line.number,
+                    "'" + line.mnemonic + "' expects " +
+                        std::to_string(arity) + " operand(s), got " +
+                        std::to_string(line.operands.size()));
+    }
+}
+
+void
+emitInstruction(ProgramBuilder &builder, const Line &line, Opcode op)
+{
+    const OpInfo &oi = opInfo(op);
+    Instruction inst;
+    inst.op = op;
+
+    switch (oi.format) {
+      case Format::R:
+        if (op == Opcode::NOP || op == Opcode::SPIN ||
+            op == Opcode::HALT) {
+            expectArity(line, 0);
+        } else if (op == Opcode::TID || op == Opcode::NTH) {
+            expectArity(line, 1);
+            inst.rd = expectReg(line, 0);
+        } else if (op == Opcode::JR) {
+            expectArity(line, 1);
+            inst.rs1 = expectReg(line, 0);
+        } else if (!(oi.flags & kReadsRs2)) {
+            expectArity(line, 2);
+            inst.rd = expectReg(line, 0);
+            inst.rs1 = expectReg(line, 1);
+        } else {
+            expectArity(line, 3);
+            inst.rd = expectReg(line, 0);
+            inst.rs1 = expectReg(line, 1);
+            inst.rs2 = expectReg(line, 2);
+        }
+        builder.emit(inst);
+        return;
+      case Format::I:
+        if (op == Opcode::LD) {
+            expectArity(line, 2);
+            inst.rd = expectReg(line, 0);
+            const Operand &mem = expectMem(line, 1);
+            inst.rs1 = mem.reg;
+            inst.imm = static_cast<std::int32_t>(mem.imm);
+        } else if (op == Opcode::LDI) {
+            expectArity(line, 2);
+            inst.rd = expectReg(line, 0);
+            inst.imm = static_cast<std::int32_t>(expectImm(line, 1));
+        } else {
+            expectArity(line, 3);
+            inst.rd = expectReg(line, 0);
+            inst.rs1 = expectReg(line, 1);
+            inst.imm = static_cast<std::int32_t>(expectImm(line, 2));
+        }
+        builder.emit(inst);
+        return;
+      case Format::B:
+        if (op == Opcode::ST) {
+            expectArity(line, 2);
+            inst.rs2 = expectReg(line, 0);
+            const Operand &mem = expectMem(line, 1);
+            inst.rs1 = mem.reg;
+            inst.imm = static_cast<std::int32_t>(mem.imm);
+            builder.emit(inst);
+        } else {
+            expectArity(line, 3);
+            inst.rs1 = expectReg(line, 0);
+            inst.rs2 = expectReg(line, 1);
+            builder.emitToLabel(inst, expectSymbol(line, 2));
+        }
+        return;
+      case Format::J:
+        if (op == Opcode::JAL) {
+            expectArity(line, 2);
+            inst.rd = expectReg(line, 0);
+            builder.emitToLabel(inst, expectSymbol(line, 1));
+        } else {
+            expectArity(line, 1);
+            builder.emitToLabel(inst, expectSymbol(line, 0));
+        }
+        return;
+      case Format::U:
+        expectArity(line, 2);
+        inst.rd = expectReg(line, 0);
+        inst.imm = static_cast<std::int32_t>(expectImm(line, 1));
+        builder.emit(inst);
+        return;
+    }
+}
+
+void
+handleDirective(ProgramBuilder &builder, const Line &line)
+{
+    auto symbol_and_values = [&](std::size_t min_values) {
+        if (line.operands.size() < 1 + min_values)
+            syntaxError(line.number,
+                        "'" + line.mnemonic + "' needs a name and " +
+                            std::to_string(min_values) + "+ value(s)");
+        return expectSymbol(line, 0);
+    };
+
+    if (line.mnemonic == ".dword") {
+        std::string name = symbol_and_values(1);
+        builder.dword(name,
+                      static_cast<std::uint64_t>(expectImm(line, 1)));
+    } else if (line.mnemonic == ".double") {
+        std::string name = symbol_and_values(1);
+        double value = 0;
+        const Operand &operand = line.operands[1];
+        if (operand.kind == Operand::Kind::Imm) {
+            value = static_cast<double>(operand.imm);
+        } else if (operand.kind == Operand::Kind::Symbol) {
+            char *end = nullptr;
+            value = std::strtod(operand.symbol.c_str(), &end);
+            if (end != operand.symbol.c_str() + operand.symbol.size())
+                syntaxError(line.number, "malformed double literal");
+        } else {
+            syntaxError(line.number, "malformed double literal");
+        }
+        builder.dvalue(name, value);
+    } else if (line.mnemonic == ".space") {
+        std::string name = symbol_and_values(1);
+        auto count = expectImm(line, 1);
+        if (count <= 0)
+            syntaxError(line.number, ".space count must be positive");
+        builder.array(name, static_cast<std::uint32_t>(count));
+    } else if (line.mnemonic == ".words") {
+        std::string name = symbol_and_values(1);
+        std::vector<std::uint64_t> values;
+        for (std::size_t i = 1; i < line.operands.size(); ++i)
+            values.push_back(
+                static_cast<std::uint64_t>(expectImm(line, i)));
+        builder.arrayOfWords(name, values);
+    } else {
+        syntaxError(line.number,
+                    "unknown directive '" + line.mnemonic + "'");
+    }
+}
+
+} // namespace
+
+AssemblyResult
+assemble(const std::string &source, std::uint32_t extra_memory,
+         const LayoutOptions &layout)
+{
+    ProgramBuilder builder;
+    std::istringstream stream(source);
+    std::string raw;
+    int line_no = 0;
+
+    // The ".double x 3.5" form tokenizes its value as a symbol or an
+    // immediate; everything else splits on commas/whitespace.
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        std::string text = trim(stripComment(raw));
+        if (text.empty())
+            continue;
+
+        // Labels (possibly several per line, then an instruction).
+        while (true) {
+            auto colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string name = trim(text.substr(0, colon));
+            if (name.empty())
+                syntaxError(line_no, "empty label");
+            for (char ch : name) {
+                if (!isIdentChar(ch))
+                    syntaxError(line_no,
+                                "malformed label '" + name + "'");
+            }
+            builder.label(name);
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        Line line;
+        line.number = line_no;
+        auto space = text.find_first_of(" \t");
+        line.mnemonic = text.substr(0, space);
+        for (char &ch : line.mnemonic)
+            ch = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        std::string rest =
+            space == std::string::npos ? "" : trim(text.substr(space));
+
+        if (!rest.empty()) {
+            // Split on commas; fall back to whitespace for
+            // directive value lists.
+            std::vector<std::string> parts;
+            if (rest.find(',') != std::string::npos ||
+                line.mnemonic[0] != '.') {
+                std::size_t begin = 0;
+                while (begin <= rest.size()) {
+                    auto comma = rest.find(',', begin);
+                    std::string part =
+                        comma == std::string::npos
+                            ? rest.substr(begin)
+                            : rest.substr(begin, comma - begin);
+                    parts.push_back(trim(part));
+                    if (comma == std::string::npos)
+                        break;
+                    begin = comma + 1;
+                }
+            } else {
+                std::istringstream words(rest);
+                std::string word;
+                while (words >> word)
+                    parts.push_back(word);
+            }
+            for (const auto &part : parts)
+                line.operands.push_back(parseOperand(part, line_no));
+        }
+
+        if (line.mnemonic[0] == '.') {
+            handleDirective(builder, line);
+        } else if (line.mnemonic == "li") {
+            expectArity(line, 2);
+            builder.li(expectReg(line, 0), expectImm(line, 1));
+        } else if (line.mnemonic == "la") {
+            expectArity(line, 2);
+            builder.la(expectReg(line, 0), expectSymbol(line, 1));
+        } else if (line.mnemonic == "mov") {
+            expectArity(line, 2);
+            builder.mov(expectReg(line, 0), expectReg(line, 1));
+        } else if (auto op = findOpcode(line.mnemonic)) {
+            emitInstruction(builder, line, *op);
+        } else {
+            syntaxError(line_no,
+                        "unknown mnemonic '" + line.mnemonic + "'");
+        }
+    }
+
+    AssemblyResult result;
+    result.maxRegisterUsed = builder.maxRegisterUsed();
+    result.program = builder.finish(extra_memory, layout);
+    return result;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+        Instruction inst = Instruction::decode(program.code[pc]);
+        os << format("%5zu:  %s\n", pc, inst.toString().c_str());
+    }
+    return os.str();
+}
+
+} // namespace sdsp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Text assembler for the SDSP-MT ISA.
+ *
+ * Syntax, one statement per line:
+ *
+ *     ; comment            # comment
+ *     label:
+ *         add   r1, r2, r3
+ *         addi  r1, r2, -4
+ *         ld    r1, 8(r2)
+ *         st    r1, 0(r2)
+ *         beq   r1, r2, label
+ *         j     label
+ *         jal   r31, func
+ *         li    r1, 100000        ; pseudo: LDI or LUI+ORI
+ *         la    r1, buffer        ; pseudo: address of data symbol
+ *         mov   r1, r2            ; pseudo: ORI r1, r2, 0
+ *         halt
+ *
+ * Data directives (may appear anywhere; the data section is laid out
+ * in order of appearance):
+ *
+ *     .dword  name 42            ; one 64-bit word
+ *     .double name 3.5           ; one IEEE double
+ *     .space  name 16            ; n zeroed 64-bit words
+ *     .words  name 1 2 3         ; initialized word array
+ *
+ * Immediates accept decimal and 0x-hex.
+ */
+
+#ifndef SDSP_ASM_ASSEMBLER_HH
+#define SDSP_ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "asm/builder.hh"
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/** Result of assembling a source string. */
+struct AssemblyResult
+{
+    Program program;
+    /** Highest register index named by the source. */
+    unsigned maxRegisterUsed = 0;
+};
+
+/**
+ * Assemble @p source into a program image.
+ *
+ * @param source       Assembly text.
+ * @param extra_memory Zeroed scratch bytes appended after the data
+ *                     section.
+ * @param layout       Optional code-layout passes.
+ * @return The assembled image. Fatal (with line numbers) on any
+ *         syntax or range error.
+ */
+AssemblyResult assemble(const std::string &source,
+                        std::uint32_t extra_memory = 0,
+                        const LayoutOptions &layout = {});
+
+/** Disassemble an entire program, one instruction per line. */
+std::string disassemble(const Program &program);
+
+} // namespace sdsp
+
+#endif // SDSP_ASM_ASSEMBLER_HH

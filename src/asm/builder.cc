@@ -1,0 +1,431 @@
+#include "asm/builder.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+ProgramBuilder::ProgramBuilder() = default;
+
+void
+ProgramBuilder::noteRegs(const Instruction &inst)
+{
+    const OpInfo &oi = inst.info();
+    if (oi.flags & kWritesRd)
+        maxReg = std::max<unsigned>(maxReg, inst.rd);
+    if (oi.flags & kReadsRs1)
+        maxReg = std::max<unsigned>(maxReg, inst.rs1);
+    if (oi.flags & kReadsRs2)
+        maxReg = std::max<unsigned>(maxReg, inst.rs2);
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    sdsp_assert(!finished, "label() after finish()");
+    auto [it, inserted] = labels.emplace(name, insts.size());
+    (void)it;
+    if (!inserted)
+        fatal("duplicate code label '%s'", name.c_str());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(const Instruction &inst)
+{
+    sdsp_assert(!finished, "emit() after finish()");
+    noteRegs(inst);
+    insts.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitToLabel(const Instruction &inst,
+                            const std::string &target)
+{
+    emit(inst);
+    fixups.push_back({insts.size() - 1, target});
+    return *this;
+}
+
+// ---- Integer ALU ----
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit(Instruction::makeR(Opcode::NOP, 0, 0, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::spin()
+{
+    return emit(Instruction::makeR(Opcode::SPIN, 0, 0, 0));
+}
+
+#define SDSP_BUILDER_R3(method, OP)                                        \
+    ProgramBuilder &ProgramBuilder::method(RegIndex rd, RegIndex rs1,      \
+                                           RegIndex rs2)                   \
+    {                                                                      \
+        return emit(Instruction::makeR(Opcode::OP, rd, rs1, rs2));         \
+    }
+
+SDSP_BUILDER_R3(add, ADD)
+SDSP_BUILDER_R3(sub, SUB)
+SDSP_BUILDER_R3(and_, AND)
+SDSP_BUILDER_R3(or_, OR)
+SDSP_BUILDER_R3(xor_, XOR)
+SDSP_BUILDER_R3(sll, SLL)
+SDSP_BUILDER_R3(srl, SRL)
+SDSP_BUILDER_R3(sra, SRA)
+SDSP_BUILDER_R3(slt, SLT)
+SDSP_BUILDER_R3(sltu, SLTU)
+SDSP_BUILDER_R3(mul, MUL)
+SDSP_BUILDER_R3(div, DIV)
+SDSP_BUILDER_R3(rem, REM)
+SDSP_BUILDER_R3(fadd, FADD)
+SDSP_BUILDER_R3(fsub, FSUB)
+SDSP_BUILDER_R3(fmul, FMUL)
+SDSP_BUILDER_R3(fdiv, FDIV)
+SDSP_BUILDER_R3(fcmplt, FCMPLT)
+SDSP_BUILDER_R3(fcmple, FCMPLE)
+SDSP_BUILDER_R3(fcmpeq, FCMPEQ)
+
+#undef SDSP_BUILDER_R3
+
+#define SDSP_BUILDER_R2(method, OP)                                        \
+    ProgramBuilder &ProgramBuilder::method(RegIndex rd, RegIndex rs1)      \
+    {                                                                      \
+        return emit(Instruction::makeR(Opcode::OP, rd, rs1, 0));           \
+    }
+
+SDSP_BUILDER_R2(fsqrt, FSQRT)
+SDSP_BUILDER_R2(fneg, FNEG)
+SDSP_BUILDER_R2(fabs_, FABS)
+SDSP_BUILDER_R2(cvtif, CVTIF)
+SDSP_BUILDER_R2(cvtfi, CVTFI)
+
+#undef SDSP_BUILDER_R2
+
+#define SDSP_BUILDER_I(method, OP)                                         \
+    ProgramBuilder &ProgramBuilder::method(RegIndex rd, RegIndex rs1,      \
+                                           std::int32_t imm)               \
+    {                                                                      \
+        return emit(Instruction::makeI(Opcode::OP, rd, rs1, imm));         \
+    }
+
+SDSP_BUILDER_I(addi, ADDI)
+SDSP_BUILDER_I(andi, ANDI)
+SDSP_BUILDER_I(ori, ORI)
+SDSP_BUILDER_I(xori, XORI)
+SDSP_BUILDER_I(slti, SLTI)
+SDSP_BUILDER_I(slli, SLLI)
+SDSP_BUILDER_I(srli, SRLI)
+SDSP_BUILDER_I(srai, SRAI)
+
+#undef SDSP_BUILDER_I
+
+ProgramBuilder &
+ProgramBuilder::ldi(RegIndex rd, std::int32_t imm)
+{
+    return emit(Instruction::makeI(Opcode::LDI, rd, 0, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::lui(RegIndex rd, std::int32_t imm)
+{
+    return emit(Instruction::makeJ(Opcode::LUI, rd, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::tid(RegIndex rd)
+{
+    return emit(Instruction::makeR(Opcode::TID, rd, 0, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::nth(RegIndex rd)
+{
+    return emit(Instruction::makeR(Opcode::NTH, rd, 0, 0));
+}
+
+// ---- Memory ----
+
+ProgramBuilder &
+ProgramBuilder::ld(RegIndex rd, std::int32_t imm, RegIndex base)
+{
+    return emit(Instruction::makeI(Opcode::LD, rd, base, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::st(RegIndex rv, std::int32_t imm, RegIndex base)
+{
+    return emit(Instruction::makeB(Opcode::ST, base, rv, imm));
+}
+
+// ---- Control transfer ----
+
+#define SDSP_BUILDER_BR(method, OP)                                        \
+    ProgramBuilder &ProgramBuilder::method(RegIndex rs1, RegIndex rs2,     \
+                                           const std::string &target)      \
+    {                                                                      \
+        return emitToLabel(Instruction::makeB(Opcode::OP, rs1, rs2, 0),    \
+                           target);                                        \
+    }
+
+SDSP_BUILDER_BR(beq, BEQ)
+SDSP_BUILDER_BR(bne, BNE)
+SDSP_BUILDER_BR(blt, BLT)
+SDSP_BUILDER_BR(bge, BGE)
+
+#undef SDSP_BUILDER_BR
+
+ProgramBuilder &
+ProgramBuilder::j(const std::string &target)
+{
+    return emitToLabel(Instruction::makeJ(Opcode::J, 0, 0), target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jal(RegIndex rd, const std::string &target)
+{
+    return emitToLabel(Instruction::makeJ(Opcode::JAL, rd, 0), target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jr(RegIndex rs1)
+{
+    return emit(Instruction::makeR(Opcode::JR, 0, rs1, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit(Instruction::makeR(Opcode::HALT, 0, 0, 0));
+}
+
+// ---- Pseudo-instructions ----
+
+ProgramBuilder &
+ProgramBuilder::li(RegIndex rd, std::int64_t value)
+{
+    if (fitsSigned(value, kImmBits))
+        return ldi(rd, static_cast<std::int32_t>(value));
+    if (value >= 0 && fitsUnsigned(static_cast<std::uint64_t>(value),
+                                   kWideImmBits + kImmBits)) {
+        auto uvalue = static_cast<std::uint64_t>(value);
+        lui(rd, static_cast<std::int32_t>(uvalue >> kImmBits));
+        std::int32_t low = static_cast<std::int32_t>(uvalue & 0x3ff);
+        if (low != 0)
+            ori(rd, rd, low);
+        return *this;
+    }
+    fatal("li: constant %lld not encodable (use the data section)",
+          static_cast<long long>(value));
+}
+
+ProgramBuilder &
+ProgramBuilder::la(RegIndex rd, const std::string &name)
+{
+    return li(rd, dataAddress(name));
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(RegIndex rd, RegIndex rs)
+{
+    return ori(rd, rs, 0);
+}
+
+// ---- Data section ----
+
+Addr
+ProgramBuilder::dword(const std::string &name, std::uint64_t value)
+{
+    return arrayOfWords(name, {value});
+}
+
+Addr
+ProgramBuilder::dvalue(const std::string &name, double value)
+{
+    std::uint64_t raw;
+    std::memcpy(&raw, &value, 8);
+    return arrayOfWords(name, {raw});
+}
+
+Addr
+ProgramBuilder::array(const std::string &name, std::uint32_t count)
+{
+    return arrayOfWords(name,
+                        std::vector<std::uint64_t>(count, 0));
+}
+
+Addr
+ProgramBuilder::arrayOf(const std::string &name,
+                        const std::vector<double> &values)
+{
+    std::vector<std::uint64_t> raw(values.size());
+    std::memcpy(raw.data(), values.data(), values.size() * 8);
+    return arrayOfWords(name, raw);
+}
+
+Addr
+ProgramBuilder::arrayOfWords(const std::string &name,
+                             const std::vector<std::uint64_t> &values)
+{
+    sdsp_assert(!finished, "data definition after finish()");
+    auto addr = static_cast<Addr>(data.size());
+    auto [it, inserted] = dataSymbols.emplace(name, addr);
+    (void)it;
+    if (!inserted)
+        fatal("duplicate data symbol '%s'", name.c_str());
+    data.resize(data.size() + values.size() * 8);
+    std::memcpy(data.data() + addr, values.data(), values.size() * 8);
+    return addr;
+}
+
+Addr
+ProgramBuilder::dataAddress(const std::string &name) const
+{
+    auto it = dataSymbols.find(name);
+    if (it == dataSymbols.end())
+        fatal("undefined data symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+ProgramBuilder::hasDataSymbol(const std::string &name) const
+{
+    return dataSymbols.count(name) != 0;
+}
+
+// ---- Introspection ----
+
+InstAddr
+ProgramBuilder::here() const
+{
+    return static_cast<InstAddr>(insts.size());
+}
+
+bool
+ProgramBuilder::hasLabel(const std::string &name) const
+{
+    return labels.count(name) != 0;
+}
+
+// ---- Finalization ----
+
+void
+ProgramBuilder::insertNops(std::size_t position, unsigned count)
+{
+    if (count == 0)
+        return;
+    insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(position),
+                 count, Instruction::makeR(Opcode::NOP, 0, 0, 0));
+    for (auto &[name, index] : labels) {
+        (void)name;
+        if (index >= position)
+            index += count;
+    }
+    for (auto &fixup : fixups) {
+        if (fixup.index >= position)
+            fixup.index += count;
+    }
+}
+
+void
+ProgramBuilder::applyLayout(const LayoutOptions &layout)
+{
+    constexpr unsigned block = 4;
+
+    if (layout.alignTargetsToBlocks) {
+        // Only labels actually used as control-transfer targets are
+        // aligned; data-flow labels are left alone.
+        std::vector<std::string> target_names;
+        for (const auto &fixup : fixups)
+            target_names.push_back(fixup.label);
+        std::sort(target_names.begin(), target_names.end());
+        target_names.erase(
+            std::unique(target_names.begin(), target_names.end()),
+            target_names.end());
+
+        // Align targets in address order so earlier padding is
+        // accounted for when aligning later ones.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            std::size_t best = insts.size() + 1;
+            for (const auto &name : target_names) {
+                auto it = labels.find(name);
+                if (it == labels.end())
+                    fatal("undefined label '%s'", name.c_str());
+                if (it->second % block != 0)
+                    best = std::min(best, it->second);
+            }
+            if (best <= insts.size()) {
+                insertNops(best, block - (best % block));
+                changed = true;
+            }
+        }
+    }
+
+    if (layout.alignBranchesToBlockEnd) {
+        // Walk forward; every inserted NOP shifts later instructions,
+        // so recompute positions as we go.
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            if (!insts[i].isControl())
+                continue;
+            unsigned slot = static_cast<unsigned>(i % block);
+            if (slot != block - 1) {
+                insertNops(i, block - 1 - slot);
+                i += block - 1 - slot;
+            }
+        }
+    }
+}
+
+Program
+ProgramBuilder::finish(std::uint32_t extra_memory,
+                       const LayoutOptions &layout)
+{
+    sdsp_assert(!finished, "finish() called twice");
+    finished = true;
+
+    applyLayout(layout);
+
+    for (const auto &fixup : fixups) {
+        auto it = labels.find(fixup.label);
+        if (it == labels.end())
+            fatal("undefined label '%s'", fixup.label.c_str());
+        Instruction &inst = insts[fixup.index];
+        auto target = static_cast<std::int64_t>(it->second);
+        if (inst.isDirectJump()) {
+            inst.imm = static_cast<std::int32_t>(target);
+        } else {
+            std::int64_t offset =
+                target - static_cast<std::int64_t>(fixup.index);
+            if (!fitsSigned(offset, kImmBits)) {
+                fatal("branch to '%s' out of range (offset %lld)",
+                      fixup.label.c_str(),
+                      static_cast<long long>(offset));
+            }
+            inst.imm = static_cast<std::int32_t>(offset);
+        }
+    }
+
+    Program prog;
+    prog.code.reserve(insts.size());
+    for (const auto &inst : insts)
+        prog.code.push_back(inst.encode());
+    prog.data = data;
+    prog.memorySize = static_cast<std::uint32_t>(data.size()) +
+                      extra_memory;
+    // Round up so whole-word accesses at the end stay in bounds.
+    prog.memorySize = (prog.memorySize + 7u) & ~7u;
+    prog.entry = 0;
+    return prog;
+}
+
+} // namespace sdsp

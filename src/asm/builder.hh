@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Programmatic assembler ("program builder").
+ *
+ * The paper compiled its eleven C benchmarks with the SDSP tool chain;
+ * this repository's substitute is a builder API with labels, fix-ups, a
+ * data section and pseudo-instructions, used by the workload generators
+ * (src/workloads) and by the text assembler (assembler.hh).
+ *
+ * The builder also implements the code-layout optimization the paper
+ * proposes in section 6.1: padding so that branch targets start a
+ * fetch block and/or control transfers end one, which maximizes the
+ * number of valid instructions per fetched block.
+ */
+
+#ifndef SDSP_ASM_BUILDER_HH
+#define SDSP_ASM_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/** Code-layout options applied by ProgramBuilder::finish(). */
+struct LayoutOptions
+{
+    /**
+     * Pad with NOPs so every label that is used as a control-transfer
+     * target begins a 4-instruction fetch block (paper section 6.1,
+     * item 2, first half).
+     */
+    bool alignTargetsToBlocks = false;
+
+    /**
+     * Pad with NOPs so every control-transfer instruction is the last
+     * slot of its fetch block (section 6.1, item 2, second half).
+     */
+    bool alignBranchesToBlockEnd = false;
+};
+
+/**
+ * Builds a Program: code with symbolic labels, plus a named data
+ * section. All emit methods append one instruction and return the
+ * builder for chaining.
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder();
+
+    // ---- Labels and raw emission ----
+
+    /** Define @p name at the current code position. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** Append a fully formed instruction. */
+    ProgramBuilder &emit(const Instruction &inst);
+
+    /** Append a control transfer whose target is a label. */
+    ProgramBuilder &emitToLabel(const Instruction &inst,
+                                const std::string &target);
+
+    // ---- Integer ALU ----
+
+    ProgramBuilder &nop();
+    ProgramBuilder &spin();
+    ProgramBuilder &add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sra(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &sltu(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &addi(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &andi(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &ori(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &xori(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &slti(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &slli(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &srli(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &srai(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    ProgramBuilder &ldi(RegIndex rd, std::int32_t imm);
+    ProgramBuilder &lui(RegIndex rd, std::int32_t imm);
+    ProgramBuilder &tid(RegIndex rd);
+    ProgramBuilder &nth(RegIndex rd);
+
+    // ---- Multiply / divide ----
+
+    ProgramBuilder &mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &rem(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    // ---- Memory ----
+
+    /** rd = mem64[rs(base) + imm] */
+    ProgramBuilder &ld(RegIndex rd, std::int32_t imm, RegIndex base);
+    /** mem64[rs(base) + imm] = rv */
+    ProgramBuilder &st(RegIndex rv, std::int32_t imm, RegIndex base);
+
+    // ---- Control transfer ----
+
+    ProgramBuilder &beq(RegIndex rs1, RegIndex rs2,
+                        const std::string &target);
+    ProgramBuilder &bne(RegIndex rs1, RegIndex rs2,
+                        const std::string &target);
+    ProgramBuilder &blt(RegIndex rs1, RegIndex rs2,
+                        const std::string &target);
+    ProgramBuilder &bge(RegIndex rs1, RegIndex rs2,
+                        const std::string &target);
+    ProgramBuilder &j(const std::string &target);
+    ProgramBuilder &jal(RegIndex rd, const std::string &target);
+    ProgramBuilder &jr(RegIndex rs1);
+    ProgramBuilder &halt();
+
+    // ---- Floating point ----
+
+    ProgramBuilder &fadd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fsub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fmul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fdiv(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fsqrt(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &fneg(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &fabs_(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &fcmplt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fcmple(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &fcmpeq(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    ProgramBuilder &cvtif(RegIndex rd, RegIndex rs1);
+    ProgramBuilder &cvtfi(RegIndex rd, RegIndex rs1);
+
+    // ---- Pseudo-instructions ----
+
+    /**
+     * Load an arbitrary non-negative constant up to 27 bits (or any
+     * 10-bit signed constant) into @p rd. Expands to LDI or LUI+ORI.
+     */
+    ProgramBuilder &li(RegIndex rd, std::int64_t value);
+
+    /** Load the address of data symbol @p name into @p rd. */
+    ProgramBuilder &la(RegIndex rd, const std::string &name);
+
+    /** rd = rs (expands to ORI rd, rs, 0). */
+    ProgramBuilder &mov(RegIndex rd, RegIndex rs);
+
+    // ---- Data section ----
+
+    /** Reserve one 8-byte word named @p name with initial @p value. */
+    Addr dword(const std::string &name, std::uint64_t value = 0);
+
+    /** Reserve one 8-byte double named @p name. */
+    Addr dvalue(const std::string &name, double value);
+
+    /**
+     * Reserve @p count zero-initialized 8-byte words named @p name.
+     * @return The address of the first word.
+     */
+    Addr array(const std::string &name, std::uint32_t count);
+
+    /** Reserve an array of doubles with explicit initial values. */
+    Addr arrayOf(const std::string &name,
+                 const std::vector<double> &values);
+
+    /** Reserve an array of 64-bit words with explicit values. */
+    Addr arrayOfWords(const std::string &name,
+                      const std::vector<std::uint64_t> &values);
+
+    /** Address of a previously defined data symbol. */
+    Addr dataAddress(const std::string &name) const;
+
+    /** Current end of the data section (the next symbol's address). */
+    Addr
+    dataCursor() const
+    {
+        return static_cast<Addr>(data.size());
+    }
+
+    /** True if a data symbol of this name exists. */
+    bool hasDataSymbol(const std::string &name) const;
+
+    // ---- Introspection ----
+
+    /** Instructions emitted so far (next instruction's index). */
+    InstAddr here() const;
+
+    /** Highest register index named so far (for budget checks). */
+    unsigned maxRegisterUsed() const { return maxReg; }
+
+    /** True if a code label of this name is defined. */
+    bool hasLabel(const std::string &name) const;
+
+    // ---- Finalization ----
+
+    /**
+     * Resolve fix-ups, apply layout options, encode, and produce the
+     * image. @p extra_memory bytes of zeroed scratch are appended
+     * after the data section. Fatal on undefined labels or overflowing
+     * branch offsets.
+     */
+    Program finish(std::uint32_t extra_memory = 0,
+                   const LayoutOptions &layout = {});
+
+  private:
+    struct Fixup
+    {
+        std::size_t index;  //!< instruction list position
+        std::string label;
+    };
+
+    void applyLayout(const LayoutOptions &layout);
+    void insertNops(std::size_t position, unsigned count);
+    void noteRegs(const Instruction &inst);
+
+    std::vector<Instruction> insts;
+    std::vector<Fixup> fixups;
+    std::map<std::string, std::size_t> labels;
+    std::vector<std::uint8_t> data;
+    std::map<std::string, Addr> dataSymbols;
+    unsigned maxReg = 0;
+    bool finished = false;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_ASM_BUILDER_HH

@@ -1,0 +1,55 @@
+#include "asm/rewrite.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+Program
+realignProgram(const Program &program, const LayoutOptions &layout)
+{
+    ProgramBuilder b;
+
+    auto label_of = [](std::size_t index) {
+        return "L" + std::to_string(index);
+    };
+
+    for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+        Instruction inst = Instruction::decode(program.code[pc]);
+        b.label(label_of(pc));
+
+        if (inst.isIndirectJump() ||
+            (inst.isDirectJump() && inst.writesRd())) {
+            fatal("realignProgram: instruction %zu (%s) stores or "
+                  "consumes a code address; moving code would break it",
+                  pc, inst.toString().c_str());
+        }
+
+        if (inst.isCondBranch() || inst.isDirectJump()) {
+            InstAddr target =
+                inst.staticTarget(static_cast<InstAddr>(pc));
+            sdsp_assert(target <= program.code.size(),
+                        "control transfer to %u outside program",
+                        target);
+            Instruction symbolic = inst;
+            symbolic.imm = 0;
+            b.emitToLabel(symbolic, label_of(target));
+        } else {
+            b.emit(inst);
+        }
+    }
+    // A branch may target one past the last instruction.
+    b.label(label_of(program.code.size()));
+
+    Program out = b.finish(0, layout);
+    out.data = program.data;
+    out.memorySize = program.memorySize;
+    out.entry = program.entry; // entry 0 stays 0 under padding
+    sdsp_assert(program.entry == 0,
+                "realignProgram assumes entry at instruction 0");
+    return out;
+}
+
+} // namespace sdsp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary rewriting: re-lay-out a finished program.
+ *
+ * The paper's section 6.1 proposes aligning instructions in memory so
+ * that control transfers lie at the end of a fetched block and branch
+ * targets at the beginning of one. This pass applies that layout to
+ * an already-assembled image by reconstructing the instruction stream
+ * with symbolic targets and re-running the builder's layout passes —
+ * the ablation benches use it to re-lay-out the eleven benchmark
+ * programs without touching their generators.
+ */
+
+#ifndef SDSP_ASM_REWRITE_HH
+#define SDSP_ASM_REWRITE_HH
+
+#include "asm/builder.hh"
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/**
+ * Produce a semantically identical program with the requested code
+ * layout. The data section is preserved byte-for-byte.
+ *
+ * Fatal if the program contains JAL or JR: moving code invalidates
+ * stored link values, the classic limitation of static binary
+ * rewriting.
+ */
+Program realignProgram(const Program &program,
+                       const LayoutOptions &layout);
+
+} // namespace sdsp
+
+#endif // SDSP_ASM_REWRITE_HH

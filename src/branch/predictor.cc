@@ -1,0 +1,78 @@
+#include "branch/predictor.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+BranchPredictor::BranchPredictor(std::uint32_t entries)
+    : table(entries), mask(entries - 1)
+{
+    sdsp_assert(isPowerOf2(entries), "BTB size must be a power of two");
+}
+
+std::uint32_t
+BranchPredictor::indexOf(InstAddr pc) const
+{
+    return pc & mask;
+}
+
+BranchPrediction
+BranchPredictor::predict(InstAddr pc) const
+{
+    const Entry &entry = table[indexOf(pc)];
+    if (!entry.valid || entry.pc != pc)
+        return {false, false, 0};
+    return {true, entry.counter >= 2, entry.target};
+}
+
+void
+BranchPredictor::update(InstAddr pc, bool taken, InstAddr target)
+{
+    Entry &entry = table[indexOf(pc)];
+    if (!entry.valid || entry.pc != pc) {
+        // Allocate (or displace the alias) with weak hysteresis.
+        entry.valid = true;
+        entry.pc = pc;
+        entry.target = target;
+        entry.counter = taken ? 2 : 1;
+        return;
+    }
+    if (taken) {
+        if (entry.counter < 3)
+            ++entry.counter;
+        entry.target = target;
+    } else if (entry.counter > 0) {
+        --entry.counter;
+    }
+}
+
+void
+BranchPredictor::noteOutcome(bool mispredicted)
+{
+    ++statOutcomes;
+    if (mispredicted)
+        ++statMispredicts;
+}
+
+double
+BranchPredictor::accuracy() const
+{
+    if (statOutcomes == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(statMispredicts) /
+                     static_cast<double>(statOutcomes);
+}
+
+void
+BranchPredictor::reportStats(StatsRegistry &registry,
+                             const std::string &prefix) const
+{
+    registry.add(prefix, "resolved", static_cast<double>(statOutcomes));
+    registry.add(prefix, "mispredicts",
+                 static_cast<double>(statMispredicts));
+    registry.add(prefix, "accuracy", accuracy());
+}
+
+} // namespace sdsp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hardware branch predictor: a branch target buffer with 2-bit
+ * saturating counters.
+ *
+ * The paper uses "a 2-bit prediction algorithm" with a *single* BTB
+ * shared by all threads ("only one BTB is maintained, regardless of
+ * the number of threads. Branch instructions of all threads update the
+ * same history after execution"), which works because all threads run
+ * the same code. Prediction state is updated only when the branch is
+ * shifted out of the SU at result commit — the paper explicitly notes
+ * the delayed update as a cause of extra mispredictions at large SU
+ * depths.
+ */
+
+#ifndef SDSP_BRANCH_PREDICTOR_HH
+#define SDSP_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+
+namespace sdsp
+{
+
+/** Prediction returned for a fetch-stage lookup. */
+struct BranchPrediction
+{
+    bool hit = false;     //!< BTB entry exists for this PC
+    bool taken = false;   //!< counter in a taken state
+    InstAddr target = 0;  //!< predicted target when taken
+};
+
+/** Direct-mapped BTB of 2-bit saturating counters. */
+class BranchPredictor
+{
+  public:
+    /** @param entries BTB entries; must be a power of two. */
+    explicit BranchPredictor(std::uint32_t entries = 512);
+
+    /** Fetch-stage lookup for the branch at @p pc. */
+    BranchPrediction predict(InstAddr pc) const;
+
+    /**
+     * Commit-stage update with the architecturally resolved outcome.
+     *
+     * @param pc     Branch instruction address.
+     * @param taken  Resolved direction.
+     * @param target Resolved target (meaningful when taken).
+     */
+    void update(InstAddr pc, bool taken, InstAddr target);
+
+    /** Record a resolved prediction outcome (for accuracy stats). */
+    void noteOutcome(bool mispredicted);
+
+    /** Resolved conditional-branch predictions so far. */
+    std::uint64_t lookups() const { return statOutcomes; }
+    /** Mispredictions so far. */
+    std::uint64_t mispredictions() const { return statMispredicts; }
+    /** Prediction accuracy in [0,1]; 1.0 with no branches. */
+    double accuracy() const;
+
+    /** Report statistics under @p prefix. */
+    void reportStats(StatsRegistry &registry,
+                     const std::string &prefix) const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        InstAddr pc = 0;
+        InstAddr target = 0;
+        /** 2-bit saturating counter; >= 2 predicts taken. */
+        std::uint8_t counter = 1;
+    };
+
+    std::uint32_t indexOf(InstAddr pc) const;
+
+    std::vector<Entry> table;
+    std::uint32_t mask;
+
+    std::uint64_t statOutcomes = 0;
+    std::uint64_t statMispredicts = 0;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_BRANCH_PREDICTOR_HH

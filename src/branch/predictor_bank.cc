@@ -1,0 +1,70 @@
+#include "branch/predictor_bank.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+PredictorBank::PredictorBank(std::uint32_t total_entries,
+                             unsigned banks)
+{
+    sdsp_assert(banks >= 1, "need at least one predictor bank");
+    sdsp_assert(isPowerOf2(total_entries),
+                "BTB budget must be a power of two");
+
+    // Split the budget; round each bank down to a power of two.
+    bankEntries = total_entries / banks;
+    while (!isPowerOf2(bankEntries) && bankEntries > 1)
+        bankEntries &= bankEntries - 1; // clear lowest set bit
+    if (bankEntries < 1)
+        bankEntries = 1;
+
+    for (unsigned i = 0; i < banks; ++i)
+        btbs.push_back(std::make_unique<BranchPredictor>(bankEntries));
+}
+
+BranchPredictor &
+PredictorBank::bankOf(ThreadId tid)
+{
+    return *btbs[tid % btbs.size()];
+}
+
+const BranchPredictor &
+PredictorBank::bankOf(ThreadId tid) const
+{
+    return *btbs[tid % btbs.size()];
+}
+
+void
+PredictorBank::noteOutcome(bool mispredicted)
+{
+    ++statOutcomes;
+    if (mispredicted)
+        ++statMispredicts;
+}
+
+double
+PredictorBank::accuracy() const
+{
+    if (statOutcomes == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(statMispredicts) /
+                     static_cast<double>(statOutcomes);
+}
+
+void
+PredictorBank::reportStats(StatsRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.add(prefix, "banks", static_cast<double>(btbs.size()));
+    registry.add(prefix, "entriesPerBank",
+                 static_cast<double>(bankEntries));
+    registry.add(prefix, "resolved",
+                 static_cast<double>(statOutcomes));
+    registry.add(prefix, "mispredicts",
+                 static_cast<double>(statMispredicts));
+    registry.add(prefix, "accuracy", accuracy());
+}
+
+} // namespace sdsp

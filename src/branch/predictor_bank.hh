@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch predictor banking: one shared BTB vs private per-thread
+ * BTBs.
+ *
+ * The paper keeps a single BTB shared by all threads ("only one BTB
+ * is maintained, regardless of the number of threads") and notes that
+ * while this "may seem too simplistic, it yielded prediction
+ * accuracies upwards of 8x% for all applications" — plausible because
+ * the homogeneous-multitasking benchmarks run the same code in every
+ * thread. This class makes that a testable design axis: with more
+ * than one bank, each thread predicts and trains against its own
+ * equally sized slice of the same total BTB budget.
+ */
+
+#ifndef SDSP_BRANCH_PREDICTOR_BANK_HH
+#define SDSP_BRANCH_PREDICTOR_BANK_HH
+
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace sdsp
+{
+
+/** A shared BTB or a set of private per-thread BTBs. */
+class PredictorBank
+{
+  public:
+    /**
+     * @param total_entries Total BTB budget across all banks.
+     * @param banks         1 = the paper's shared BTB; N = private
+     *                      per-thread BTBs of total_entries/N entries
+     *                      each (rounded down to a power of two).
+     */
+    PredictorBank(std::uint32_t total_entries, unsigned banks);
+
+    /** Fetch-stage lookup by @p tid for the branch at @p pc. */
+    BranchPrediction
+    predict(ThreadId tid, InstAddr pc) const
+    {
+        return bankOf(tid).predict(pc);
+    }
+
+    /** Commit-stage update. */
+    void
+    update(ThreadId tid, InstAddr pc, bool taken, InstAddr target)
+    {
+        bankOf(tid).update(pc, taken, target);
+    }
+
+    /** Record a resolved prediction outcome. */
+    void noteOutcome(bool mispredicted);
+
+    /** Resolved predictions so far (all banks). */
+    std::uint64_t lookups() const { return statOutcomes; }
+
+    /** Mispredictions so far (all banks). */
+    std::uint64_t mispredictions() const { return statMispredicts; }
+
+    /** Aggregate prediction accuracy in [0,1]. */
+    double accuracy() const;
+
+    /** Number of banks. */
+    unsigned banks() const { return static_cast<unsigned>(btbs.size()); }
+
+    /** Entries in each bank. */
+    std::uint32_t entriesPerBank() const { return bankEntries; }
+
+    /** Report statistics under @p prefix. */
+    void reportStats(StatsRegistry &registry,
+                     const std::string &prefix) const;
+
+  private:
+    BranchPredictor &bankOf(ThreadId tid);
+    const BranchPredictor &bankOf(ThreadId tid) const;
+
+    std::vector<std::unique_ptr<BranchPredictor>> btbs;
+    std::uint32_t bankEntries;
+
+    std::uint64_t statOutcomes = 0;
+    std::uint64_t statMispredicts = 0;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_BRANCH_PREDICTOR_BANK_HH

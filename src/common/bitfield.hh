@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction encoder/decoder and
+ * the cache indexing logic.
+ */
+
+#ifndef SDSP_COMMON_BITFIELD_HH
+#define SDSP_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+/**
+ * Extract bits [hi:lo] (inclusive) of @p value, right-justified.
+ *
+ * @param value Source word.
+ * @param hi    Most-significant bit of the field (0-based).
+ * @param lo    Least-significant bit of the field.
+ * @return The extracted field.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/**
+ * Insert @p field into bits [hi:lo] of @p base and return the result.
+ * Bits of @p field above the target width are discarded.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t base, unsigned hi, unsigned lo,
+           std::uint64_t field)
+{
+    unsigned width = hi - lo + 1;
+    std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to a signed 64-bit
+ * integer.
+ */
+constexpr std::int64_t
+sext(std::uint64_t value, unsigned width)
+{
+    unsigned shift = 64 - width;
+    return static_cast<std::int64_t>(value << shift) >>
+           static_cast<std::int64_t>(shift);
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t value)
+{
+    unsigned n = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/**
+ * Does @p value fit in a @p width-bit two's-complement immediate
+ * field?
+ */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned width)
+{
+    std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Does @p value fit in a @p width-bit unsigned field? */
+constexpr bool
+fitsUnsigned(std::uint64_t value, unsigned width)
+{
+    return width >= 64 || value < (std::uint64_t{1} << width);
+}
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_BITFIELD_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in the
+ *            simulator itself); aborts.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, malformed program); exits with code 1.
+ * warn()   - something is questionable but simulation continues.
+ * inform() - neutral status output.
+ */
+
+#ifndef SDSP_COMMON_LOGGING_HH
+#define SDSP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace sdsp
+{
+
+/** Printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+#define panic(...)  ::sdsp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...)  ::sdsp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...)   ::sdsp::warnImpl(__VA_ARGS__)
+#define inform(...) ::sdsp::informImpl(__VA_ARGS__)
+
+/** Assert a simulator invariant with a formatted explanation. */
+#define sdsp_assert(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::sdsp::panicImpl(__FILE__, __LINE__, __VA_ARGS__);            \
+    } while (0)
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_LOGGING_HH

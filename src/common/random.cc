@@ -1,0 +1,40 @@
+#include "common/random.hh"
+
+namespace sdsp
+{
+
+Xorshift64::Xorshift64(std::uint64_t seed)
+    : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+{
+}
+
+std::uint64_t
+Xorshift64::next()
+{
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+}
+
+std::uint64_t
+Xorshift64::nextBelow(std::uint64_t bound)
+{
+    // Modulo bias is irrelevant for workload generation purposes.
+    return next() % bound;
+}
+
+double
+Xorshift64::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Xorshift64::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+} // namespace sdsp

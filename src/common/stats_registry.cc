@@ -1,0 +1,52 @@
+#include "common/stats_registry.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+void
+StatsRegistry::add(const std::string &name, double value)
+{
+    entries_.push_back({name, value});
+}
+
+void
+StatsRegistry::add(const std::string &prefix, const std::string &name,
+                   double value)
+{
+    entries_.push_back({prefix + "." + name, value});
+}
+
+double
+StatsRegistry::get(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return e.value;
+    }
+    fatal("no statistic named '%s'", name.c_str());
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+StatsRegistry::toString() const
+{
+    std::ostringstream os;
+    for (const auto &e : entries_)
+        os << e.name << " = " << e.value << "\n";
+    return os.str();
+}
+
+} // namespace sdsp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A tiny named-statistics registry.
+ *
+ * Simulator components own plain integer/double counters for speed; a
+ * StatsRegistry gathers name -> value pairs at reporting time so the
+ * harness can print, diff, and CSV-dump any component's statistics
+ * without knowing its concrete type.
+ */
+
+#ifndef SDSP_COMMON_STATS_REGISTRY_HH
+#define SDSP_COMMON_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdsp
+{
+
+/** One reported statistic. */
+struct StatEntry
+{
+    std::string name;
+    double value;
+};
+
+/**
+ * An ordered collection of named statistics. Components implement a
+ * `reportStats(StatsRegistry &)` method that appends their counters;
+ * the registry preserves insertion order for stable output.
+ */
+class StatsRegistry
+{
+  public:
+    /** Append a statistic. Duplicate names are allowed (prefixed). */
+    void add(const std::string &name, double value);
+
+    /** Append a statistic under `prefix.name`. */
+    void add(const std::string &prefix, const std::string &name,
+             double value);
+
+    /** Look up a statistic by exact name. Fatal if absent. */
+    double get(const std::string &name) const;
+
+    /** True if a statistic with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** All entries in insertion order. */
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::vector<StatEntry> entries_;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_STATS_REGISTRY_HH

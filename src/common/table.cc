@@ -1,0 +1,114 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    sdsp_assert(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    sdsp_assert(row.size() == header_.size(),
+                "row arity %zu != header arity %zu", row.size(),
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    sdsp_assert(!rows_.empty(), "cell() before beginRow()");
+    sdsp_assert(rows_.back().size() < header_.size(),
+                "too many cells in row");
+    rows_.back().push_back(text);
+}
+
+void
+Table::cell(double value, int precision)
+{
+    cell(format("%.*f", precision, value));
+}
+
+void
+Table::cell(std::uint64_t value)
+{
+    cell(format("%llu", static_cast<unsigned long long>(value)));
+}
+
+std::string
+Table::toAscii() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string &text = c < row.size() ? row[c] : "";
+            os << (c == 0 ? "" : "  ");
+            os << text
+               << std::string(widths[c] - text.size(), ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(os, header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c == 0 ? "" : ",") << quote(row[c]);
+        os << "\n";
+    };
+    emit_row(header_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+} // namespace sdsp

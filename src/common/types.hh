@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the simulator.
+ *
+ * The simulated machine is a 32-bit-instruction RISC with 64-bit
+ * registers and a byte-addressable data memory; the aliases below name
+ * the quantities that flow between its components so that signatures
+ * stay self-describing.
+ */
+
+#ifndef SDSP_COMMON_TYPES_HH
+#define SDSP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sdsp
+{
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A byte address in simulated data memory. */
+using Addr = std::uint32_t;
+
+/** An instruction index in simulated instruction memory (not bytes). */
+using InstAddr = std::uint32_t;
+
+/** The raw 32-bit encoding of one instruction. */
+using InstWord = std::uint32_t;
+
+/** Contents of one 64-bit general-purpose register. */
+using RegVal = std::uint64_t;
+
+/** Architectural (per-thread) register index. */
+using RegIndex = std::uint8_t;
+
+/** Physical register-file index (after static partitioning). */
+using PhysRegIndex = std::uint16_t;
+
+/** Hardware thread (instruction stream) identifier. */
+using ThreadId = std::uint8_t;
+
+/**
+ * Renaming tag. Tags are drawn from a monotonically increasing
+ * sequence, so a tag is unique among all in-flight instructions of all
+ * threads, exactly as the paper's renaming hardware requires ("does not
+ * reuse one until its previous occurrence is no longer in use").
+ */
+using Tag = std::uint64_t;
+
+/** Sentinel for "no tag / operand already has its value". */
+inline constexpr Tag kNoTag = ~Tag{0};
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_TYPES_HH

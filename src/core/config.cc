@@ -1,0 +1,161 @@
+#include "core/config.hh"
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+unsigned
+idx(FuClass cls)
+{
+    return static_cast<unsigned>(cls);
+}
+
+FuConfig
+baseLatencies(FuConfig cfg)
+{
+    cfg.latency[idx(FuClass::IntAlu)] = 1;
+    cfg.latency[idx(FuClass::IntMul)] = 3;
+    cfg.latency[idx(FuClass::IntDiv)] = 12;
+    cfg.latency[idx(FuClass::Load)] = 2;
+    cfg.latency[idx(FuClass::Store)] = 1;
+    cfg.latency[idx(FuClass::Ctrl)] = 1;
+    cfg.latency[idx(FuClass::FpAdd)] = 3;
+    cfg.latency[idx(FuClass::FpMul)] = 3;
+    cfg.latency[idx(FuClass::FpDiv)] = 12;
+    for (unsigned i = 0; i < kNumFuClasses; ++i)
+        cfg.pipelined[i] = true;
+    // Divide units are iterative, not pipelined.
+    cfg.pipelined[idx(FuClass::IntDiv)] = false;
+    cfg.pipelined[idx(FuClass::FpDiv)] = false;
+    return cfg;
+}
+
+} // namespace
+
+FuConfig
+FuConfig::sdspDefault()
+{
+    FuConfig cfg = baseLatencies({});
+    cfg.count[idx(FuClass::IntAlu)] = 4;
+    cfg.count[idx(FuClass::IntMul)] = 1;
+    cfg.count[idx(FuClass::IntDiv)] = 1;
+    cfg.count[idx(FuClass::Load)] = 1;
+    cfg.count[idx(FuClass::Store)] = 1;
+    cfg.count[idx(FuClass::Ctrl)] = 1;
+    cfg.count[idx(FuClass::FpAdd)] = 1;
+    cfg.count[idx(FuClass::FpMul)] = 1;
+    cfg.count[idx(FuClass::FpDiv)] = 1;
+    return cfg;
+}
+
+FuConfig
+FuConfig::sdspEnhanced()
+{
+    FuConfig cfg = baseLatencies({});
+    cfg.count[idx(FuClass::IntAlu)] = 6;
+    cfg.count[idx(FuClass::IntMul)] = 2;
+    cfg.count[idx(FuClass::IntDiv)] = 2;
+    cfg.count[idx(FuClass::Load)] = 2;
+    cfg.count[idx(FuClass::Store)] = 2;
+    cfg.count[idx(FuClass::Ctrl)] = 1;
+    cfg.count[idx(FuClass::FpAdd)] = 2;
+    cfg.count[idx(FuClass::FpMul)] = 2;
+    cfg.count[idx(FuClass::FpDiv)] = 2;
+    return cfg;
+}
+
+const char *
+fetchPolicyName(FetchPolicy policy)
+{
+    switch (policy) {
+      case FetchPolicy::TrueRoundRobin: return "TrueRR";
+      case FetchPolicy::MaskedRoundRobin: return "MaskedRR";
+      case FetchPolicy::ConditionalSwitch: return "CSwitch";
+      case FetchPolicy::Adaptive: return "Adaptive";
+      case FetchPolicy::WeightedRoundRobin: return "WeightedRR";
+    }
+    return "?";
+}
+
+const char *
+renameSchemeName(RenameScheme scheme)
+{
+    switch (scheme) {
+      case RenameScheme::FullRenaming: return "FullRenaming";
+      case RenameScheme::Scoreboard1Bit: return "Scoreboard1Bit";
+    }
+    return "?";
+}
+
+const char *
+commitPolicyName(CommitPolicy policy)
+{
+    switch (policy) {
+      case CommitPolicy::FlexibleFourBlocks: return "Flexible";
+      case CommitPolicy::LowestBlockOnly: return "LowestOnly";
+    }
+    return "?";
+}
+
+void
+MachineConfig::validate() const
+{
+    if (numThreads < 1 || numThreads > 16)
+        fatal("numThreads %u out of range [1,16]", numThreads);
+    if (blockSize != 4)
+        fatal("the SDSP fetch/commit block is 4 instructions");
+    if (suEntries % blockSize != 0 || suEntries < blockSize)
+        fatal("suEntries %u must be a positive multiple of %u",
+              suEntries, blockSize);
+    if (regsPerThread() < 4)
+        fatal("fewer than 4 registers per thread");
+    if (issueWidth < 1 || writebackWidth < 1)
+        fatal("issue/writeback width must be positive");
+    if (btbBanks < 1)
+        fatal("btbBanks must be at least 1");
+    if (fetchPolicy == FetchPolicy::WeightedRoundRobin &&
+        !fetchWeights.empty()) {
+        if (fetchWeights.size() != numThreads)
+            fatal("fetchWeights has %zu entries for %u threads",
+                  fetchWeights.size(), numThreads);
+        for (unsigned weight : fetchWeights) {
+            if (weight < 1)
+                fatal("fetchWeights entries must be >= 1");
+        }
+    }
+    if (storeBufferEntries < blockSize) {
+        // Stores stay buffered until their SU entry is shifted out at
+        // commit, so a block whose four slots are all stores needs
+        // four simultaneous buffer entries; anything smaller can
+        // deadlock.
+        fatal("store buffer (%u entries) must hold at least one "
+              "commit block of stores (%u)",
+              storeBufferEntries, blockSize);
+    }
+    for (unsigned i = 0; i < kNumFuClasses; ++i) {
+        if (fu.count[i] < 1)
+            fatal("functional unit class %s has zero instances",
+                  fuClassName(static_cast<FuClass>(i)));
+        if (fu.latency[i] < 1)
+            fatal("functional unit class %s has zero latency",
+                  fuClassName(static_cast<FuClass>(i)));
+    }
+}
+
+std::string
+MachineConfig::toString() const
+{
+    return format(
+        "threads=%u fetch=%s su=%u commit=%s rename=%s bypass=%d "
+        "dcache=%uB/%u-way sb=%u",
+        numThreads, fetchPolicyName(fetchPolicy), suEntries,
+        commitPolicyName(commitPolicy), renameSchemeName(renameScheme),
+        bypassing ? 1 : 0, dcache.sizeBytes, dcache.ways,
+        storeBufferEntries);
+}
+
+} // namespace sdsp

@@ -1,0 +1,145 @@
+#include "core/exec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+FuPool::FuPool(const FuConfig &config) : cfg(config)
+{
+    instances.resize(kNumFuClasses);
+    for (unsigned cls = 0; cls < kNumFuClasses; ++cls)
+        instances[cls].resize(cfg.count[cls]);
+}
+
+std::vector<FuPool::Instance> &
+FuPool::instancesOf(FuClass cls)
+{
+    return instances[static_cast<unsigned>(cls)];
+}
+
+const std::vector<FuPool::Instance> &
+FuPool::instancesOf(FuClass cls) const
+{
+    return instances[static_cast<unsigned>(cls)];
+}
+
+bool
+FuPool::canIssue(FuClass cls, Cycle now) const
+{
+    for (const Instance &instance : instancesOf(cls)) {
+        if (instance.nextFree <= now)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+FuPool::issue(FuClass cls, Tag seq, Cycle now, Cycle extra_latency)
+{
+    auto cls_idx = static_cast<unsigned>(cls);
+    unsigned latency = cfg.latency[cls_idx];
+    bool pipelined = cfg.pipelined[cls_idx];
+
+    // Lowest-numbered free instance first, so that "extra" units are
+    // only used under pressure (feeds the paper's Table 4).
+    for (Instance &instance : instancesOf(cls)) {
+        if (instance.nextFree > now)
+            continue;
+        Cycle occupancy = pipelined ? 1 : latency;
+        instance.nextFree = now + occupancy;
+        instance.busy += occupancy;
+        Cycle complete = now + latency + extra_latency;
+        bool counts = cls != FuClass::Store;
+        inflight.push_back({{seq, complete, cls, counts}, false});
+        return complete;
+    }
+    panic("issue to %s without a free instance", fuClassName(cls));
+}
+
+void
+FuPool::drainCompletions(Cycle now, unsigned max_results,
+                         std::vector<FuCompletion> &out)
+{
+    // Stable order: completion time, then tag (age). The inflight
+    // list is small (bounded by SU size), so sorting per cycle is
+    // cheap and keeps behaviour deterministic.
+    std::sort(inflight.begin(), inflight.end(),
+              [](const Inflight &a, const Inflight &b) {
+                  if (a.completion.completeCycle !=
+                      b.completion.completeCycle) {
+                      return a.completion.completeCycle <
+                             b.completion.completeCycle;
+                  }
+                  return a.completion.seq < b.completion.seq;
+              });
+
+    unsigned drained = 0;
+    auto it = inflight.begin();
+    while (it != inflight.end()) {
+        if (it->completion.completeCycle > now)
+            break;
+        if (it->cancelled) {
+            it = inflight.erase(it);
+            continue;
+        }
+        if (it->completion.countsAgainstWidth &&
+            drained >= max_results) {
+            // Result-port limit reached; this completion (and any
+            // behind it) waits for a later cycle.
+            ++it;
+            continue;
+        }
+        out.push_back(it->completion);
+        if (it->completion.countsAgainstWidth)
+            ++drained;
+        it = inflight.erase(it);
+    }
+}
+
+void
+FuPool::cancel(Tag seq)
+{
+    for (Inflight &op : inflight) {
+        if (op.completion.seq == seq)
+            op.cancelled = true;
+    }
+}
+
+unsigned
+FuPool::totalInstances() const
+{
+    unsigned total = 0;
+    for (const auto &cls : instances)
+        total += static_cast<unsigned>(cls.size());
+    return total;
+}
+
+std::uint64_t
+FuPool::busyCycles(FuClass cls, unsigned index) const
+{
+    const auto &list = instancesOf(cls);
+    sdsp_assert(index < list.size(), "FU instance index out of range");
+    return list[index].busy;
+}
+
+void
+FuPool::reportStats(StatsRegistry &registry, const std::string &prefix,
+                    Cycle total_cycles) const
+{
+    double denom = total_cycles ? static_cast<double>(total_cycles) : 1.0;
+    for (unsigned cls = 0; cls < kNumFuClasses; ++cls) {
+        const auto &list = instances[cls];
+        for (unsigned i = 0; i < list.size(); ++i) {
+            std::string name =
+                format("%s[%u].busyFraction",
+                       fuClassName(static_cast<FuClass>(cls)), i);
+            registry.add(prefix, name,
+                         static_cast<double>(list[i].busy) / denom);
+        }
+    }
+}
+
+} // namespace sdsp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The execution unit: a pool of functional unit instances.
+ *
+ * Each FU class (paper Table 1) has a configurable number of
+ * instances and a latency. ALUs, memory units, the control unit and
+ * the FP add/multiply units are pipelined (initiation interval 1);
+ * the iterative integer and FP dividers are not (they are busy for
+ * their full latency).
+ *
+ * Instance-level busy statistics feed the paper's Table 4 ("average
+ * usage of extra functional units as a percentage of total cycles"):
+ * issue always picks the lowest-numbered free instance, so instances
+ * beyond the default configuration's count are exactly the "extra"
+ * units.
+ */
+
+#ifndef SDSP_CORE_EXEC_HH
+#define SDSP_CORE_EXEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "isa/opcode.hh"
+
+namespace sdsp
+{
+
+/** A result (or completion event) leaving a functional unit. */
+struct FuCompletion
+{
+    Tag seq = 0;           //!< producing SU entry
+    Cycle completeCycle = 0;
+    FuClass fuClass = FuClass::IntAlu;
+    /**
+     * Store completions produce no register result and do not consume
+     * one of the 8 result-write ports into the SU.
+     */
+    bool countsAgainstWidth = true;
+};
+
+/** Pool of all functional unit instances. */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuConfig &config);
+
+    /**
+     * Is an instance of @p cls free to accept an operation at
+     * @p now?
+     */
+    bool canIssue(FuClass cls, Cycle now) const;
+
+    /**
+     * Begin executing the producer @p seq on a free instance of
+     * @p cls. Caller must have checked canIssue().
+     *
+     * @param extra_latency Added on top of the class latency (cache
+     *                      miss time for loads).
+     * @return The completion cycle.
+     */
+    Cycle issue(FuClass cls, Tag seq, Cycle now,
+                Cycle extra_latency = 0);
+
+    /**
+     * Collect completions with completeCycle <= @p now, in
+     * completion-time then age order. The caller pops at most its
+     * writeback width per cycle; the rest stay queued.
+     *
+     * @param max_results Maximum completions to drain.
+     * @param out         Receives the drained completions.
+     */
+    void drainCompletions(Cycle now, unsigned max_results,
+                          std::vector<FuCompletion> &out);
+
+    /**
+     * Cancel the in-flight operation of a squashed producer. The unit
+     * stays busy (the hardware pipeline still drains) but no result
+     * will be delivered.
+     */
+    void cancel(Tag seq);
+
+    /** Pending (not yet drained) completions? */
+    bool busy() const { return !inflight.empty(); }
+
+    /** Total instances across all classes. */
+    unsigned totalInstances() const;
+
+    /**
+     * Busy cycles of instance @p index of class @p cls (initiation
+     * cycles for pipelined units, full occupancy for iterative ones).
+     */
+    std::uint64_t busyCycles(FuClass cls, unsigned index) const;
+
+    /** Report per-instance utilization under @p prefix. */
+    void reportStats(StatsRegistry &registry, const std::string &prefix,
+                     Cycle total_cycles) const;
+
+    /** Configuration in use. */
+    const FuConfig &config() const { return cfg; }
+
+  private:
+    struct Instance
+    {
+        /** First cycle this instance can initiate a new operation. */
+        Cycle nextFree = 0;
+        std::uint64_t busy = 0;
+    };
+
+    struct Inflight
+    {
+        FuCompletion completion;
+        bool cancelled = false;
+    };
+
+    std::vector<Instance> &instancesOf(FuClass cls);
+    const std::vector<Instance> &instancesOf(FuClass cls) const;
+
+    FuConfig cfg;
+    std::vector<std::vector<Instance>> instances; //!< per class
+    std::vector<Inflight> inflight;               //!< unsorted
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_EXEC_HH

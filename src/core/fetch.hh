@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The multithreaded instruction unit (fetch stage).
+ *
+ * The instruction unit keeps one program counter per resident thread
+ * and fetches one aligned block of four contiguous instructions per
+ * cycle, all from the same thread; which thread fetches is decided by
+ * the fetch policy (paper section 5.1):
+ *
+ *  - True Round Robin: a modulo-N counter advanced every clock tick,
+ *    irrespective of thread state;
+ *  - Masked Round Robin: round robin, but threads that failed to
+ *    commit from the lower-most reorder-buffer block are masked until
+ *    that commit happens;
+ *  - Conditional Switch: keep fetching one thread until the decoder
+ *    reports a long-latency trigger instruction;
+ *  - Adaptive (section 6.1 extension): round robin that skips threads
+ *    whose recent commit behaviour indicates a low execution rate.
+ *
+ * Speculation: conditional branches and indirect jumps are predicted
+ * with the shared BTB; direct jumps redirect immediately. Instructions
+ * in the fetched block after a (predicted-)taken control transfer, or
+ * before the entry PC of the aligned block, are invalid — this is the
+ * fetch-bandwidth loss the paper's section 6.1 alignment optimization
+ * attacks.
+ */
+
+#ifndef SDSP_CORE_FETCH_HH
+#define SDSP_CORE_FETCH_HH
+
+#include <optional>
+#include <vector>
+
+#include "branch/predictor_bank.hh"
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "memory/cache.hh"
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+/** One fetched instruction slot. */
+struct FetchedInst
+{
+    InstAddr pc = 0;
+    Instruction inst;
+    /** Fetch predicted this control transfer taken. */
+    bool predictedTaken = false;
+    /** The PC fetch continued from after this instruction. */
+    InstAddr predictedNextPc = 0;
+};
+
+/** One fetched block (valid instructions only, program order). */
+struct FetchedBlock
+{
+    ThreadId tid = 0;
+    std::vector<FetchedInst> insts;
+};
+
+/** The instruction unit. */
+class FetchUnit
+{
+  public:
+    /**
+     * @param config    Machine configuration.
+     * @param code      Pre-decoded program text (shared, immutable).
+     * @param predictor The shared branch predictor.
+     */
+    /**
+     * @param icache Finite instruction cache, or nullptr for the
+     *               paper's perfect I-cache.
+     */
+    FetchUnit(const MachineConfig &config,
+              const std::vector<Instruction> &code,
+              PredictorBank &predictor, DataCache *icache = nullptr);
+
+    /**
+     * Fetch one block this cycle (the fetch latch must be free).
+     *
+     * @return The fetched block, or nullopt if no thread could fetch.
+     */
+    std::optional<FetchedBlock> fetchCycle(Cycle now);
+
+    // ---- Notifications from the rest of the pipeline ----
+
+    /** The bottom SU block of @p tid failed to commit this cycle. */
+    void onCommitBlockedBottom(ThreadId tid);
+
+    /** A block of @p tid committed this cycle. */
+    void onCommitBlock(ThreadId tid);
+
+    /** The decoder saw a Conditional Switch trigger instruction. */
+    void onSwitchTrigger();
+
+    /** A mispredicted control transfer of @p tid resolved; resume
+     *  fetching at @p next_pc. */
+    void onSquash(ThreadId tid, InstAddr next_pc);
+
+    /** Thread @p tid committed HALT: it will never fetch again. */
+    void onHaltCommitted(ThreadId tid);
+
+    /** Called once per cycle for policy state decay and to open the
+     *  I-cache's per-cycle port window. */
+    void tick(Cycle now);
+
+    // ---- Queries ----
+
+    /** Has @p tid committed HALT? */
+    bool finished(ThreadId tid) const { return threads[tid].finished; }
+
+    /** Have all threads committed HALT? */
+    bool allFinished() const;
+
+    /** Current fetch PC of @p tid (tests). */
+    InstAddr pcOf(ThreadId tid) const { return threads[tid].pc; }
+
+    /** Is @p tid masked out (MaskedRR)? */
+    bool masked(ThreadId tid) const { return threads[tid].maskedOut; }
+
+    /** Report statistics under @p prefix. */
+    void reportStats(StatsRegistry &registry,
+                     const std::string &prefix) const;
+
+  private:
+    struct ThreadState
+    {
+        InstAddr pc = 0;
+        /** Stop fetching (HALT fetched / ran past code / bad
+         *  predicted target) until a squash restores the PC. */
+        bool stopped = false;
+        /** HALT committed; the thread is architecturally done. */
+        bool finished = false;
+        /** MaskedRR: excluded from the rotation. */
+        bool maskedOut = false;
+        /** Adaptive: decaying commit-stall score. */
+        unsigned stallScore = 0;
+        /** WeightedRR: fetch credits left in this rotation round. */
+        unsigned credits = 0;
+        /** Finite I-cache: cycle the pending line refill lands. */
+        Cycle ifetchReadyAt = 0;
+    };
+
+    /** Can this thread fetch right now? */
+    bool fetchable(const ThreadState &thread) const;
+
+    /** Pick the fetching thread per policy; -1 if none. */
+    int selectThread();
+
+    /** Fetch the aligned block for @p tid. */
+    FetchedBlock fetchBlock(ThreadId tid);
+
+    const MachineConfig &cfg;
+    const std::vector<Instruction> &code;
+    PredictorBank &btb;
+    DataCache *icache;
+
+    std::vector<ThreadState> threads;
+    /** TrueRR/MaskedRR rotation counter; CSwitch current thread. */
+    unsigned rotation = 0;
+    /** CSwitch: switch away from the current thread at next fetch. */
+    bool switchPending = false;
+
+    std::uint64_t statBlocks = 0;
+    std::vector<std::uint64_t> statBlocksPerThread;
+    std::uint64_t statInsts = 0;
+    std::uint64_t statWastedSlots = 0;
+    std::uint64_t statIdleCycles = 0;
+    std::uint64_t statSwitches = 0;
+    std::uint64_t statMaskEvents = 0;
+    std::uint64_t statIcacheStallCycles = 0;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_FETCH_HH

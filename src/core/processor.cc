@@ -1,0 +1,542 @@
+#include "core/processor.hh"
+
+#include <cstdarg>
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+/** Validate before any member (which divides by config fields) is
+ *  constructed. */
+const MachineConfig &
+validated(const MachineConfig &config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+Processor::Processor(const MachineConfig &config, const Program &program)
+    : cfg(validated(config)),
+      prog(program),
+      mem(),
+      cache(config.dcache),
+      icache(config.perfectICache
+                 ? nullptr
+                 : std::make_unique<DataCache>(config.icache)),
+      sb(config.storeBufferEntries),
+      btb(config.btbEntries, config.btbBanks),
+      regs(config.numRegisters, config.numThreads),
+      su(config.suBlocks(), config.blockSize),
+      fus(config.fu),
+      fetch(cfg, decodedCode, btb, icache.get()),
+      statCommittedPerThread(config.numThreads, 0),
+      statIssueHistogram(config.issueWidth + 1, 0)
+{
+    // Pre-decode the text once; fetch reads the decoded form.
+    decodedCode.reserve(prog.code.size());
+    for (InstWord word : prog.code)
+        decodedCode.push_back(Instruction::decode(word));
+
+    // Reject programs that name registers outside the per-thread
+    // static partition for this thread count.
+    unsigned budget = cfg.regsPerThread();
+    for (std::size_t i = 0; i < decodedCode.size(); ++i) {
+        const Instruction &inst = decodedCode[i];
+        const OpInfo &oi = inst.info();
+        unsigned top = 0;
+        if (oi.flags & kWritesRd)
+            top = std::max<unsigned>(top, inst.rd);
+        if (oi.flags & kReadsRs1)
+            top = std::max<unsigned>(top, inst.rs1);
+        if (oi.flags & kReadsRs2)
+            top = std::max<unsigned>(top, inst.rs2);
+        if (top >= budget) {
+            fatal("instruction %zu (%s) names r%u but the %u-thread "
+                  "partition allows only r0..r%u",
+                  i, inst.toString().c_str(), top, cfg.numThreads,
+                  budget - 1);
+        }
+    }
+
+    mem.loadProgram(prog);
+}
+
+Processor::~Processor() = default;
+
+void
+Processor::tracef(const char *fmt, ...)
+{
+    if (!trace)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    *trace << format("[%8llu] ", static_cast<unsigned long long>(now))
+           << msg << "\n";
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Processor::commitStage()
+{
+    if (su.empty())
+        return;
+
+    CommitSelection selection =
+        su.selectCommit(cfg.commitWindowBlocks());
+
+    // The paper's Masked Round Robin (and the adaptive extension)
+    // react to the *lower-most* block failing to commit.
+    const SuBlock &bottom = su.contents().front();
+    bool bottom_commits = selection.found && selection.blockIndex == 0;
+    if (!bottom_commits && !bottom.complete()) {
+        fetch.onCommitBlockedBottom(bottom.tid);
+        ++statCommitBlockedCycles;
+    }
+
+    if (!selection.found)
+        return;
+
+    if (selection.blockIndex > 0)
+        ++statFlexCommits;
+
+    SuBlock block = su.removeBlock(selection.blockIndex);
+    Tag max_seq = 0;
+    for (const SuEntry &entry : block.entries) {
+        if (!entry.valid)
+            continue;
+        sdsp_assert(entry.state == EntryState::Done,
+                    "committing an incomplete entry");
+        max_seq = std::max(max_seq, entry.seq);
+
+        if (entry.inst.writesRd())
+            regs.write(entry.tid, entry.inst.rd, entry.result);
+
+        // Branch prediction statistics are updated only at result
+        // commit (paper section 5.4).
+        if (entry.inst.isCondBranch()) {
+            InstAddr taken_target = entry.inst.staticTarget(entry.pc);
+            btb.update(entry.tid, entry.pc, entry.resolvedTaken,
+                       taken_target);
+            btb.noteOutcome(entry.mispredicted);
+        } else if (entry.inst.isIndirectJump()) {
+            btb.update(entry.tid, entry.pc, true,
+                       entry.resolvedNextPc);
+            btb.noteOutcome(entry.mispredicted);
+        }
+
+        if (entry.inst.isHalt()) {
+            fetch.onHaltCommitted(entry.tid);
+            tracef("commit: thread %u HALT", unsigned{entry.tid});
+        }
+
+        ++statCommitted;
+        ++statCommittedPerThread[entry.tid];
+    }
+
+    // Stores of this block may now drain to the cache.
+    sb.commitUpTo(block.tid, max_seq);
+    fetch.onCommitBlock(block.tid);
+
+    tracef("commit: block seq=%llu tid=%u from slot %zu",
+           static_cast<unsigned long long>(block.blockSeq),
+           unsigned{block.tid}, selection.blockIndex);
+}
+
+// --------------------------------------------------------------------
+// Writeback
+// --------------------------------------------------------------------
+
+void
+Processor::handleMispredict(SuEntry &entry)
+{
+    ++statMispredicts;
+
+    // Copy before squashing: removing blocks from the SU deque
+    // invalidates references into it.
+    ThreadId tid = entry.tid;
+    Tag seq = entry.seq;
+    InstAddr pc = entry.pc;
+    InstAddr next_pc = entry.resolvedNextPc;
+
+    std::vector<Tag> squashed;
+    unsigned count = su.squashThread(tid, seq, &squashed);
+    statSquashed += count;
+    for (Tag squashed_seq : squashed)
+        fus.cancel(squashed_seq);
+    sb.squash(tid, seq);
+
+    // The fetch latch holds the youngest fetched block; if it belongs
+    // to this thread it is wrong-path.
+    if (fetchLatch && fetchLatch->tid == tid)
+        fetchLatch.reset();
+
+    fetch.onSquash(tid, next_pc);
+
+    tracef("squash: tid=%u pc=%u -> %u (%u entries)", unsigned{tid},
+           pc, next_pc, count);
+}
+
+void
+Processor::writebackStage()
+{
+    completions.clear();
+    fus.drainCompletions(now, cfg.writebackWidth, completions);
+
+    for (const FuCompletion &completion : completions) {
+        SuEntry *entry = su.findBySeq(completion.seq);
+        if (!entry)
+            continue; // Squashed between completion and writeback.
+
+        entry->state = EntryState::Done;
+
+        if (entry->inst.writesRd())
+            su.broadcast(entry->seq, entry->result, now, cfg.bypassing);
+
+        if (entry->mispredicted)
+            handleMispredict(*entry);
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------
+
+void
+Processor::executeEntry(SuEntry &entry)
+{
+    const Instruction &inst = entry.inst;
+    RegVal s1 = entry.src1.value;
+    RegVal s2 = entry.src2.value;
+
+    if (inst.isCondBranch()) {
+        entry.resolvedTaken = evalBranchTaken(inst, s1, s2);
+        entry.resolvedNextPc = entry.resolvedTaken
+                                   ? inst.staticTarget(entry.pc)
+                                   : entry.pc + 1;
+        entry.mispredicted =
+            entry.resolvedNextPc != entry.predictedNextPc;
+    } else if (inst.isDirectJump()) {
+        entry.resolvedTaken = true;
+        entry.resolvedNextPc = inst.staticTarget(entry.pc);
+        // Fetch redirected immediately; never mispredicted.
+        entry.mispredicted = false;
+        if (inst.writesRd())
+            entry.result = evalLinkValue(entry.pc);
+    } else if (inst.isIndirectJump()) {
+        entry.resolvedTaken = true;
+        entry.resolvedNextPc = static_cast<InstAddr>(s1);
+        entry.mispredicted =
+            entry.resolvedNextPc != entry.predictedNextPc;
+    } else if (inst.isHalt() || inst.op == Opcode::NOP ||
+               inst.op == Opcode::SPIN) {
+        // No architectural result.
+    } else if (!inst.isLoad() && !inst.isStore()) {
+        entry.result = evalCompute(inst, s1, s2, entry.tid,
+                                   cfg.numThreads);
+    }
+}
+
+bool
+Processor::tryIssue(SuEntry &entry)
+{
+    const Instruction &inst = entry.inst;
+    FuClass cls = inst.info().fuClass;
+
+    if (!fus.canIssue(cls, now))
+        return false;
+
+    Cycle extra_latency = 0;
+
+    if (inst.isLoad()) {
+        // Conservative disambiguation: an older same-thread store
+        // with an unresolved (not yet executed) address blocks the
+        // load (the paper's restricted load/store policy).
+        if (su.hasOlderUnresolvedStore(entry.tid, entry.seq)) {
+            ++statLoadDisambStalls;
+            return false;
+        }
+        Addr addr = evalEffectiveAddress(inst, entry.src1.value);
+        std::optional<RegVal> forwarded =
+            sb.forward(entry.tid, addr, entry.seq);
+        if (forwarded) {
+            entry.result = *forwarded;
+        } else {
+            if (!cache.canAccept(now)) {
+                ++statCacheBlockedLoads;
+                cache.noteRejection();
+                return false;
+            }
+            CacheAccessResult access =
+                cache.access(addr, now, false, entry.tid);
+            extra_latency = access.readyCycle - now;
+            // Loads on a speculative wrong path can carry garbage
+            // addresses; they read a dummy value and are squashed
+            // before commit.
+            bool in_bounds = addr % 8 == 0 && addr + 8 <= mem.size();
+            entry.result = in_bounds ? mem.read(addr) : 0;
+        }
+    } else if (inst.isStore()) {
+        if (sb.full()) {
+            sb.noteFullStall();
+            return false;
+        }
+        // The last buffer slot is reserved for the globally oldest
+        // unbuffered store; this keeps the FIFO drain deadlock-free
+        // even with tiny buffers (see SU::hasOlderUnbufferedStore).
+        if (sb.size() + 1 >= sb.capacity() &&
+            su.hasOlderUnbufferedStore(entry.seq)) {
+            sb.noteFullStall();
+            return false;
+        }
+        Addr addr = evalEffectiveAddress(inst, entry.src1.value);
+        sb.insert(entry.seq, entry.tid, addr, entry.src2.value);
+        entry.storeBuffered = true;
+    }
+
+    executeEntry(entry);
+    fus.issue(cls, entry.seq, now, extra_latency);
+    entry.state = EntryState::Issued;
+    ++statIssued;
+    return true;
+}
+
+void
+Processor::issueStage()
+{
+    unsigned issued = 0;
+    su.forEachOldestFirst([&](SuEntry &entry) {
+        if (issued >= cfg.issueWidth)
+            return false;
+        if (entry.state != EntryState::Ready ||
+            entry.earliestIssue > now) {
+            return true;
+        }
+        if (tryIssue(entry))
+            ++issued;
+        return true;
+    });
+    ++statIssueHistogram[issued];
+}
+
+// --------------------------------------------------------------------
+// Dispatch (decode + rename)
+// --------------------------------------------------------------------
+
+Operand
+Processor::renameOperand(ThreadId tid, RegIndex reg,
+                         const std::vector<SuEntry> &partial_block)
+{
+    // Most recent matching writer wins: first the earlier
+    // instructions of the block being decoded (newest last), then the
+    // SU (newest first), then the committed register file.
+    const SuEntry *producer = nullptr;
+    for (auto it = partial_block.rbegin(); it != partial_block.rend();
+         ++it) {
+        if (it->valid && it->inst.writesRd() && it->inst.rd == reg) {
+            producer = &*it;
+            break;
+        }
+    }
+    if (!producer)
+        producer = su.findNewestWriter(tid, reg);
+
+    Operand operand;
+    if (!producer) {
+        operand.ready = true;
+        operand.value = regs.read(tid, reg);
+    } else if (producer->state == EntryState::Done) {
+        operand.ready = true;
+        operand.value = producer->result;
+    } else {
+        operand.ready = false;
+        operand.tag = producer->seq;
+    }
+    return operand;
+}
+
+void
+Processor::dispatchStage()
+{
+    if (!fetchLatch)
+        return;
+
+    if (!su.hasSpace()) {
+        // The paper's "scheduling unit stall": the bottom block
+        // cannot shift out, so no new entries can be made.
+        ++statSuFullStalls;
+        return;
+    }
+
+    const FetchedBlock &fetched = *fetchLatch;
+    ThreadId tid = fetched.tid;
+
+    // 1-bit scoreboarding: no renaming, so dispatch must stall while
+    // any in-flight older instruction of this thread writes a
+    // destination register this block also writes (WAW) — full
+    // renaming never stalls here.
+    if (cfg.renameScheme == RenameScheme::Scoreboard1Bit) {
+        for (const FetchedInst &slot : fetched.insts) {
+            if (slot.inst.writesRd() &&
+                su.hasInflightWriter(tid, slot.inst.rd)) {
+                ++statScoreboardStalls;
+                return;
+            }
+        }
+    }
+
+    SuBlock block;
+    block.tid = tid;
+    block.blockSeq = nextSeq;
+    block.entries.reserve(fetched.insts.size());
+
+    for (const FetchedInst &slot : fetched.insts) {
+        SuEntry entry;
+        entry.valid = true;
+        entry.seq = nextSeq++;
+        entry.tid = tid;
+        entry.pc = slot.pc;
+        entry.inst = slot.inst;
+        entry.predictedTaken = slot.predictedTaken;
+        entry.predictedNextPc = slot.predictedNextPc;
+
+        if (slot.inst.readsRs1())
+            entry.src1 = renameOperand(tid, slot.inst.rs1,
+                                       block.entries);
+        if (slot.inst.readsRs2())
+            entry.src2 = renameOperand(tid, slot.inst.rs2,
+                                       block.entries);
+
+        entry.state = entry.operandsReady() ? EntryState::Ready
+                                            : EntryState::Waiting;
+        entry.earliestIssue = now + 1;
+
+        // Conditional Switch: the decoder signals the fetch unit on
+        // long-latency trigger instructions (paper section 5.1).
+        if (slot.inst.isSwitchTrigger())
+            fetch.onSwitchTrigger();
+
+        block.entries.push_back(entry);
+        ++statDispatched;
+    }
+
+    su.dispatch(std::move(block));
+    fetchLatch.reset();
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Processor::fetchStage()
+{
+    fetch.tick(now);
+    if (fetchLatch) {
+        ++statLatchFullCycles;
+        return;
+    }
+    std::optional<FetchedBlock> block = fetch.fetchCycle(now);
+    if (block && !block->insts.empty()) {
+        tracef("fetch: tid=%u pc=%u n=%zu", unsigned{block->tid},
+               block->insts.front().pc, block->insts.size());
+        fetchLatch = std::move(block);
+    }
+}
+
+// --------------------------------------------------------------------
+// Top level
+// --------------------------------------------------------------------
+
+void
+Processor::step()
+{
+    ++now;
+    cache.beginCycle(now);
+
+    statOccupancySum += su.occupancy();
+    commitStage();
+    sb.drain(cache, mem, now);
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+}
+
+bool
+Processor::done() const
+{
+    return fetch.allFinished() && su.empty() && sb.empty() &&
+           !fus.busy() && !fetchLatch;
+}
+
+SimResult
+Processor::run()
+{
+    while (!done() && now < cfg.maxCycles)
+        step();
+
+    SimResult result;
+    result.finished = done();
+    result.cycles = now;
+    result.committedInstructions = statCommitted;
+    return result;
+}
+
+void
+Processor::reportStats(StatsRegistry &registry) const
+{
+    registry.add("sim.cycles", static_cast<double>(now));
+    registry.add("sim.committed", static_cast<double>(statCommitted));
+    for (unsigned t = 0; t < cfg.numThreads; ++t) {
+        registry.add(format("sim.committed.thread%u", t),
+                     static_cast<double>(statCommittedPerThread[t]));
+    }
+    registry.add("sim.ipc",
+                 now ? static_cast<double>(statCommitted) /
+                           static_cast<double>(now)
+                     : 0.0);
+    registry.add("sim.dispatched", static_cast<double>(statDispatched));
+    registry.add("sim.issued", static_cast<double>(statIssued));
+    registry.add("sim.squashed", static_cast<double>(statSquashed));
+    registry.add("sim.mispredicts",
+                 static_cast<double>(statMispredicts));
+    registry.add("sim.suFullStalls",
+                 static_cast<double>(statSuFullStalls));
+    registry.add("sim.scoreboardStalls",
+                 static_cast<double>(statScoreboardStalls));
+    registry.add("sim.commitBlockedCycles",
+                 static_cast<double>(statCommitBlockedCycles));
+    registry.add("sim.flexCommits",
+                 static_cast<double>(statFlexCommits));
+    registry.add("sim.loadDisambStalls",
+                 static_cast<double>(statLoadDisambStalls));
+    registry.add("sim.cacheBlockedLoads",
+                 static_cast<double>(statCacheBlockedLoads));
+    registry.add("sim.latchFullCycles",
+                 static_cast<double>(statLatchFullCycles));
+    registry.add("sim.avgSuOccupancy", averageSuOccupancy());
+    for (unsigned w = 0; w < statIssueHistogram.size(); ++w) {
+        registry.add(format("sim.issueWidth%u.cycles", w),
+                     static_cast<double>(statIssueHistogram[w]));
+    }
+
+    fetch.reportStats(registry, "fetch");
+    btb.reportStats(registry, "btb");
+    cache.reportStats(registry, "dcache");
+    sb.reportStats(registry, "sb");
+    fus.reportStats(registry, "fu", now);
+}
+
+} // namespace sdsp

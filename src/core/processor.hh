@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The multithreaded superscalar processor: the paper's contribution,
+ * assembled from the fetch unit, decoder/renamer, scheduling unit,
+ * functional unit pool, flexible result commit, shared register file,
+ * store buffer, branch predictor and data cache.
+ *
+ * Cycle model (Processor::step()):
+ *   1. commit     - flexible result commit retires at most one block;
+ *   2. drain      - committed stores leave the store buffer;
+ *   3. writeback  - up to 8 results return to the SU; mispredicted
+ *                   control transfers selectively squash their thread;
+ *   4. issue      - oldest-first out-of-order issue, up to 8;
+ *   5. dispatch   - the decoded block enters the SU (renaming);
+ *   6. fetch      - the fetch policy picks a thread and fills the
+ *                   fetch latch with one 4-instruction block.
+ *
+ * Values written in one stage are visible to later stages of the same
+ * cycle exactly where the real pipeline would bypass them (e.g. a
+ * result written back in stage 3 can wake an instruction that issues
+ * in stage 4 iff result bypassing is enabled).
+ */
+
+#ifndef SDSP_CORE_PROCESSOR_HH
+#define SDSP_CORE_PROCESSOR_HH
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "branch/predictor_bank.hh"
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/exec.hh"
+#include "core/fetch.hh"
+#include "core/regfile.hh"
+#include "core/su.hh"
+#include "isa/program.hh"
+#include "memory/cache.hh"
+#include "memory/main_memory.hh"
+#include "memory/store_buffer.hh"
+
+namespace sdsp
+{
+
+/** Aggregate outcome of a simulation run. */
+struct SimResult
+{
+    /** All threads ran to HALT within the cycle budget. */
+    bool finished = false;
+    Cycle cycles = 0;
+    std::uint64_t committedInstructions = 0;
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInstructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The simulated processor. */
+class Processor
+{
+  public:
+    /**
+     * Build a processor and load @p program. Fatal if the program
+     * names registers outside the per-thread partition implied by
+     * the configuration's thread count.
+     */
+    Processor(const MachineConfig &config, const Program &program);
+
+    ~Processor();
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Run to completion (all threads halted, pipeline drained).
+     *  @return The aggregate result; finished=false on cycle-cap. */
+    SimResult run();
+
+    /** All threads halted and the machine fully drained? */
+    bool done() const;
+
+    /** Current cycle. */
+    Cycle cycle() const { return now; }
+
+    /** Committed instructions (all threads). */
+    std::uint64_t committedInstructions() const { return statCommitted; }
+
+    /** Committed instructions of one thread. */
+    std::uint64_t
+    committedInstructions(ThreadId tid) const
+    {
+        return statCommittedPerThread[tid];
+    }
+
+    /** Architectural (committed) value of a thread register. */
+    RegVal
+    readReg(ThreadId tid, RegIndex reg) const
+    {
+        return regs.read(tid, reg);
+    }
+
+    /** Data memory (architectural state once the run finishes). */
+    const MainMemory &memory() const { return mem; }
+    MainMemory &memory() { return mem; }
+
+    /** Component access for statistics and tests. */
+    const DataCache &dcache() const { return cache; }
+    /** Finite I-cache, or nullptr under the perfect-I-cache model. */
+    const DataCache *instructionCache() const { return icache.get(); }
+    const PredictorBank &predictor() const { return btb; }
+    const FuPool &fuPool() const { return fus; }
+    const SchedulingUnit &schedulingUnit() const { return su; }
+    const FetchUnit &fetchUnit() const { return fetch; }
+    const StoreBuffer &storeBuffer() const { return sb; }
+    const MachineConfig &config() const { return cfg; }
+
+    /** Scheduling-unit full (dispatch) stalls — the paper's
+     *  "scheduling unit stall" count. */
+    std::uint64_t suStalls() const { return statSuFullStalls; }
+
+    /** Mean scheduling-unit occupancy (valid entries per cycle). */
+    double
+    averageSuOccupancy() const
+    {
+        return now ? static_cast<double>(statOccupancySum) /
+                         static_cast<double>(now)
+                   : 0.0;
+    }
+
+    /** Cycles in which exactly @p width instructions issued. */
+    std::uint64_t
+    issueWidthCycles(unsigned width) const
+    {
+        return width < statIssueHistogram.size()
+                   ? statIssueHistogram[width]
+                   : 0;
+    }
+
+    /** Commits taken from a non-bottom block (flexible commit). */
+    std::uint64_t flexibleCommits() const { return statFlexCommits; }
+
+    /** Dump all statistics into @p registry. */
+    void reportStats(StatsRegistry &registry) const;
+
+    /** Attach a per-cycle event trace (nullptr disables). */
+    void setTrace(std::ostream *sink) { trace = sink; }
+
+  private:
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    /** Try to issue one entry; true on success. */
+    bool tryIssue(SuEntry &entry);
+
+    /** Execute the architectural work of @p entry at issue time. */
+    void executeEntry(SuEntry &entry);
+
+    /** Handle a resolved mispredicted control transfer. */
+    void handleMispredict(SuEntry &entry);
+
+    /** Rename one source operand during dispatch. */
+    Operand renameOperand(ThreadId tid, RegIndex reg,
+                          const std::vector<SuEntry> &partial_block);
+
+    void tracef(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    MachineConfig cfg;
+    Program prog;
+    std::vector<Instruction> decodedCode;
+
+    MainMemory mem;
+    DataCache cache;
+    /** Finite instruction cache (only when !cfg.perfectICache). */
+    std::unique_ptr<DataCache> icache;
+    StoreBuffer sb;
+    PredictorBank btb;
+    RegisterFile regs;
+    SchedulingUnit su;
+    FuPool fus;
+    FetchUnit fetch;
+
+    std::optional<FetchedBlock> fetchLatch;
+    Tag nextSeq = 1;
+    Cycle now = 0;
+
+    std::ostream *trace = nullptr;
+
+    // ---- Statistics ----
+    std::uint64_t statCommitted = 0;
+    std::vector<std::uint64_t> statCommittedPerThread;
+    std::uint64_t statDispatched = 0;
+    std::uint64_t statIssued = 0;
+    std::uint64_t statSquashed = 0;
+    std::uint64_t statSuFullStalls = 0;
+    std::uint64_t statScoreboardStalls = 0;
+    std::uint64_t statCommitBlockedCycles = 0;
+    std::uint64_t statFlexCommits = 0;
+    std::uint64_t statLoadDisambStalls = 0;
+    std::uint64_t statCacheBlockedLoads = 0;
+    std::uint64_t statLatchFullCycles = 0;
+    std::uint64_t statMispredicts = 0;
+
+    std::uint64_t statOccupancySum = 0;
+    /** statIssueHistogram[k] = cycles in which k instructions
+     *  issued. */
+    std::vector<std::uint64_t> statIssueHistogram;
+
+    /** Scratch buffer reused by the writeback stage. */
+    std::vector<FuCompletion> completions;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_PROCESSOR_HH

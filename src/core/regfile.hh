@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The shared, statically partitioned register file.
+ *
+ * The machine has a single physical register file (128 registers by
+ * default) shared by all resident threads. Partitioning is static and
+ * equal: with N threads, thread t owns physical registers
+ * [t*128/N, (t+1)*128/N), and a program may only name architectural
+ * registers 0 .. 128/N - 1 (paper section 3: "Register allocation is
+ * thus static ... all threads are allotted equal numbers of
+ * registers").
+ */
+
+#ifndef SDSP_CORE_REGFILE_HH
+#define SDSP_CORE_REGFILE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace sdsp
+{
+
+/** Partitioned physical register file holding in-order state. */
+class RegisterFile
+{
+  public:
+    /**
+     * @param num_regs    Total physical registers.
+     * @param num_threads Threads sharing the file (equal partitions).
+     */
+    /**
+     * Partitions are equal at floor(num_regs / num_threads); when the
+     * division is inexact the few leftover registers are simply
+     * unused (e.g. 6 threads x 21 registers leaves 2 idle).
+     */
+    RegisterFile(unsigned num_regs, unsigned num_threads)
+        : values(num_regs, 0),
+          perThread(num_regs / num_threads)
+    {
+        sdsp_assert(num_threads >= 1 && perThread >= 1,
+                    "register file too small for thread count");
+    }
+
+    /** Registers in each thread's partition. */
+    unsigned registersPerThread() const { return perThread; }
+
+    /** Map an architectural register of a thread to its physical
+     *  index. Fatal if the program names a register outside its
+     *  static partition. */
+    PhysRegIndex
+    physIndex(ThreadId tid, RegIndex reg) const
+    {
+        sdsp_assert(reg < perThread,
+                    "thread %u names r%u outside its %u-register "
+                    "partition",
+                    unsigned{tid}, unsigned{reg}, perThread);
+        return static_cast<PhysRegIndex>(tid * perThread + reg);
+    }
+
+    /** Read the committed value of (tid, reg). */
+    RegVal
+    read(ThreadId tid, RegIndex reg) const
+    {
+        return values[physIndex(tid, reg)];
+    }
+
+    /** Write the committed value of (tid, reg). */
+    void
+    write(ThreadId tid, RegIndex reg, RegVal value)
+    {
+        values[physIndex(tid, reg)] = value;
+    }
+
+    /** Zero all registers. */
+    void
+    reset()
+    {
+        std::fill(values.begin(), values.end(), 0);
+    }
+
+  private:
+    std::vector<RegVal> values;
+    unsigned perThread;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_REGFILE_HH

@@ -1,0 +1,207 @@
+#include "core/su.hh"
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+SchedulingUnit::SchedulingUnit(unsigned num_blocks, unsigned block_size)
+    : capacityBlocks(num_blocks), blockSize(block_size)
+{
+    sdsp_assert(num_blocks >= 1, "SU needs at least one block");
+    sdsp_assert(block_size >= 1, "block size must be positive");
+}
+
+unsigned
+SchedulingUnit::occupancy() const
+{
+    unsigned count = 0;
+    for (const auto &block : blocks) {
+        for (const auto &entry : block.entries) {
+            if (entry.valid)
+                ++count;
+        }
+    }
+    return count;
+}
+
+void
+SchedulingUnit::dispatch(SuBlock block)
+{
+    sdsp_assert(hasSpace(), "dispatch into a full SU");
+    sdsp_assert(block.entries.size() <= blockSize,
+                "oversized block dispatched");
+    blocks.push_back(std::move(block));
+}
+
+const SuEntry *
+SchedulingUnit::findNewestWriter(ThreadId tid, RegIndex reg) const
+{
+    // Newest first: top block backwards, within a block backwards.
+    for (auto bit = blocks.rbegin(); bit != blocks.rend(); ++bit) {
+        if (bit->tid != tid)
+            continue;
+        for (auto eit = bit->entries.rbegin();
+             eit != bit->entries.rend(); ++eit) {
+            if (eit->valid && eit->inst.writesRd() &&
+                eit->inst.rd == reg) {
+                return &*eit;
+            }
+        }
+    }
+    return nullptr;
+}
+
+SuEntry *
+SchedulingUnit::findBySeq(Tag seq)
+{
+    for (auto &block : blocks) {
+        if (!block.entries.empty() && block.blockSeq > seq)
+            continue;
+        for (auto &entry : block.entries) {
+            if (entry.valid && entry.seq == seq)
+                return &entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+SchedulingUnit::broadcast(Tag seq, RegVal value, Cycle now,
+                          bool bypassing)
+{
+    Cycle earliest = bypassing ? now : now + 1;
+    for (auto &block : blocks) {
+        for (auto &entry : block.entries) {
+            if (!entry.valid || entry.state != EntryState::Waiting)
+                continue;
+            bool woke = false;
+            if (!entry.src1.ready && entry.src1.tag == seq) {
+                entry.src1.ready = true;
+                entry.src1.value = value;
+                woke = true;
+            }
+            if (!entry.src2.ready && entry.src2.tag == seq) {
+                entry.src2.ready = true;
+                entry.src2.value = value;
+                woke = true;
+            }
+            if (woke && entry.operandsReady()) {
+                entry.state = EntryState::Ready;
+                entry.earliestIssue =
+                    std::max(entry.earliestIssue, earliest);
+            }
+        }
+    }
+}
+
+unsigned
+SchedulingUnit::squashThread(ThreadId tid, Tag after,
+                             std::vector<Tag> *squashed_seqs)
+{
+    unsigned squashed = 0;
+    for (auto &block : blocks) {
+        if (block.tid != tid)
+            continue;
+        for (auto &entry : block.entries) {
+            if (entry.valid && entry.seq > after) {
+                entry.valid = false;
+                ++squashed;
+                if (squashed_seqs)
+                    squashed_seqs->push_back(entry.seq);
+            }
+        }
+    }
+    // Drop fully squashed blocks from the top (younger blocks of this
+    // thread are contiguous at the top only logically, so scan all).
+    for (auto it = blocks.begin(); it != blocks.end();) {
+        if (it->tid == tid && !it->anyValid() && it->blockSeq > after)
+            it = blocks.erase(it);
+        else
+            ++it;
+    }
+    return squashed;
+}
+
+CommitSelection
+SchedulingUnit::selectCommit(unsigned window_blocks) const
+{
+    std::size_t window = std::min<std::size_t>(window_blocks,
+                                               blocks.size());
+    for (std::size_t i = 0; i < window; ++i) {
+        const SuBlock &candidate = blocks[i];
+        if (!candidate.complete())
+            continue;
+        // Every incomplete block strictly below must belong to a
+        // different thread (paper section 3.5).
+        bool blocked = false;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (!blocks[j].complete() && blocks[j].tid == candidate.tid) {
+                blocked = true;
+                break;
+            }
+        }
+        if (!blocked)
+            return {true, i};
+    }
+    return {false, 0};
+}
+
+SuBlock
+SchedulingUnit::removeBlock(std::size_t block_index)
+{
+    sdsp_assert(block_index < blocks.size(),
+                "removeBlock index out of range");
+    SuBlock block = std::move(blocks[block_index]);
+    blocks.erase(blocks.begin() +
+                 static_cast<std::ptrdiff_t>(block_index));
+    return block;
+}
+
+bool
+SchedulingUnit::hasOlderUnbufferedStore(Tag seq) const
+{
+    for (const auto &block : blocks) {
+        if (block.blockSeq > seq)
+            continue;
+        for (const auto &entry : block.entries) {
+            if (entry.valid && entry.seq < seq &&
+                entry.inst.isStore() && !entry.storeBuffered) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+SchedulingUnit::hasOlderUnresolvedStore(ThreadId tid, Tag load_seq) const
+{
+    for (const auto &block : blocks) {
+        if (block.tid != tid || block.blockSeq > load_seq)
+            continue;
+        for (const auto &entry : block.entries) {
+            if (entry.valid && entry.seq < load_seq &&
+                entry.inst.isStore() && !entry.storeBuffered) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+SchedulingUnit::forEachOldestFirst(
+    const std::function<bool(SuEntry &)> &visit)
+{
+    for (auto &block : blocks) {
+        for (auto &entry : block.entries) {
+            if (!entry.valid)
+                continue;
+            if (!visit(entry))
+                return;
+        }
+    }
+}
+
+} // namespace sdsp

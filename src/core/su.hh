@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The Scheduling Unit (SU): the SDSP's combined reorder buffer and
+ * instruction window.
+ *
+ * The SU is a FIFO of fetch blocks (4 instructions each). Newly
+ * decoded blocks enter at the top; blocks leave from the bottom region
+ * at result commit. Each entry carries the decoded instruction, its
+ * renaming tag (a globally unique sequence number), its thread ID (the
+ * single field multithreading adds — paper section 3.2), operand
+ * values/tags, and execution state.
+ *
+ * Multithreading specifics implemented here:
+ *  - operand lookup matches on (thread, register), newest first;
+ *  - selective squash removes only same-thread entries younger than a
+ *    mispredicted control transfer;
+ *  - Flexible Result Commit may retire any of the bottom four blocks
+ *    whose thread differs from every incomplete block below it.
+ */
+
+#ifndef SDSP_CORE_SU_HH
+#define SDSP_CORE_SU_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "core/config.hh"
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+/** Execution state of one SU entry. */
+enum class EntryState : std::uint8_t
+{
+    Waiting, //!< missing at least one source operand
+    Ready,   //!< all operands present; eligible for issue
+    Issued,  //!< executing in a functional unit
+    Done,    //!< result written back (or no result to produce)
+};
+
+/** One source operand: either a value or a tag to wait for. */
+struct Operand
+{
+    bool ready = true;
+    RegVal value = 0;
+    Tag tag = kNoTag;
+};
+
+/** One instruction resident in the scheduling unit. */
+struct SuEntry
+{
+    bool valid = false; //!< false: empty or squashed slot
+    Tag seq = 0;        //!< unique renaming tag / age
+    ThreadId tid = 0;
+    InstAddr pc = 0;
+    Instruction inst;
+    EntryState state = EntryState::Waiting;
+
+    Operand src1;
+    Operand src2;
+    RegVal result = 0;
+
+    /** Earliest cycle this entry may issue (bypassing control). */
+    Cycle earliestIssue = 0;
+
+    // ---- Control transfer bookkeeping ----
+    bool predictedTaken = false;
+    InstAddr predictedNextPc = 0; //!< PC fetch continued from
+    bool resolvedTaken = false;
+    InstAddr resolvedNextPc = 0;
+    bool mispredicted = false;
+
+    // ---- Memory bookkeeping ----
+    bool storeBuffered = false; //!< store deposited in store buffer
+
+    /** All sources present? */
+    bool operandsReady() const { return src1.ready && src2.ready; }
+};
+
+/** One SU block: a fetch block's worth of entries, all same thread. */
+struct SuBlock
+{
+    ThreadId tid = 0;
+    Tag blockSeq = 0; //!< seq of the first (oldest) entry
+    std::vector<SuEntry> entries;
+
+    /** All valid entries executed to completion? */
+    bool
+    complete() const
+    {
+        for (const auto &entry : entries) {
+            if (entry.valid && entry.state != EntryState::Done)
+                return false;
+        }
+        return true;
+    }
+
+    /** Any valid entries left (false after a full squash)? */
+    bool
+    anyValid() const
+    {
+        for (const auto &entry : entries) {
+            if (entry.valid)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Outcome of the commit-selection scan. */
+struct CommitSelection
+{
+    bool found = false;
+    /** Index into the block deque (0 = bottom). */
+    std::size_t blockIndex = 0;
+};
+
+/** The combined reorder buffer + instruction window. */
+class SchedulingUnit
+{
+  public:
+    /**
+     * @param num_blocks Capacity in blocks (suEntries / blockSize).
+     * @param block_size Instructions per block.
+     */
+    SchedulingUnit(unsigned num_blocks, unsigned block_size);
+
+    /** Room for one more block? */
+    bool hasSpace() const { return blocks.size() < capacityBlocks; }
+
+    /** No blocks resident? */
+    bool empty() const { return blocks.empty(); }
+
+    /** Resident blocks, bottom (oldest) first. */
+    const std::deque<SuBlock> &contents() const { return blocks; }
+    std::deque<SuBlock> &contents() { return blocks; }
+
+    /** Occupied entries (valid only). */
+    unsigned occupancy() const;
+
+    /** Append a decoded block at the top. Caller checked hasSpace(). */
+    void dispatch(SuBlock block);
+
+    /**
+     * Operand lookup for the decoder: find the newest in-flight
+     * writer of (tid, reg). @return the producing entry, or nullptr
+     * if the value should come from the register file.
+     */
+    const SuEntry *findNewestWriter(ThreadId tid, RegIndex reg) const;
+
+    /** Is there any in-flight entry of @p tid writing @p reg?
+     *  (1-bit scoreboard dispatch check.) */
+    bool
+    hasInflightWriter(ThreadId tid, RegIndex reg) const
+    {
+        return findNewestWriter(tid, reg) != nullptr;
+    }
+
+    /** Locate an entry by its unique tag. @return nullptr if gone
+     *  (squashed). */
+    SuEntry *findBySeq(Tag seq);
+
+    /**
+     * Broadcast a result: every waiting operand with a matching tag
+     * receives the value.
+     *
+     * @param seq            Producer's tag.
+     * @param value          Result value.
+     * @param now            Current cycle.
+     * @param bypassing      If false, woken entries may issue only
+     *                       from the next cycle.
+     */
+    void broadcast(Tag seq, RegVal value, Cycle now, bool bypassing);
+
+    /**
+     * Selective squash after a mispredicted control transfer of
+     * thread @p tid: invalidate every same-thread entry with
+     * seq > @p after and drop emptied blocks.
+     *
+     * @param squashed_seqs If non-null, receives the tags of all
+     *                      squashed entries (to cancel in-flight FU
+     *                      operations).
+     * @return Number of entries squashed.
+     */
+    unsigned squashThread(ThreadId tid, Tag after,
+                          std::vector<Tag> *squashed_seqs = nullptr);
+
+    /**
+     * Commit selection (paper Figure 2): scan the bottom
+     * @p window_blocks blocks bottom-up and pick the first complete
+     * block whose thread differs from every incomplete block below
+     * it.
+     */
+    CommitSelection selectCommit(unsigned window_blocks) const;
+
+    /** Remove the block at @p block_index (after committing it). */
+    SuBlock removeBlock(std::size_t block_index);
+
+    /**
+     * Is there an older same-thread store, not yet executed into the
+     * store buffer, below the given load? (Conservative memory
+     * disambiguation: such a store has an unresolved address.)
+     */
+    bool hasOlderUnresolvedStore(ThreadId tid, Tag load_seq) const;
+
+    /**
+     * Is there an older store of ANY thread not yet in the store
+     * buffer? Used to reserve the last store-buffer slot for the
+     * globally oldest store, which guarantees the buffer always
+     * drains (without the reservation, younger stores can fill the
+     * buffer while the commit of its head transitively waits — via
+     * load disambiguation — on an older store that can no longer
+     * enter).
+     */
+    bool hasOlderUnbufferedStore(Tag seq) const;
+
+    /**
+     * Iterate entries oldest-first (bottom block first, in-block
+     * program order); used by the issue stage. The callback returns
+     * false to stop early.
+     */
+    void forEachOldestFirst(
+        const std::function<bool(SuEntry &)> &visit);
+
+  private:
+    unsigned capacityBlocks;
+    unsigned blockSize;
+    std::deque<SuBlock> blocks;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_CORE_SU_HH

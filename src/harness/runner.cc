@@ -1,0 +1,77 @@
+#include "harness/runner.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+RunResult
+runWorkload(const Workload &workload, const MachineConfig &config,
+            unsigned scale)
+{
+    WorkloadImage image = workload.build(config.numThreads, scale);
+
+    Processor cpu(config, image.program);
+    SimResult sim = cpu.run();
+
+    RunResult result;
+    result.benchmark = image.name;
+    result.config = config;
+    result.finished = sim.finished;
+    result.cycles = sim.cycles;
+    result.committed = sim.committedInstructions;
+    result.ipc = sim.ipc();
+    result.cacheHitRate = cpu.dcache().hitRate();
+    result.branchAccuracy = cpu.predictor().accuracy();
+    result.suStalls = cpu.suStalls();
+    result.flexCommits = cpu.flexibleCommits();
+    cpu.reportStats(result.stats);
+
+    if (sim.finished) {
+        VerifyResult verdict = image.verify(cpu.memory());
+        result.verified = verdict.ok;
+        result.verifyMessage = verdict.message;
+    } else {
+        result.verified = false;
+        result.verifyMessage = "simulation hit the cycle cap";
+    }
+    return result;
+}
+
+double
+speedupPercent(Cycle multithreaded_cycles, Cycle single_thread_cycles)
+{
+    sdsp_assert(multithreaded_cycles > 0 && single_thread_cycles > 0,
+                "speedup of a zero-cycle run");
+    double mt_perf = 1.0 / static_cast<double>(multithreaded_cycles);
+    double st_perf = 1.0 / static_cast<double>(single_thread_cycles);
+    return (mt_perf - st_perf) / st_perf * 100.0;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = std::accumulate(values.begin(), values.end(), 0.0);
+    return sum / static_cast<double>(values.size());
+}
+
+void
+requireGood(const RunResult &result)
+{
+    if (!result.finished) {
+        fatal("%s (%s): did not finish", result.benchmark.c_str(),
+              result.config.toString().c_str());
+    }
+    if (!result.verified) {
+        fatal("%s (%s): verification failed: %s",
+              result.benchmark.c_str(),
+              result.config.toString().c_str(),
+              result.verifyMessage.c_str());
+    }
+}
+
+} // namespace sdsp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment runner: builds a workload, runs it on a configured
+ * processor, verifies the architectural output, and returns the
+ * measurements the paper reports. All bench binaries and most
+ * integration tests go through this entry point.
+ */
+
+#ifndef SDSP_HARNESS_RUNNER_HH
+#define SDSP_HARNESS_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats_registry.hh"
+#include "core/config.hh"
+#include "core/processor.hh"
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+
+/** Measurements from one benchmark run. */
+struct RunResult
+{
+    std::string benchmark;
+    MachineConfig config;
+    bool finished = false;  //!< ran to completion within the cycle cap
+    bool verified = false;  //!< outputs matched the C++ reference
+    std::string verifyMessage;
+    Cycle cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+    double cacheHitRate = 1.0;
+    double branchAccuracy = 1.0;
+    std::uint64_t suStalls = 0;
+    std::uint64_t flexCommits = 0;
+    /** Full statistics dump. */
+    StatsRegistry stats;
+};
+
+/**
+ * Run one benchmark on one configuration.
+ *
+ * @param workload The benchmark generator.
+ * @param config   Machine configuration (numThreads is taken from
+ *                 here and passed to the workload build).
+ * @param scale    Problem-size scale in percent.
+ */
+RunResult runWorkload(const Workload &workload,
+                      const MachineConfig &config, unsigned scale = 100);
+
+/**
+ * The paper's speedup formula (section 5.2):
+ * speedup = (Mt_perf - St_perf)/St_perf with performance = 1/cycles.
+ * Returned in percent.
+ */
+double speedupPercent(Cycle multithreaded_cycles,
+                      Cycle single_thread_cycles);
+
+/** Geometric-mean-free average of a vector (plain arithmetic mean). */
+double mean(const std::vector<double> &values);
+
+/** Fatal unless the run finished and verified (used by benches). */
+void requireGood(const RunResult &result);
+
+} // namespace sdsp
+
+#endif // SDSP_HARNESS_RUNNER_HH

@@ -1,0 +1,175 @@
+#include "isa/instruction.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+void
+checkReg(RegIndex reg, const char *field, const char *mnemonic)
+{
+    if (reg >= kNumArchRegs) {
+        fatal("%s: register field %s out of range (%u >= %u)", mnemonic,
+              field, unsigned{reg}, kNumArchRegs);
+    }
+}
+
+/**
+ * The logical immediates zero-extend (so that LUI+ORI composes
+ * constants); everything else sign-extends.
+ */
+bool
+zeroExtendsImm(Opcode op)
+{
+    return op == Opcode::ANDI || op == Opcode::ORI || op == Opcode::XORI;
+}
+
+} // namespace
+
+InstWord
+Instruction::encode() const
+{
+    const OpInfo &oi = info();
+    std::uint64_t word = 0;
+    word = insertBits(word, 31, 24, static_cast<std::uint8_t>(op));
+
+    switch (oi.format) {
+      case Format::R:
+        checkReg(rd, "rd", oi.name);
+        checkReg(rs1, "rs1", oi.name);
+        checkReg(rs2, "rs2", oi.name);
+        word = insertBits(word, 23, 17, rd);
+        word = insertBits(word, 16, 10, rs1);
+        word = insertBits(word, 9, 3, rs2);
+        break;
+      case Format::I:
+        checkReg(rd, "rd", oi.name);
+        checkReg(rs1, "rs1", oi.name);
+        if (zeroExtendsImm(op)
+                ? (imm < 0 || !fitsUnsigned(
+                                  static_cast<std::uint32_t>(imm),
+                                  kImmBits))
+                : !fitsSigned(imm, kImmBits)) {
+            fatal("%s: immediate %d does not fit in %u bits", oi.name,
+                  imm, kImmBits);
+        }
+        word = insertBits(word, 23, 17, rd);
+        word = insertBits(word, 16, 10, rs1);
+        word = insertBits(word, 9, 0, static_cast<std::uint32_t>(imm));
+        break;
+      case Format::B:
+        checkReg(rs1, "rs1", oi.name);
+        checkReg(rs2, "rs2", oi.name);
+        if (!fitsSigned(imm, kImmBits))
+            fatal("%s: immediate %d does not fit in %u bits", oi.name,
+                  imm, kImmBits);
+        word = insertBits(word, 23, 17, rs1);
+        word = insertBits(word, 16, 10, rs2);
+        word = insertBits(word, 9, 0, static_cast<std::uint32_t>(imm));
+        break;
+      case Format::J:
+      case Format::U:
+        checkReg(rd, "rd", oi.name);
+        if (imm < 0 || !fitsUnsigned(static_cast<std::uint32_t>(imm),
+                                     kWideImmBits)) {
+            fatal("%s: immediate %d does not fit in %u unsigned bits",
+                  oi.name, imm, kWideImmBits);
+        }
+        word = insertBits(word, 23, 17, rd);
+        word = insertBits(word, 16, 0, static_cast<std::uint32_t>(imm));
+        break;
+    }
+    return static_cast<InstWord>(word);
+}
+
+Instruction
+Instruction::decode(InstWord word)
+{
+    auto raw_op = static_cast<std::uint8_t>(bits(word, 31, 24));
+    if (!isValidOpcode(raw_op))
+        fatal("cannot decode: invalid opcode field %u", unsigned{raw_op});
+
+    Instruction inst;
+    inst.op = static_cast<Opcode>(raw_op);
+    const OpInfo &oi = inst.info();
+
+    switch (oi.format) {
+      case Format::R:
+        inst.rd = static_cast<RegIndex>(bits(word, 23, 17));
+        inst.rs1 = static_cast<RegIndex>(bits(word, 16, 10));
+        inst.rs2 = static_cast<RegIndex>(bits(word, 9, 3));
+        break;
+      case Format::I:
+        inst.rd = static_cast<RegIndex>(bits(word, 23, 17));
+        inst.rs1 = static_cast<RegIndex>(bits(word, 16, 10));
+        inst.imm = zeroExtendsImm(inst.op)
+                       ? static_cast<std::int32_t>(bits(word, 9, 0))
+                       : static_cast<std::int32_t>(
+                             sext(bits(word, 9, 0), kImmBits));
+        break;
+      case Format::B:
+        inst.rs1 = static_cast<RegIndex>(bits(word, 23, 17));
+        inst.rs2 = static_cast<RegIndex>(bits(word, 16, 10));
+        inst.imm =
+            static_cast<std::int32_t>(sext(bits(word, 9, 0), kImmBits));
+        break;
+      case Format::J:
+      case Format::U:
+        inst.rd = static_cast<RegIndex>(bits(word, 23, 17));
+        inst.imm = static_cast<std::int32_t>(bits(word, 16, 0));
+        break;
+    }
+    return inst;
+}
+
+std::string
+Instruction::toString() const
+{
+    const OpInfo &oi = info();
+    switch (oi.format) {
+      case Format::R:
+        if (op == Opcode::NOP || op == Opcode::SPIN ||
+            op == Opcode::HALT) {
+            return oi.name;
+        }
+        if (op == Opcode::TID || op == Opcode::NTH)
+            return format("%s r%u", oi.name, unsigned{rd});
+        if (op == Opcode::JR)
+            return format("%s r%u", oi.name, unsigned{rs1});
+        if (!readsRs2()) {
+            return format("%s r%u, r%u", oi.name, unsigned{rd},
+                          unsigned{rs1});
+        }
+        return format("%s r%u, r%u, r%u", oi.name, unsigned{rd},
+                      unsigned{rs1}, unsigned{rs2});
+      case Format::I:
+        if (op == Opcode::LD) {
+            return format("%s r%u, %d(r%u)", oi.name, unsigned{rd}, imm,
+                          unsigned{rs1});
+        }
+        if (op == Opcode::LDI)
+            return format("%s r%u, %d", oi.name, unsigned{rd}, imm);
+        return format("%s r%u, r%u, %d", oi.name, unsigned{rd},
+                      unsigned{rs1}, imm);
+      case Format::B:
+        if (op == Opcode::ST) {
+            return format("%s r%u, %d(r%u)", oi.name, unsigned{rs2}, imm,
+                          unsigned{rs1});
+        }
+        return format("%s r%u, r%u, %d", oi.name, unsigned{rs1},
+                      unsigned{rs2}, imm);
+      case Format::J:
+        if (op == Opcode::JAL)
+            return format("%s r%u, %d", oi.name, unsigned{rd}, imm);
+        return format("%s %d", oi.name, imm);
+      case Format::U:
+        return format("%s r%u, %d", oi.name, unsigned{rd}, imm);
+    }
+    return "<bad format>";
+}
+
+} // namespace sdsp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Decoded instruction representation and the 32-bit binary encoding.
+ *
+ * Bit layout (big fields first, bit 31 on the left):
+ *
+ *   R:  [op:8][rd:7][rs1:7][rs2:7][unused:3]
+ *   I:  [op:8][rd:7][rs1:7][imm:10 signed]
+ *   B:  [op:8][rs1:7][rs2:7][imm:10 signed]
+ *   J:  [op:8][rd:7][target:17 unsigned]
+ *   U:  [op:8][rd:7][imm:17 unsigned]
+ *
+ * Register fields are 7 bits wide because the machine has 128
+ * architectural registers that are statically partitioned among the
+ * resident threads (paper section 3); a program compiled for N threads
+ * may only name registers 0 .. 128/N - 1.
+ *
+ * Branch immediates are instruction-index offsets relative to the
+ * branch itself; J/JAL targets are absolute instruction indices.
+ */
+
+#ifndef SDSP_ISA_INSTRUCTION_HH
+#define SDSP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace sdsp
+{
+
+/** Width of a register specifier field, in bits. */
+inline constexpr unsigned kRegFieldBits = 7;
+
+/** Width of an I/B-format immediate, in bits (signed). */
+inline constexpr unsigned kImmBits = 10;
+
+/** Width of a J/U-format immediate, in bits (unsigned). */
+inline constexpr unsigned kWideImmBits = 17;
+
+/** Total number of architectural registers shared by all threads. */
+inline constexpr unsigned kNumArchRegs = 128;
+
+/**
+ * A decoded instruction. This is the working representation used by
+ * the assembler, the pipeline and the reference interpreter; encode()
+ * and decode() convert to and from the packed 32-bit form.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = 0;
+    RegIndex rs1 = 0;
+    RegIndex rs2 = 0;
+    /** Sign- or zero-extended immediate, per format. */
+    std::int32_t imm = 0;
+
+    /** Pack into the 32-bit binary encoding. Fatal on field overflow. */
+    InstWord encode() const;
+
+    /** Unpack from the 32-bit binary encoding. Fatal on bad opcode. */
+    static Instruction decode(InstWord word);
+
+    /** Static description of this instruction's opcode. */
+    const OpInfo &info() const { return opInfo(op); }
+
+    bool readsRs1() const { return info().flags & kReadsRs1; }
+    bool readsRs2() const { return info().flags & kReadsRs2; }
+    bool writesRd() const { return info().flags & kWritesRd; }
+    bool isLoad() const { return info().flags & kIsLoad; }
+    bool isStore() const { return info().flags & kIsStore; }
+    bool isCondBranch() const { return info().flags & kIsCondBr; }
+    bool isDirectJump() const { return info().flags & kIsDirJump; }
+    bool isIndirectJump() const { return info().flags & kIsIndJump; }
+    bool isHalt() const { return info().flags & kIsHalt; }
+    bool isSwitchTrigger() const { return info().flags & kIsTrigger; }
+
+    /** Any instruction that can redirect the PC (incl. HALT). */
+    bool
+    isControl() const
+    {
+        return info().flags &
+               (kIsCondBr | kIsDirJump | kIsIndJump | kIsHalt);
+    }
+
+    /** Executes on the control-transfer unit? */
+    bool isCtrlClass() const { return info().fuClass == FuClass::Ctrl; }
+
+    /**
+     * For direct control transfers, the statically known target
+     * instruction index given the instruction's own index @p pc.
+     */
+    InstAddr
+    staticTarget(InstAddr pc) const
+    {
+        if (isDirectJump())
+            return static_cast<InstAddr>(imm);
+        return static_cast<InstAddr>(static_cast<std::int64_t>(pc) + imm);
+    }
+
+    bool operator==(const Instruction &other) const = default;
+
+    /** Disassemble to "mnemonic operands" text. */
+    std::string toString() const;
+
+    // ---- Convenience constructors used by the program builder ----
+
+    static Instruction
+    makeR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+    {
+        return {op, rd, rs1, rs2, 0};
+    }
+
+    static Instruction
+    makeI(Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm)
+    {
+        return {op, rd, rs1, 0, imm};
+    }
+
+    static Instruction
+    makeB(Opcode op, RegIndex rs1, RegIndex rs2, std::int32_t imm)
+    {
+        return {op, 0, rs1, rs2, imm};
+    }
+
+    static Instruction
+    makeJ(Opcode op, RegIndex rd, std::int32_t target)
+    {
+        return {op, rd, 0, 0, target};
+    }
+};
+
+} // namespace sdsp
+
+#endif // SDSP_ISA_INSTRUCTION_HH

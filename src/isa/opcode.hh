@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Opcode set of the simulated SDSP-like RISC ISA.
+ *
+ * The paper's SDSP is a 32-bit-instruction RISC with integer ALU,
+ * multiply, divide, load, store and control-transfer units, extended
+ * for the study with FP add / multiply / divide units. This file
+ * defines the opcode space, the instruction formats, the functional
+ * unit class of each opcode, and per-opcode behavioural flags that the
+ * decoder and scheduler consult.
+ *
+ * Multithreading-specific opcodes:
+ *  - TID / NTH expose the hardware thread id and thread count, which is
+ *    how homogeneous-multitasking programs (all threads run the same
+ *    code on different data) find their data partition.
+ *  - SPIN is a no-op hint marking a synchronization busy-wait. It is
+ *    one of the "synchronization primitive" trigger instructions of the
+ *    Conditional Switch fetch policy (paper section 5.1).
+ */
+
+#ifndef SDSP_ISA_OPCODE_HH
+#define SDSP_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace sdsp
+{
+
+/** Instruction encoding formats (see instruction.hh for bit layout). */
+enum class Format : std::uint8_t
+{
+    R, //!< op rd, rs1, rs2
+    I, //!< op rd, rs1, imm10
+    B, //!< op rs1, rs2, imm10   (branches; ST uses rs1=base, rs2=value)
+    J, //!< op rd, target17      (direct jumps)
+    U, //!< op rd, imm17         (LUI)
+};
+
+/** Functional unit classes (paper Table 1). */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Load,
+    Store,
+    Ctrl,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    NumClasses,
+};
+
+/** Number of functional unit classes. */
+inline constexpr unsigned kNumFuClasses =
+    static_cast<unsigned>(FuClass::NumClasses);
+
+/** Printable name of a functional unit class. */
+const char *fuClassName(FuClass cls);
+
+/** Per-opcode behavioural flags. */
+enum OpFlags : std::uint32_t
+{
+    kReadsRs1  = 1u << 0,
+    kReadsRs2  = 1u << 1,
+    kWritesRd  = 1u << 2,
+    kIsLoad    = 1u << 3,
+    kIsStore   = 1u << 4,
+    kIsCondBr  = 1u << 5,  //!< conditional direct branch
+    kIsDirJump = 1u << 6,  //!< unconditional direct jump (J/JAL)
+    kIsIndJump = 1u << 7,  //!< unconditional indirect jump (JR)
+    kIsHalt    = 1u << 8,  //!< terminates its thread at commit
+    kIsTrigger = 1u << 9,  //!< Conditional Switch fetch trigger
+};
+
+/**
+ * The opcode space. The X-macro lists, for each opcode:
+ * name, format, functional unit class, flags.
+ */
+#define SDSP_FOR_EACH_OPCODE(X)                                            \
+    /* Integer ALU */                                                      \
+    X(NOP,    R, IntAlu, 0)                                                \
+    X(ADD,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(SUB,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(AND,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(OR,     R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(XOR,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(SLL,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(SRL,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(SRA,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(SLT,    R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(SLTU,   R, IntAlu, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(ADDI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(ANDI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(ORI,    I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(XORI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(SLTI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(SLLI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(SRLI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(SRAI,   I, IntAlu, kReadsRs1 | kWritesRd)                            \
+    X(LDI,    I, IntAlu, kWritesRd)                                        \
+    X(LUI,    U, IntAlu, kWritesRd)                                        \
+    X(TID,    R, IntAlu, kWritesRd)                                        \
+    X(NTH,    R, IntAlu, kWritesRd)                                        \
+    X(SPIN,   R, IntAlu, kIsTrigger)                                       \
+    /* Integer multiply / divide */                                        \
+    X(MUL,    R, IntMul, kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(DIV,    R, IntDiv, kReadsRs1 | kReadsRs2 | kWritesRd | kIsTrigger)   \
+    X(REM,    R, IntDiv, kReadsRs1 | kReadsRs2 | kWritesRd | kIsTrigger)   \
+    /* Memory */                                                           \
+    X(LD,     I, Load,   kReadsRs1 | kWritesRd | kIsLoad)                  \
+    X(ST,     B, Store,  kReadsRs1 | kReadsRs2 | kIsStore)                 \
+    /* Control transfer */                                                 \
+    X(BEQ,    B, Ctrl,   kReadsRs1 | kReadsRs2 | kIsCondBr)                \
+    X(BNE,    B, Ctrl,   kReadsRs1 | kReadsRs2 | kIsCondBr)                \
+    X(BLT,    B, Ctrl,   kReadsRs1 | kReadsRs2 | kIsCondBr)                \
+    X(BGE,    B, Ctrl,   kReadsRs1 | kReadsRs2 | kIsCondBr)                \
+    X(J,      J, Ctrl,   kIsDirJump)                                       \
+    X(JAL,    J, Ctrl,   kWritesRd | kIsDirJump)                           \
+    X(JR,     R, Ctrl,   kReadsRs1 | kIsIndJump)                           \
+    X(HALT,   R, Ctrl,   kIsHalt)                                          \
+    /* Floating point (values are IEEE double bit patterns) */             \
+    X(FADD,   R, FpAdd,  kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(FSUB,   R, FpAdd,  kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(FNEG,   R, FpAdd,  kReadsRs1 | kWritesRd)                            \
+    X(FABS,   R, FpAdd,  kReadsRs1 | kWritesRd)                            \
+    X(FCMPLT, R, FpAdd,  kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(FCMPLE, R, FpAdd,  kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(FCMPEQ, R, FpAdd,  kReadsRs1 | kReadsRs2 | kWritesRd)                \
+    X(CVTIF,  R, FpAdd,  kReadsRs1 | kWritesRd)                            \
+    X(CVTFI,  R, FpAdd,  kReadsRs1 | kWritesRd)                            \
+    X(FMUL,   R, FpMul,  kReadsRs1 | kReadsRs2 | kWritesRd | kIsTrigger)   \
+    X(FDIV,   R, FpDiv,  kReadsRs1 | kReadsRs2 | kWritesRd | kIsTrigger)   \
+    X(FSQRT,  R, FpDiv,  kReadsRs1 | kWritesRd | kIsTrigger)
+
+/** Opcode enumeration. Values are the 8-bit encoding field. */
+enum class Opcode : std::uint8_t
+{
+#define SDSP_OPCODE_ENUM(name, fmt, fu, flags) name,
+    SDSP_FOR_EACH_OPCODE(SDSP_OPCODE_ENUM)
+#undef SDSP_OPCODE_ENUM
+    NumOpcodes,
+};
+
+/** Number of defined opcodes. */
+inline constexpr unsigned kNumOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *name;
+    Format format;
+    FuClass fuClass;
+    std::uint32_t flags;
+};
+
+/** Look up the static description of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Printable mnemonic of @p op. */
+inline const char *
+opName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+/** True iff the 8-bit field @p raw names a defined opcode. */
+inline bool
+isValidOpcode(std::uint8_t raw)
+{
+    return raw < kNumOpcodes;
+}
+
+} // namespace sdsp
+
+#endif // SDSP_ISA_OPCODE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A loadable program image.
+ *
+ * The machine is Harvard-style at the simulator level: instruction
+ * memory is an array of 32-bit words indexed by instruction address
+ * (the paper assumes a perfect instruction cache), and data memory is
+ * a flat byte-addressable space initialized from the image's data
+ * section at address zero.
+ *
+ * In the paper's homogeneous-multitasking model, all threads execute
+ * the same code; every thread therefore starts at the same entry point
+ * and uses the TID instruction to locate its data partition.
+ */
+
+#ifndef SDSP_ISA_PROGRAM_HH
+#define SDSP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+/** A binary program image plus its initial data memory contents. */
+struct Program
+{
+    /** Encoded instructions, indexed by instruction address. */
+    std::vector<InstWord> code;
+
+    /** Initial contents of data memory, loaded at address 0. */
+    std::vector<std::uint8_t> data;
+
+    /**
+     * Total bytes of data memory the program requires (>= data.size();
+     * the remainder is zero-initialized scratch space).
+     */
+    std::uint32_t memorySize = 0;
+
+    /** Entry instruction address for every thread. */
+    InstAddr entry = 0;
+
+    /** Number of instructions. */
+    std::size_t size() const { return code.size(); }
+
+    /** Decode the instruction at index @p pc. Fatal if out of range. */
+    Instruction
+    fetch(InstAddr pc) const
+    {
+        sdsp_assert(pc < code.size(), "instruction fetch out of range: %u",
+                    pc);
+        return Instruction::decode(code[pc]);
+    }
+};
+
+/** Read a 64-bit little-endian word from a byte buffer. */
+inline std::uint64_t
+readWord(const std::vector<std::uint8_t> &mem, Addr addr)
+{
+    sdsp_assert(addr % 8 == 0, "misaligned 8-byte read at 0x%x", addr);
+    sdsp_assert(addr + 8 <= mem.size(), "read out of range at 0x%x", addr);
+    std::uint64_t value;
+    std::memcpy(&value, mem.data() + addr, 8);
+    return value;
+}
+
+/** Write a 64-bit little-endian word to a byte buffer. */
+inline void
+writeWord(std::vector<std::uint8_t> &mem, Addr addr, std::uint64_t value)
+{
+    sdsp_assert(addr % 8 == 0, "misaligned 8-byte write at 0x%x", addr);
+    sdsp_assert(addr + 8 <= mem.size(), "write out of range at 0x%x",
+                addr);
+    std::memcpy(mem.data() + addr, &value, 8);
+}
+
+/** Read a double stored as its bit pattern. */
+inline double
+readDouble(const std::vector<std::uint8_t> &mem, Addr addr)
+{
+    std::uint64_t raw = readWord(mem, addr);
+    double value;
+    std::memcpy(&value, &raw, 8);
+    return value;
+}
+
+/** Write a double as its bit pattern. */
+inline void
+writeDouble(std::vector<std::uint8_t> &mem, Addr addr, double value)
+{
+    std::uint64_t raw;
+    std::memcpy(&raw, &value, 8);
+    writeWord(mem, addr, raw);
+}
+
+} // namespace sdsp
+
+#endif // SDSP_ISA_PROGRAM_HH

@@ -1,0 +1,168 @@
+#include "memory/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+DataCache::DataCache(const CacheConfig &config) : cfg(config)
+{
+    sdsp_assert(isPowerOf2(cfg.sizeBytes), "cache size must be 2^n");
+    sdsp_assert(isPowerOf2(cfg.lineBytes), "line size must be 2^n");
+    sdsp_assert(cfg.ways >= 1, "cache needs at least one way");
+    sdsp_assert(cfg.sizeBytes % (cfg.lineBytes * cfg.ways) == 0,
+                "cache size not divisible by way size");
+    sdsp_assert(cfg.ports >= 1, "cache needs at least one port");
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.ways);
+    sdsp_assert(isPowerOf2(numSets), "set count must be 2^n");
+    sdsp_assert(cfg.partitions >= 1, "need at least one partition");
+    setsPerPartition = numSets / cfg.partitions;
+    sdsp_assert(setsPerPartition >= 1,
+                "more partitions than cache sets");
+    lines.resize(static_cast<std::size_t>(numSets) * cfg.ways);
+}
+
+std::uint64_t
+DataCache::lineIndex(Addr addr) const
+{
+    return addr / cfg.lineBytes;
+}
+
+std::uint64_t
+DataCache::setIndex(Addr addr, ThreadId tid) const
+{
+    if (cfg.partitions == 1)
+        return lineIndex(addr) & (numSets - 1);
+    // Partitioned: thread tid owns sets
+    // [tid*setsPerPartition, (tid+1)*setsPerPartition).
+    std::uint64_t partition = tid % cfg.partitions;
+    return partition * setsPerPartition +
+           lineIndex(addr) % setsPerPartition;
+}
+
+std::uint64_t
+DataCache::tagOf(Addr addr) const
+{
+    // With partitioning the set index is not a pure address slice, so
+    // keep the full line index as the tag; correctness over a few
+    // redundant tag bits.
+    if (cfg.partitions == 1)
+        return lineIndex(addr) >> log2i(numSets);
+    return lineIndex(addr);
+}
+
+void
+DataCache::beginCycle(Cycle now)
+{
+    currentCycle = now;
+    portsUsedThisCycle = 0;
+}
+
+bool
+DataCache::canAccept(Cycle now) const
+{
+    if (now < blockedUntil)
+        return false;
+    return portsUsedThisCycle < cfg.ports;
+}
+
+CacheAccessResult
+DataCache::access(Addr addr, Cycle now, bool is_write, ThreadId tid)
+{
+    sdsp_assert(now == currentCycle, "access outside beginCycle window");
+    sdsp_assert(canAccept(now), "access without canAccept check");
+    (void)is_write; // Timing is identical for reads and write drains.
+
+    ++portsUsedThisCycle;
+    ++statAccesses;
+
+    std::uint64_t set = setIndex(addr, tid);
+    std::uint64_t tag = tagOf(addr);
+    Line *set_base = &lines[set * cfg.ways];
+
+    // Probe all ways.
+    for (std::uint32_t way = 0; way < cfg.ways; ++way) {
+        Line &line = set_base[way];
+        if (line.valid && line.tag == tag) {
+            ++statHits;
+            line.lastUse = now;
+            // A hit on a line still being refilled is serviced when
+            // the refill lands.
+            Cycle ready = std::max(now, line.fillDone);
+            return {true, ready};
+        }
+    }
+
+    // Miss: choose the LRU victim.
+    ++statMisses;
+    Line *victim = set_base;
+    for (std::uint32_t way = 1; way < cfg.ways; ++way) {
+        Line &line = set_base[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse && victim->valid)
+            victim = &line;
+    }
+
+    Cycle ready;
+    if (refillBusyUntil <= now) {
+        // First outstanding miss: refill proceeds in the background
+        // while the cache keeps servicing other lines.
+        ready = now + cfg.missPenalty;
+        refillBusyUntil = ready;
+    } else {
+        // Second miss with a refill already outstanding: the cache
+        // stops servicing requests until both lines are refilled
+        // (paper section 5.3).
+        ++statDoubleMissBlocks;
+        ready = refillBusyUntil + cfg.missPenalty;
+        refillBusyUntil = ready;
+        blockedUntil = ready;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = now;
+    victim->fillDone = ready;
+    return {false, ready};
+}
+
+void
+DataCache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    refillBusyUntil = 0;
+    blockedUntil = 0;
+    portsUsedThisCycle = 0;
+}
+
+double
+DataCache::hitRate() const
+{
+    if (statAccesses == 0)
+        return 1.0;
+    return static_cast<double>(statHits) /
+           static_cast<double>(statAccesses);
+}
+
+void
+DataCache::reportStats(StatsRegistry &registry,
+                       const std::string &prefix) const
+{
+    registry.add(prefix, "accesses", static_cast<double>(statAccesses));
+    registry.add(prefix, "hits", static_cast<double>(statHits));
+    registry.add(prefix, "misses", static_cast<double>(statMisses));
+    registry.add(prefix, "hitRate", hitRate());
+    registry.add(prefix, "rejections",
+                 static_cast<double>(statRejections));
+    registry.add(prefix, "doubleMissBlocks",
+                 static_cast<double>(statDoubleMissBlocks));
+}
+
+} // namespace sdsp

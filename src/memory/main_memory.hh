@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Flat byte-addressable data memory.
+ *
+ * The memory holds architectural data values; the cache (cache.hh) is
+ * a pure timing model layered in front of it, which is the standard
+ * functional/timing split for this style of simulator.
+ */
+
+#ifndef SDSP_MEMORY_MAIN_MEMORY_HH
+#define SDSP_MEMORY_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/** Byte-addressable main memory with 64-bit word accessors. */
+class MainMemory
+{
+  public:
+    /** Create a memory of @p size zeroed bytes. */
+    explicit MainMemory(std::uint32_t size = 0) : bytes(size, 0) {}
+
+    /** Size in bytes. */
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(bytes.size());
+    }
+
+    /** Load a program's data section at address 0 and size to fit. */
+    void
+    loadProgram(const Program &program)
+    {
+        bytes.assign(program.memorySize, 0);
+        std::copy(program.data.begin(), program.data.end(),
+                  bytes.begin());
+    }
+
+    /** Aligned 64-bit read. */
+    RegVal read(Addr addr) const { return readWord(bytes, addr); }
+
+    /** Aligned 64-bit write. */
+    void write(Addr addr, RegVal value) { writeWord(bytes, addr, value); }
+
+    /** Raw byte image (for verification). */
+    const std::vector<std::uint8_t> &image() const { return bytes; }
+    std::vector<std::uint8_t> &image() { return bytes; }
+
+  private:
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_MEMORY_MAIN_MEMORY_HH

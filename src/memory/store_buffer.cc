@@ -1,0 +1,103 @@
+#include "memory/store_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+StoreBuffer::StoreBuffer(unsigned capacity) : cap(capacity)
+{
+    sdsp_assert(capacity >= 1, "store buffer needs capacity");
+}
+
+void
+StoreBuffer::insert(Tag seq, ThreadId tid, Addr addr, RegVal value)
+{
+    sdsp_assert(!full(), "store buffer overflow");
+    StoreBufferEntry entry{seq, tid, addr, value, false};
+    // Stores can execute out of order; keep the buffer ordered by
+    // sequence number so head-drains retire in program order.
+    auto pos = std::upper_bound(
+        entries.begin(), entries.end(), seq,
+        [](Tag s, const StoreBufferEntry &e) { return s < e.seq; });
+    entries.insert(pos, entry);
+    ++statInserts;
+}
+
+void
+StoreBuffer::commitUpTo(ThreadId tid, Tag upto)
+{
+    for (auto &entry : entries) {
+        if (entry.tid == tid && entry.seq <= upto)
+            entry.committed = true;
+    }
+}
+
+unsigned
+StoreBuffer::drain(DataCache &cache, MainMemory &memory, Cycle now)
+{
+    unsigned drained = 0;
+    while (!entries.empty() && entries.front().committed) {
+        if (!cache.canAccept(now)) {
+            cache.noteRejection();
+            break;
+        }
+        const StoreBufferEntry &head = entries.front();
+        cache.access(head.addr, now, /*is_write=*/true, head.tid);
+        memory.write(head.addr, head.value);
+        entries.erase(entries.begin());
+        ++drained;
+        ++statDrains;
+    }
+    return drained;
+}
+
+std::optional<RegVal>
+StoreBuffer::forward(ThreadId tid, Addr addr, Tag load_seq) const
+{
+    // Entries are sorted oldest-first; scan backwards for the
+    // youngest older matching store of the same thread.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (it->tid == tid && it->addr == addr) {
+            ++statForwards;
+            return it->value;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+StoreBuffer::squash(ThreadId tid, Tag after)
+{
+    auto end = std::remove_if(
+        entries.begin(), entries.end(),
+        [&](const StoreBufferEntry &e) {
+            if (e.tid == tid && e.seq > after) {
+                sdsp_assert(!e.committed,
+                            "squashing a committed store");
+                return true;
+            }
+            return false;
+        });
+    statSquashed += static_cast<std::uint64_t>(
+        std::distance(end, entries.end()));
+    entries.erase(end, entries.end());
+}
+
+void
+StoreBuffer::reportStats(StatsRegistry &registry,
+                         const std::string &prefix) const
+{
+    registry.add(prefix, "inserts", static_cast<double>(statInserts));
+    registry.add(prefix, "drains", static_cast<double>(statDrains));
+    registry.add(prefix, "forwards", static_cast<double>(statForwards));
+    registry.add(prefix, "fullStalls",
+                 static_cast<double>(statFullStalls));
+    registry.add(prefix, "squashed", static_cast<double>(statSquashed));
+}
+
+} // namespace sdsp

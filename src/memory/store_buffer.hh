@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The store buffer between the scheduling unit and the data cache.
+ *
+ * The paper places an 8-entry store buffer between the cache and the
+ * SU. A store executes by depositing its address and value here; the
+ * entry is released to the cache only after the store's SU entry is
+ * shifted out at result commit ("an instruction stays in the store
+ * buffer until its entry in the SU is shifted out"), which is the
+ * restricted load/store policy the paper blames for the occasional
+ * slowdown at large SU depths.
+ *
+ * Forwarding: a later load of the same thread that matches a buffered
+ * store's address receives the value directly. Loads never forward
+ * across threads — cross-thread communication becomes visible only
+ * when the store drains to memory, which is what makes spin-flag
+ * synchronization safe against squashed speculative stores.
+ */
+
+#ifndef SDSP_MEMORY_STORE_BUFFER_HH
+#define SDSP_MEMORY_STORE_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "memory/cache.hh"
+#include "memory/main_memory.hh"
+
+namespace sdsp
+{
+
+/** One pending store. */
+struct StoreBufferEntry
+{
+    Tag seq = 0;          //!< SU sequence number of the store
+    ThreadId tid = 0;
+    Addr addr = 0;
+    RegVal value = 0;
+    bool committed = false;
+};
+
+/** FIFO store buffer with same-thread forwarding. */
+class StoreBuffer
+{
+  public:
+    /** @param capacity Maximum simultaneous entries (paper: 8). */
+    explicit StoreBuffer(unsigned capacity);
+
+    /** Is there room for another store? */
+    bool full() const { return entries.size() >= cap; }
+
+    /** Current occupancy. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Configured capacity. */
+    std::size_t capacity() const { return cap; }
+
+    /**
+     * Deposit an executed store. Entries arrive in issue order but the
+     * buffer keeps them sorted by sequence number so that drains
+     * retire stores in (global) program order.
+     */
+    void insert(Tag seq, ThreadId tid, Addr addr, RegVal value);
+
+    /**
+     * Mark all entries of @p tid with seq <= @p upto as committed
+     * (their SU block has been shifted out).
+     */
+    void commitUpTo(ThreadId tid, Tag upto);
+
+    /**
+     * Release committed entries at the head of the buffer to the
+     * cache/memory, as many as the cache will accept this cycle.
+     *
+     * @return Number of stores drained.
+     */
+    unsigned drain(DataCache &cache, MainMemory &memory, Cycle now);
+
+    /**
+     * Look for a forwardable value for a load.
+     *
+     * @param tid      Loading thread.
+     * @param addr     Load address.
+     * @param load_seq The load's sequence number; only older stores
+     *                 (seq < load_seq) are considered.
+     * @return The youngest matching same-thread store value, if any.
+     */
+    std::optional<RegVal> forward(ThreadId tid, Addr addr,
+                                  Tag load_seq) const;
+
+    /**
+     * Remove squashed (necessarily uncommitted) stores of @p tid with
+     * seq > @p after.
+     */
+    void squash(ThreadId tid, Tag after);
+
+    /** Any uncommitted or undrained stores left? */
+    bool empty() const { return entries.empty(); }
+
+    /** Entries, oldest first (for tests). */
+    const std::vector<StoreBufferEntry> &contents() const
+    {
+        return entries;
+    }
+
+    /** Report statistics under @p prefix. */
+    void reportStats(StatsRegistry &registry,
+                     const std::string &prefix) const;
+
+    /** Note one cycle in which a store could not issue: buffer full. */
+    void noteFullStall() { ++statFullStalls; }
+
+  private:
+    unsigned cap;
+    std::vector<StoreBufferEntry> entries; //!< sorted by seq, oldest first
+
+    std::uint64_t statInserts = 0;
+    std::uint64_t statDrains = 0;
+    mutable std::uint64_t statForwards = 0;
+    std::uint64_t statFullStalls = 0;
+    std::uint64_t statSquashed = 0;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_MEMORY_STORE_BUFFER_HH

@@ -1,0 +1,265 @@
+#include "tools/cli.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "asm/rewrite.hh"
+#include "common/logging.hh"
+#include "core/processor.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+std::optional<std::uint64_t>
+parseNumber(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+    if (end != text.c_str() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<FetchPolicy>
+parsePolicy(const std::string &name)
+{
+    if (name == "truerr")
+        return FetchPolicy::TrueRoundRobin;
+    if (name == "maskedrr")
+        return FetchPolicy::MaskedRoundRobin;
+    if (name == "cswitch")
+        return FetchPolicy::ConditionalSwitch;
+    if (name == "adaptive")
+        return FetchPolicy::Adaptive;
+    if (name == "weightedrr")
+        return FetchPolicy::WeightedRoundRobin;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::string
+cliUsage()
+{
+    return "usage: sdsp-run [options] program.s\n"
+           "  -t N                 resident threads (default 1)\n"
+           "  -f POLICY            truerr|maskedrr|cswitch|adaptive|"
+           "weightedrr\n"
+           "  -w W0,W1,...         fetch weights for weightedrr\n"
+           "  -s N                 scheduling unit entries\n"
+           "  --commit MODE        flexible|lowest\n"
+           "  --rename MODE        full|scoreboard\n"
+           "  --no-bypass          disable result bypassing\n"
+           "  --cache-ways N       dcache associativity (1=direct)\n"
+           "  --cache-size BYTES   dcache capacity\n"
+           "  --cache-partitions N per-thread cache partitions\n"
+           "  --btb-banks N        private per-thread BTBs\n"
+           "  --finite-icache      model a finite I-cache\n"
+           "  --max-cycles N       simulation cap\n"
+           "  --align              section-6.1 code layout pass\n"
+           "  --trace              per-cycle event trace\n"
+           "  --stats              dump statistics\n"
+           "  --disasm             print disassembly and exit\n";
+}
+
+CliOptions
+parseCliOptions(const std::vector<std::string> &args)
+{
+    CliOptions options;
+
+    auto fail = [&](const std::string &why) {
+        options.ok = false;
+        options.error = why;
+        return options;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next_value = [&]() -> std::optional<std::string> {
+            if (i + 1 >= args.size())
+                return std::nullopt;
+            return args[++i];
+        };
+
+        if (arg == "-t" || arg == "-f" || arg == "-s" || arg == "-w" ||
+            arg == "--commit" || arg == "--rename" ||
+            arg == "--cache-ways" || arg == "--cache-size" ||
+            arg == "--cache-partitions" || arg == "--btb-banks" ||
+            arg == "--max-cycles") {
+            auto value = next_value();
+            if (!value)
+                return fail(arg + " needs a value");
+
+            if (arg == "-t") {
+                auto n = parseNumber(*value);
+                if (!n || *n < 1 || *n > 16)
+                    return fail("bad thread count: " + *value);
+                options.config.numThreads =
+                    static_cast<unsigned>(*n);
+            } else if (arg == "-f") {
+                auto policy = parsePolicy(*value);
+                if (!policy)
+                    return fail("unknown fetch policy: " + *value);
+                options.config.fetchPolicy = *policy;
+            } else if (arg == "-w") {
+                std::istringstream list(*value);
+                std::string item;
+                options.config.fetchWeights.clear();
+                while (std::getline(list, item, ',')) {
+                    auto weight = parseNumber(item);
+                    if (!weight || *weight < 1)
+                        return fail("bad fetch weight: " + item);
+                    options.config.fetchWeights.push_back(
+                        static_cast<unsigned>(*weight));
+                }
+            } else if (arg == "-s") {
+                auto n = parseNumber(*value);
+                if (!n)
+                    return fail("bad SU size: " + *value);
+                options.config.suEntries = static_cast<unsigned>(*n);
+            } else if (arg == "--commit") {
+                if (*value == "flexible") {
+                    options.config.commitPolicy =
+                        CommitPolicy::FlexibleFourBlocks;
+                } else if (*value == "lowest") {
+                    options.config.commitPolicy =
+                        CommitPolicy::LowestBlockOnly;
+                } else {
+                    return fail("unknown commit mode: " + *value);
+                }
+            } else if (arg == "--rename") {
+                if (*value == "full") {
+                    options.config.renameScheme =
+                        RenameScheme::FullRenaming;
+                } else if (*value == "scoreboard") {
+                    options.config.renameScheme =
+                        RenameScheme::Scoreboard1Bit;
+                } else {
+                    return fail("unknown rename mode: " + *value);
+                }
+            } else if (arg == "--cache-ways") {
+                auto n = parseNumber(*value);
+                if (!n || *n < 1)
+                    return fail("bad way count: " + *value);
+                options.config.dcache.ways =
+                    static_cast<std::uint32_t>(*n);
+            } else if (arg == "--cache-size") {
+                auto n = parseNumber(*value);
+                if (!n)
+                    return fail("bad cache size: " + *value);
+                options.config.dcache.sizeBytes =
+                    static_cast<std::uint32_t>(*n);
+            } else if (arg == "--cache-partitions") {
+                auto n = parseNumber(*value);
+                if (!n || *n < 1)
+                    return fail("bad partition count: " + *value);
+                options.config.dcache.partitions =
+                    static_cast<std::uint32_t>(*n);
+            } else if (arg == "--btb-banks") {
+                auto n = parseNumber(*value);
+                if (!n || *n < 1)
+                    return fail("bad bank count: " + *value);
+                options.config.btbBanks = static_cast<unsigned>(*n);
+            } else { // --max-cycles
+                auto n = parseNumber(*value);
+                if (!n || *n < 1)
+                    return fail("bad cycle cap: " + *value);
+                options.config.maxCycles = *n;
+            }
+        } else if (arg == "--no-bypass") {
+            options.config.bypassing = false;
+        } else if (arg == "--finite-icache") {
+            options.config.perfectICache = false;
+        } else if (arg == "--align") {
+            options.align = true;
+        } else if (arg == "--trace") {
+            options.trace = true;
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else if (arg == "--disasm") {
+            options.disasmOnly = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail("unknown option: " + arg);
+        } else if (options.programPath.empty()) {
+            options.programPath = arg;
+        } else {
+            return fail("multiple program files given");
+        }
+    }
+
+    if (options.programPath.empty())
+        return fail("no program file given");
+    return options;
+}
+
+int
+runCli(const CliOptions &options, std::ostream &out,
+       std::ostream &trace_out)
+{
+    std::ifstream file(options.programPath);
+    if (!file) {
+        out << "sdsp-run: cannot open " << options.programPath << "\n";
+        return 1;
+    }
+    std::ostringstream source;
+    source << file.rdbuf();
+
+    AssemblyResult assembly = assemble(source.str());
+    Program program = assembly.program;
+
+    if (options.align) {
+        LayoutOptions layout;
+        layout.alignTargetsToBlocks = true;
+        layout.alignBranchesToBlockEnd = true;
+        program = realignProgram(program, layout);
+    }
+
+    if (options.disasmOnly) {
+        out << disassemble(program);
+        return 0;
+    }
+
+    unsigned budget = options.config.regsPerThread();
+    if (assembly.maxRegisterUsed >= budget) {
+        out << "sdsp-run: program uses r" << assembly.maxRegisterUsed
+            << " but " << options.config.numThreads
+            << " thread(s) allow only r0..r" << budget - 1 << "\n";
+        return 1;
+    }
+
+    Processor cpu(options.config, program);
+    if (options.trace)
+        cpu.setTrace(&trace_out);
+
+    SimResult sim = cpu.run();
+    out << "machine   : " << options.config.toString() << "\n";
+    out << "finished  : " << (sim.finished ? "yes" : "NO (cycle cap)")
+        << "\n";
+    out << "cycles    : " << sim.cycles << "\n";
+    out << "committed : " << sim.committedInstructions << "\n";
+    out << format("ipc       : %.3f\n", sim.ipc());
+    for (unsigned t = 0; t < options.config.numThreads; ++t) {
+        out << format(
+            "thread %u  : %llu instructions\n", t,
+            static_cast<unsigned long long>(cpu.committedInstructions(
+                static_cast<ThreadId>(t))));
+    }
+
+    if (options.stats) {
+        StatsRegistry registry;
+        cpu.reportStats(registry);
+        out << "\n" << registry.toString();
+    }
+    return sim.finished ? 0 : 2;
+}
+
+} // namespace sdsp

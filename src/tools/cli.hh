@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The sdsp-run command-line simulator.
+ *
+ * Assembles an SDSP-MT assembly file and runs it on a configurable
+ * machine:
+ *
+ *     sdsp-run [options] program.s
+ *
+ * Options (see parseCliOptions for the full list):
+ *     -t N                 resident threads (default 1)
+ *     -f POLICY            truerr | maskedrr | cswitch | adaptive
+ *                          | weightedrr
+ *     -w W0,W1,...         fetch weights for weightedrr
+ *     -s N                 scheduling unit entries (default 32)
+ *     --commit MODE        flexible | lowest
+ *     --rename MODE        full | scoreboard
+ *     --no-bypass          disable result bypassing
+ *     --cache-ways N       data cache associativity (1 = direct)
+ *     --cache-size BYTES   data cache capacity
+ *     --cache-partitions N per-thread cache partitions
+ *     --btb-banks N        private per-thread BTBs
+ *     --finite-icache      model a finite instruction cache
+ *     --max-cycles N       simulation cap
+ *     --align              apply the section-6.1 layout optimization
+ *     --trace              per-cycle pipeline event trace
+ *     --stats              dump all statistics after the run
+ *     --disasm             print the disassembly and exit
+ *
+ * Parsing and execution live behind a testable interface; main() is
+ * a thin wrapper.
+ */
+
+#ifndef SDSP_TOOLS_CLI_HH
+#define SDSP_TOOLS_CLI_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace sdsp
+{
+
+/** Parsed sdsp-run invocation. */
+struct CliOptions
+{
+    MachineConfig config;
+    std::string programPath;
+    bool trace = false;
+    bool stats = false;
+    bool disasmOnly = false;
+    bool align = false;
+    /** Set when parsing failed; message explains why. */
+    bool ok = true;
+    std::string error;
+};
+
+/** Parse argv. Never exits; reports problems via CliOptions::error. */
+CliOptions parseCliOptions(const std::vector<std::string> &args);
+
+/** Human-readable usage text. */
+std::string cliUsage();
+
+/**
+ * Assemble and run per @p options, writing output to @p out (and the
+ * trace, if enabled, to @p trace_out).
+ *
+ * @return Process exit code (0 on success).
+ */
+int runCli(const CliOptions &options, std::ostream &out,
+           std::ostream &trace_out);
+
+} // namespace sdsp
+
+#endif // SDSP_TOOLS_CLI_HH

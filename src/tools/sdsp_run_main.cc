@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Entry point of the sdsp-run command-line simulator (see cli.hh).
+ */
+
+#include <iostream>
+
+#include "tools/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    sdsp::CliOptions options = sdsp::parseCliOptions(args);
+    if (!options.ok) {
+        std::cerr << "sdsp-run: " << options.error << "\n\n"
+                  << sdsp::cliUsage();
+        return 1;
+    }
+    return sdsp::runCli(options, std::cout, std::cerr);
+}

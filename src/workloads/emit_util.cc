@@ -1,0 +1,86 @@
+#include "workloads/emit_util.hh"
+
+#include <cmath>
+
+namespace sdsp
+{
+
+void
+emitPrologue(ProgramBuilder &builder)
+{
+    builder.ldi(reg::zero, 0);
+    builder.tid(reg::tid);
+    builder.nth(reg::nth);
+}
+
+void
+emitPartition(ProgramBuilder &builder, const std::string &prefix,
+              std::int64_t n, RegIndex s1, RegIndex s2)
+{
+    builder.li(s1, n);
+    builder.div(s2, s1, reg::nth);          // chunk = n / nth
+    builder.mul(reg::start, reg::tid, s2);  // start = tid * chunk
+    builder.add(reg::end, reg::start, s2);  // end = start + chunk
+    builder.addi(s2, reg::nth, -1);
+    builder.bne(reg::tid, s2, prefix + "_notlast");
+    builder.mov(reg::end, s1);              // last thread: end = n
+    builder.label(prefix + "_notlast");
+}
+
+void
+emitSpinWaitNonzero(ProgramBuilder &builder, const std::string &prefix,
+                    RegIndex r_addr, RegIndex scratch)
+{
+    builder.label(prefix + "_spin");
+    builder.spin();
+    builder.ld(scratch, 0, r_addr);
+    builder.beq(scratch, reg::zero, prefix + "_spin");
+}
+
+void
+emitBarrier(ProgramBuilder &builder, const std::string &prefix,
+            RegIndex r_base, RegIndex s1, RegIndex s2, RegIndex s3)
+{
+    // Announce arrival: flags[tid] = 1.
+    builder.slli(s1, reg::tid, 3);
+    builder.add(s1, r_base, s1);
+    builder.ldi(s2, 1);
+    builder.st(s2, 0, s1);
+
+    // Wait for every thread's flag.
+    builder.ldi(s1, 0); // u = 0
+    builder.label(prefix + "_wait");
+    builder.bge(s1, reg::nth, prefix + "_done");
+    builder.slli(s2, s1, 3);
+    builder.add(s2, r_base, s2);
+    builder.label(prefix + "_waitspin");
+    builder.spin();
+    builder.ld(s3, 0, s2);
+    builder.beq(s3, reg::zero, prefix + "_waitspin");
+    builder.addi(s1, s1, 1);
+    builder.j(prefix + "_wait");
+    builder.label(prefix + "_done");
+}
+
+void
+padToCacheAlias(ProgramBuilder &builder, const std::string &pad_name,
+                Addr target_base)
+{
+    constexpr Addr cache_bytes = 8192;
+    Addr cursor = builder.dataCursor();
+    Addr pad = (target_base % cache_bytes + cache_bytes -
+                cursor % cache_bytes) %
+               cache_bytes;
+    if (pad != 0)
+        builder.array(pad_name, pad / 8);
+}
+
+bool
+nearlyEqual(double a, double b, double tolerance)
+{
+    double diff = std::fabs(a - b);
+    double magnitude = std::fmax(std::fabs(a), std::fabs(b));
+    return diff <= tolerance * std::fmax(magnitude, 1.0);
+}
+
+} // namespace sdsp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared code-generation helpers for the benchmark suite.
+ *
+ * Register conventions used by every workload in this suite:
+ *   r1 = constant zero (set once in the prologue)
+ *   r2 = TID, r3 = NTH
+ *   r4 = chunk start, r5 = chunk end (when partitioned)
+ * leaving r6.. for kernel temporaries. Workloads stay below r21 so
+ * they fit the 6-thread static partition (128/6 = 21 registers).
+ */
+
+#ifndef SDSP_WORKLOADS_EMIT_UTIL_HH
+#define SDSP_WORKLOADS_EMIT_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "asm/builder.hh"
+
+namespace sdsp
+{
+
+/** Fixed register conventions for the suite. */
+namespace reg
+{
+inline constexpr RegIndex zero = 1;
+inline constexpr RegIndex tid = 2;
+inline constexpr RegIndex nth = 3;
+inline constexpr RegIndex start = 4;
+inline constexpr RegIndex end = 5;
+} // namespace reg
+
+/**
+ * Highest register index any suite workload may use: 128 registers
+ * across up to 6 threads leaves 21 per thread (r0..r20).
+ */
+inline constexpr unsigned kSuiteRegisterBudget = 21;
+
+/** Emit the common prologue: r1=0, r2=TID, r3=NTH. */
+void emitPrologue(ProgramBuilder &builder);
+
+/**
+ * Emit the static partitioning of [0, n) into NTH chunks:
+ * start = tid * (n / nth); end = start + chunk, except the last
+ * thread which takes the remainder. Uses the DIV unit (and is thus a
+ * Conditional Switch trigger, like real partitioning code).
+ *
+ * @param prefix Unique label prefix.
+ * @param n      Iteration count.
+ * @param s1,s2  Scratch registers.
+ */
+void emitPartition(ProgramBuilder &builder, const std::string &prefix,
+                   std::int64_t n, RegIndex s1, RegIndex s2);
+
+/**
+ * Emit a busy-wait until mem64[r_addr] != 0. The loop contains a SPIN
+ * hint, the "synchronization primitive" trigger class for the
+ * Conditional Switch fetch policy.
+ *
+ * @param prefix   Unique label prefix.
+ * @param r_addr   Register holding the flag's byte address.
+ * @param scratch  Scratch register.
+ */
+void emitSpinWaitNonzero(ProgramBuilder &builder,
+                         const std::string &prefix, RegIndex r_addr,
+                         RegIndex scratch);
+
+/**
+ * Emit a flag-array barrier across all NTH threads.
+ *
+ * The barrier row is NTH consecutive words at the byte address held
+ * in @p r_base; each row must be used at most once (zero-initialized)
+ * — callers allocate one row per barrier episode, which avoids any
+ * need for atomic read-modify-write operations.
+ *
+ * @param prefix  Unique label prefix.
+ * @param r_base  Register holding the row's base byte address.
+ * @param s1..s3  Scratch registers.
+ */
+void emitBarrier(ProgramBuilder &builder, const std::string &prefix,
+                 RegIndex r_base, RegIndex s1, RegIndex s2,
+                 RegIndex s3);
+
+/** Compare doubles with relative tolerance (absolute near zero). */
+bool nearlyEqual(double a, double b, double tolerance = 1e-9);
+
+/**
+ * Pad the data section so the NEXT symbol fully aliases
+ * @p target_base in the suite's default cache geometry (8 KB): both
+ * map to the same set in the direct-mapped AND the 2-way
+ * organization. This mimics the common compiler/linker placement of
+ * large arrays at power-of-two-aligned offsets — the situation where
+ * associativity pays and a direct-mapped cache ping-pongs (paper
+ * section 5.3).
+ *
+ * @param pad_name Unique data-symbol name for the padding.
+ */
+void padToCacheAlias(ProgramBuilder &builder,
+                     const std::string &pad_name, Addr target_base);
+
+} // namespace sdsp
+
+#endif // SDSP_WORKLOADS_EMIT_UTIL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Group II benchmark declarations: Laplace, MPD, Matrix, Sieve and
+ * Water. The paper's Water and MPD come from SPLASH / Boothe's suite;
+ * here they are scaled-down molecular-dynamics kernels with the same
+ * structure (O(N^2) force phase, barrier, integration phase), per the
+ * substitution policy documented in DESIGN.md.
+ */
+
+#ifndef SDSP_WORKLOADS_GROUP2_HH
+#define SDSP_WORKLOADS_GROUP2_HH
+
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+
+/** Base for Group II benchmarks. */
+class GroupIIWorkload : public Workload
+{
+  public:
+    BenchmarkGroup group() const override { return BenchmarkGroup::GroupII; }
+};
+
+/** Dense matrix multiply, rows partitioned across threads. */
+class MatrixWorkload : public GroupIIWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** Sieve of Eratosthenes, flag segments partitioned across threads. */
+class SieveWorkload : public GroupIIWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** 5-point Jacobi/Laplace relaxation, row bands per thread, barrier
+ *  per iteration. */
+class LaplaceWorkload : public GroupIIWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** 3-D molecular dynamics kernel with FP divide/sqrt in the force
+ *  phase (the Water stand-in). */
+class WaterWorkload : public GroupIIWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** 2-D cutoff particle dynamics kernel, branch-heavy FP (the MPD
+ *  stand-in). */
+class MpdWorkload : public GroupIIWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_WORKLOADS_GROUP2_HH

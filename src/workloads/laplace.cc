@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Laplace: 5-point Jacobi relaxation on a square grid with fixed
+ * boundary, ping-pong buffers, row bands partitioned across threads
+ * and a flag-array barrier after every iteration.
+ */
+
+#include "workloads/group2.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/emit_util.hh"
+
+namespace sdsp
+{
+
+std::string
+LaplaceWorkload::name() const
+{
+    return "Laplace";
+}
+
+WorkloadImage
+LaplaceWorkload::build(unsigned num_threads, unsigned scale) const
+{
+    std::int64_t g = std::max<std::int64_t>(
+        26 * static_cast<std::int64_t>(scale) / 100, 6);
+    g = std::min<std::int64_t>(g, 63); // row stride must fit imm10
+    const int iters = 12;
+
+    Xorshift64 rng(0x1AB + g);
+    std::vector<double> grid(g * g);
+    for (std::int64_t i = 0; i < g; ++i) {
+        for (std::int64_t j = 0; j < g; ++j) {
+            bool boundary = i == 0 || j == 0 || i == g - 1 || j == g - 1;
+            grid[i * g + j] =
+                boundary ? rng.nextDouble(0.5, 1.5) : rng.nextDouble();
+        }
+    }
+
+    ProgramBuilder b;
+    Addr a_addr = b.arrayOf("gridA", grid);
+    // The destination grid fully aliases the source grid, so the
+    // per-cell read/write pair conflicts in a direct-mapped cache
+    // and coexists in the 2-way one (paper section 5.3).
+    padToCacheAlias(b, "pad_ab", a_addr);
+    Addr b_addr = b.arrayOf("gridB", grid);
+    b.dvalue("quarter", 0.25);
+    b.array("flags", static_cast<std::uint32_t>(iters) * 8);
+
+    emitPrologue(b);
+    emitPartition(b, "part", g - 2, 6, 7); // interior rows
+    b.addi(reg::start, reg::start, 1);
+    b.addi(reg::end, reg::end, 1);
+    b.la(6, "gridA").la(7, "gridB").la(8, "flags");
+    b.la(12, "quarter");
+    b.ld(19, 0, 12);
+    b.ldi(9, 0); // iteration
+
+    auto row_bytes = static_cast<std::int32_t>(g * 8);
+
+    b.label("iter");
+    b.mov(10, reg::start);
+    b.label("iloop");
+    b.bge(10, reg::end, "iend");
+    b.ldi(11, 1);
+    b.label("jloop");
+    b.ldi(12, static_cast<std::int32_t>(g - 1));
+    b.bge(11, 12, "jend");
+    b.ldi(12, static_cast<std::int32_t>(g));
+    b.mul(13, 10, 12);
+    b.add(13, 13, 11);
+    b.slli(13, 13, 3);
+    b.add(13, 6, 13); // &src[i][j]
+    b.ld(14, -8, 13);
+    b.ld(15, 8, 13);
+    b.fadd(14, 14, 15);
+    b.ld(15, -row_bytes, 13);
+    b.fadd(14, 14, 15);
+    b.ld(15, row_bytes, 13);
+    b.fadd(14, 14, 15);
+    b.fmul(14, 19, 14);
+    b.sub(15, 13, 6);
+    b.add(15, 7, 15); // same cell in dst
+    b.st(14, 0, 15);
+    b.addi(11, 11, 1);
+    b.j("jloop");
+    b.label("jend");
+    b.addi(10, 10, 1);
+    b.j("iloop");
+    b.label("iend");
+    // Barrier, then swap the ping-pong roles.
+    b.slli(12, 9, 6);
+    b.add(12, 8, 12);
+    emitBarrier(b, "bar", 12, 13, 15, 20);
+    b.mov(12, 6);
+    b.mov(6, 7);
+    b.mov(7, 12);
+    b.addi(9, 9, 1);
+    b.ldi(12, iters);
+    b.blt(9, 12, "iter");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> src = grid, dst = grid;
+        for (int it = 0; it < iters; ++it) {
+            for (std::int64_t i = 1; i < g - 1; ++i) {
+                for (std::int64_t j = 1; j < g - 1; ++j) {
+                    double sum = src[i * g + j - 1] + src[i * g + j + 1];
+                    sum = sum + src[(i - 1) * g + j];
+                    sum = sum + src[(i + 1) * g + j];
+                    dst[i * g + j] = 0.25 * sum;
+                }
+            }
+            std::swap(src, dst);
+        }
+        // After the loop the final state is in `src`; in simulated
+        // memory it is gridB after an odd number of iterations,
+        // gridA after an even number.
+        Addr final_addr = (iters % 2 == 1) ? b_addr : a_addr;
+        for (std::int64_t i = 0; i < g * g; ++i) {
+            double got = readDouble(mem.image(),
+                                    final_addr +
+                                        static_cast<Addr>(i * 8));
+            if (!nearlyEqual(got, src[i])) {
+                return VerifyResult::fail(
+                    format("grid[%lld]: got %.17g expected %.17g",
+                           static_cast<long long>(i), got, src[i]));
+            }
+        }
+        return VerifyResult::pass();
+    };
+    return image;
+}
+
+} // namespace sdsp

@@ -1,0 +1,817 @@
+/**
+ * @file
+ * Group I benchmarks: six Livermore loops (LL1, LL2, LL3, LL5, LL7,
+ * LL11), chosen as in the paper for their varying amounts and
+ * granularities of data parallelism:
+ *
+ *  - LL1 (hydro fragment) and LL7 (equation of state) are
+ *    embarrassingly parallel, FP-multiply/add heavy;
+ *  - LL2 (ICCG) is a reduction tree with a barrier per level;
+ *  - LL3 (inner product) is a reduction with per-thread partials;
+ *  - LL5 (tri-diagonal elimination) carries a strict cross-iteration
+ *    dependency and needs explicit producer-consumer synchronization —
+ *    this is the loop the paper singles out for consistently *negative*
+ *    multithreading speedup;
+ *  - LL11 (first sum) is a recurrence parallelized as a two-phase scan.
+ */
+
+#include "workloads/livermore.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/emit_util.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+/** Scale a base size by a percentage, with a floor. */
+std::int64_t
+scaled(std::int64_t base, unsigned scale, std::int64_t floor = 8)
+{
+    std::int64_t value = base * static_cast<std::int64_t>(scale) / 100;
+    return std::max(value, floor);
+}
+
+/** Chunk bounds used by emitPartition (last thread takes the rest). */
+std::pair<std::int64_t, std::int64_t>
+chunkOf(std::int64_t n, unsigned nth, unsigned t)
+{
+    std::int64_t chunk = n / nth;
+    std::int64_t start = chunk * t;
+    std::int64_t end = (t + 1 == nth) ? n : start + chunk;
+    return {start, end};
+}
+
+/** Random doubles in a modest positive range. */
+std::vector<double>
+randomVector(Xorshift64 &rng, std::size_t n, double lo = 0.1,
+             double hi = 1.0)
+{
+    std::vector<double> values(n);
+    for (auto &value : values)
+        value = rng.nextDouble(lo, hi);
+    return values;
+}
+
+VerifyResult
+checkArray(const MainMemory &mem, Addr base,
+           const std::vector<double> &expected, const char *label)
+{
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        double got = readDouble(mem.image(),
+                                base + static_cast<Addr>(i * 8));
+        if (!nearlyEqual(got, expected[i])) {
+            return VerifyResult::fail(
+                format("%s[%zu]: got %.17g expected %.17g", label, i,
+                       got, expected[i]));
+        }
+    }
+    return VerifyResult::pass();
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// LL1: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+// --------------------------------------------------------------------
+
+std::string
+LL1Workload::name() const
+{
+    return "LL1";
+}
+
+WorkloadImage
+LL1Workload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = scaled(600, scale);
+    const int reps = 8;
+    const double q = 0.5, r = 0.2, t = 0.1;
+
+    Xorshift64 rng(0x11A0 + n);
+    std::vector<double> y = randomVector(rng, n);
+    std::vector<double> z = randomVector(rng, n + 11);
+
+    ProgramBuilder b;
+    Addr x_addr = b.array("x", static_cast<std::uint32_t>(n));
+    // y[k] fully aliases x[k] (power-of-two-style placement): the
+    // 2-way cache absorbs the pair, a direct-mapped one ping-pongs.
+    padToCacheAlias(b, "pad_xy", x_addr);
+    Addr y_addr = b.arrayOf("y", y);
+    Addr z_addr = b.arrayOf("z", z);
+    b.arrayOf("consts", {q, r, t});
+
+    emitPrologue(b);
+    emitPartition(b, "part", n, 6, 7);
+    b.la(6, "x").la(7, "y").la(8, "z");
+    b.la(13, "consts");
+    b.ld(9, 0, 13).ld(10, 8, 13).ld(11, 16, 13); // q, r, t
+    b.ldi(17, reps);
+
+    b.label("rep");
+    b.mov(12, reg::start);
+    b.label("loop");
+    b.bge(12, reg::end, "loop_end");
+    b.slli(13, 12, 3);
+    b.add(18, 8, 13);       // &z[k]
+    b.ld(14, 80, 18);       // z[k+10]
+    b.ld(15, 88, 18);       // z[k+11]
+    b.fmul(14, 10, 14);     // r*z[k+10]
+    b.fmul(15, 11, 15);     // t*z[k+11]
+    b.fadd(14, 14, 15);
+    b.add(18, 7, 13);
+    b.ld(15, 0, 18);        // y[k]
+    b.fmul(14, 15, 14);
+    b.fadd(14, 9, 14);      // q + ...
+    b.add(18, 6, 13);
+    b.st(14, 0, 18);
+    b.addi(12, 12, 1);
+    b.j("loop");
+    b.label("loop_end");
+    b.addi(17, 17, -1);
+    b.bne(17, reg::zero, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    (void)y_addr;
+    (void)z_addr;
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> expected(n);
+        for (std::int64_t k = 0; k < n; ++k) {
+            expected[k] =
+                q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+        }
+        return checkArray(mem, x_addr, expected, "x");
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// LL2: ICCG (incomplete Cholesky conjugate gradient) reduction tree
+// --------------------------------------------------------------------
+
+std::string
+LL2Workload::name() const
+{
+    return "LL2";
+}
+
+WorkloadImage
+LL2Workload::build(unsigned num_threads, unsigned scale) const
+{
+    // n must be a power of two for the halving tree.
+    std::int64_t n = 16;
+    while (n * 2 <= scaled(512, scale, 16))
+        n *= 2;
+    const int reps = 4;
+    const unsigned levels = log2i(static_cast<std::uint64_t>(n));
+    const unsigned barrier_rows = levels * reps;
+
+    Xorshift64 rng(0x11A2 + n);
+    std::vector<double> x0 = randomVector(rng, 2 * n);
+    std::vector<double> v = randomVector(rng, 2 * n, 0.01, 0.2);
+
+    ProgramBuilder b;
+    Addr x_addr = b.arrayOf("x", x0);
+    // De-alias the cache sets of x[k] and v[k]: without padding the
+    // power-of-two arrays put every pair in the same set.
+    b.array("pad_xv", 5);
+    b.arrayOf("v", v);
+    b.array("flags", barrier_rows * 8);
+
+    emitPrologue(b);
+    b.la(6, "x").la(7, "v").la(8, "flags");
+    b.ldi(17, 0);      // barrier row index
+    b.li(19, reps);
+
+    // Emit the loop body for iteration j (in r12) of the current
+    // level: k = ipnt+1+2j, i = ipntp+j,
+    // x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1].
+    auto emit_body = [&]() {
+        b.slli(13, 12, 1);
+        b.add(13, 13, 10);
+        b.addi(13, 13, 1);   // k
+        b.slli(13, 13, 3);
+        b.add(13, 6, 13);    // &x[k]
+        b.ld(14, 0, 13);     // x[k]
+        b.ld(15, -8, 13);    // x[k-1]
+        b.ld(16, 8, 13);     // x[k+1]
+        b.sub(18, 13, 6);
+        b.add(18, 7, 18);    // &v[k]
+        b.ld(20, 0, 18);
+        b.fmul(15, 20, 15);  // v[k]*x[k-1]
+        b.ld(20, 8, 18);
+        b.fmul(16, 20, 16);  // v[k+1]*x[k+1]
+        b.fsub(14, 14, 15);
+        b.fsub(14, 14, 16);
+        b.add(18, 11, 12);   // i = ipntp + j
+        b.slli(18, 18, 3);
+        b.add(18, 6, 18);
+        b.st(14, 0, 18);
+    };
+
+    b.label("rep");
+    b.li(9, n);        // ii = n
+    b.ldi(11, 0);      // ipntp = 0
+    b.label("level");
+    b.mov(10, 11);     // ipnt = ipntp
+    b.add(11, 11, 9);  // ipntp += ii
+    b.srai(9, 9, 1);   // ii /= 2
+    // The level's last iteration (j = ii-1) reads x[ipntp], which the
+    // level's FIRST iteration writes, so it cannot be distributed
+    // freely: iterations j in [0, ii-1) are partitioned across
+    // threads with a CEILING chunk (so thread 0 always owns j = 0),
+    // and thread 0 runs j = ii-1 after its chunk, making the
+    // dependence thread-local and the result deterministic and
+    // serial-equivalent.
+    b.addi(16, 9, -1); // m = ii - 1 parallel iterations
+    b.add(18, 16, reg::nth);
+    b.addi(18, 18, -1);
+    b.div(18, 18, reg::nth); // chunk = ceil(m / nth)
+    b.mul(reg::start, reg::tid, 18);
+    b.add(reg::end, reg::start, 18);
+    b.bge(16, reg::start, "clamp1");
+    b.mov(reg::start, 16);
+    b.label("clamp1");
+    b.bge(16, reg::end, "clamp2");
+    b.mov(reg::end, 16);
+    b.label("clamp2");
+    b.mov(12, reg::start);
+    b.label("jloop");
+    b.bge(12, reg::end, "jend");
+    emit_body();
+    b.addi(12, 12, 1);
+    b.j("jloop");
+    b.label("jend");
+    // Thread 0: the dependent last iteration.
+    b.bne(reg::tid, reg::zero, "skiplast");
+    b.addi(12, 9, -1); // j = ii - 1
+    emit_body();
+    b.label("skiplast");
+    // Barrier between tree levels.
+    b.slli(18, 17, 6);
+    b.add(18, 8, 18);
+    emitBarrier(b, "bar", 18, 13, 14, 20);
+    b.addi(17, 17, 1);
+    b.ldi(18, 1);
+    b.blt(18, 9, "level");
+    b.addi(19, 19, -1);
+    b.bne(19, reg::zero, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> x = x0;
+        for (int rep = 0; rep < reps; ++rep) {
+            std::int64_t ii = n, ipntp = 0;
+            do {
+                std::int64_t ipnt = ipntp;
+                ipntp += ii;
+                ii /= 2;
+                std::int64_t i = ipntp - 1;
+                for (std::int64_t k = ipnt + 1; k < ipntp; k += 2) {
+                    ++i;
+                    x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+                }
+            } while (ii > 1);
+        }
+        return checkArray(mem, x_addr, x, "x");
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// LL3: inner product q = sum x[k]*z[k]
+// --------------------------------------------------------------------
+
+std::string
+LL3Workload::name() const
+{
+    return "LL3";
+}
+
+WorkloadImage
+LL3Workload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = scaled(1080, scale);
+    const int reps = 8;
+
+    Xorshift64 rng(0x11A3 + n);
+    std::vector<double> x = randomVector(rng, n);
+    std::vector<double> z = randomVector(rng, n);
+
+    ProgramBuilder b;
+    Addr ll3_x_addr = b.arrayOf("x", x);
+    // z[k] fully aliases x[k] (see padToCacheAlias): associativity
+    // absorbs the pair; a direct-mapped cache conflicts on it.
+    padToCacheAlias(b, "pad_xz", ll3_x_addr);
+    b.arrayOf("z", z);
+    b.array("partial", 8);
+    Addr result_addr = b.dword("result", 0);
+    b.array("flags", static_cast<std::uint32_t>(reps) * 8);
+
+    emitPrologue(b);
+    emitPartition(b, "part", n, 6, 7);
+    b.la(6, "x").la(7, "z").la(8, "partial").la(9, "flags");
+    b.la(18, "result");
+    b.li(14, reps);
+
+    b.label("rep");
+    b.ldi(11, 0); // sum = 0.0 (bit pattern of +0.0)
+    b.mov(10, reg::start);
+    b.label("loop");
+    b.bge(10, reg::end, "loop_end");
+    b.slli(12, 10, 3);
+    b.add(13, 6, 12);
+    b.ld(15, 0, 13);
+    b.add(13, 7, 12);
+    b.ld(16, 0, 13);
+    b.fmul(15, 15, 16);
+    b.fadd(11, 11, 15);
+    b.addi(10, 10, 1);
+    b.j("loop");
+    b.label("loop_end");
+    // partial[tid] = sum
+    b.slli(12, reg::tid, 3);
+    b.add(12, 8, 12);
+    b.st(11, 0, 12);
+    // Barrier row for this rep: flags + (reps - remaining)*64.
+    b.li(13, reps);
+    b.sub(13, 13, 14);
+    b.slli(13, 13, 6);
+    b.add(13, 9, 13);
+    emitBarrier(b, "bar", 13, 12, 15, 16);
+    // Thread 0 reduces the partials in thread order.
+    b.bne(reg::tid, reg::zero, "skip_reduce");
+    b.ldi(11, 0);
+    b.ldi(10, 0);
+    b.label("red");
+    b.bge(10, reg::nth, "red_end");
+    b.slli(12, 10, 3);
+    b.add(12, 8, 12);
+    b.ld(15, 0, 12);
+    b.fadd(11, 11, 15);
+    b.addi(10, 10, 1);
+    b.j("red");
+    b.label("red_end");
+    b.st(11, 0, 18);
+    b.label("skip_reduce");
+    b.addi(14, 14, -1);
+    b.bne(14, reg::zero, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        double total = 0.0;
+        for (unsigned t = 0; t < num_threads; ++t) {
+            auto [lo, hi] = chunkOf(n, num_threads, t);
+            double partial = 0.0;
+            for (std::int64_t k = lo; k < hi; ++k)
+                partial += x[k] * z[k];
+            total += partial;
+        }
+        double got = readDouble(mem.image(), result_addr);
+        if (!nearlyEqual(got, total)) {
+            return VerifyResult::fail(format(
+                "result: got %.17g expected %.17g", got, total));
+        }
+        return VerifyResult::pass();
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// LL5: tri-diagonal elimination x[i] = z[i]*(y[i] - x[i-1])
+// --------------------------------------------------------------------
+
+std::string
+LL5Workload::name() const
+{
+    return "LL5";
+}
+
+WorkloadImage
+LL5Workload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = scaled(1024, scale);
+    const int reps = 4;
+    // The recurrence x[i] = z[i]*(y[i] - x[i-1]) is distributed
+    // block-cyclically: thread t owns blocks k with k mod nth == t,
+    // and a block may start only after its predecessor block (owned
+    // by another thread when nth > 1) has published its results. The
+    // per-block producer-consumer flags are the "explicit
+    // synchronization primitives" the paper inserts into this loop,
+    // and their cost — a cross-thread store-visibility latency per
+    // block — is why LL5 is the suite's negative-speedup benchmark.
+    const std::int64_t block = 8;
+    const std::int64_t nblocks = (n - 1 + block - 1) / block;
+
+    Xorshift64 rng(0x11A5 + n);
+    std::vector<double> x0 = randomVector(rng, n);
+    std::vector<double> y = randomVector(rng, n);
+    std::vector<double> z = randomVector(rng, n, 0.1, 0.9);
+
+    ProgramBuilder b;
+    Addr x_addr = b.arrayOf("x", x0);
+    // De-alias the cache sets of the three streamed arrays.
+    b.array("pad_xy", 5);
+    b.arrayOf("y", y);
+    b.array("pad_yz", 9);
+    b.arrayOf("z", z);
+    // flags[k] = completed-rep count of block k-1; flags[0] is the
+    // virtual predecessor of block 0 and starts satisfied forever.
+    std::vector<std::uint64_t> flag_init(nblocks + 1, 0);
+    flag_init[0] = static_cast<std::uint64_t>(reps);
+    b.arrayOfWords("flags", flag_init);
+
+    emitPrologue(b);
+    b.la(6, "x").la(7, "y").la(8, "z").la(9, "flags");
+    b.li(15, nblocks);
+    b.ldi(14, 1); // target = rep + 1
+
+    b.label("rep");
+    b.mov(11, reg::tid); // k = tid
+    b.label("bloop");
+    b.bge(11, 15, "bend");
+    // Wait for the predecessor block: flags[k] >= target.
+    b.slli(12, 11, 3);
+    b.add(12, 9, 12);
+    b.label("bwait");
+    b.spin();
+    b.ld(13, 0, 12);
+    b.blt(13, 14, "bwait");
+    // Element range of block k: [1 + k*B, min(1 + (k+1)*B, n)).
+    b.li(13, block);
+    b.mul(10, 11, 13);
+    b.addi(10, 10, 1);
+    b.add(16, 10, 13);
+    b.li(13, n);
+    b.bge(13, 16, "hiok");
+    b.mov(16, 13);
+    b.label("hiok");
+    b.label("eloop");
+    b.bge(10, 16, "eend");
+    b.slli(12, 10, 3);
+    b.add(17, 6, 12);
+    b.ld(18, -8, 17);   // x[i-1]
+    b.add(19, 7, 12);
+    b.ld(19, 0, 19);    // y[i]
+    b.fsub(19, 19, 18);
+    b.add(18, 8, 12);
+    b.ld(18, 0, 18);    // z[i]
+    b.fmul(19, 18, 19);
+    b.st(19, 0, 17);    // x[i]
+    b.addi(10, 10, 1);
+    b.j("eloop");
+    b.label("eend");
+    // Publish: flags[k+1] = target.
+    b.addi(12, 11, 1);
+    b.slli(12, 12, 3);
+    b.add(12, 9, 12);
+    b.st(14, 0, 12);
+    b.add(11, 11, reg::nth); // next owned block
+    b.j("bloop");
+    b.label("bend");
+    b.addi(14, 14, 1);
+    b.li(12, reps);
+    b.bge(12, 14, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> x = x0;
+        for (std::int64_t i = 1; i < n; ++i)
+            x[i] = z[i] * (y[i] - x[i - 1]);
+        return checkArray(mem, x_addr, x, "x");
+    };
+    return image;
+}
+
+
+// --------------------------------------------------------------------
+// LL5sched: LL5 with software-scheduled (coarse-grained) sync
+// --------------------------------------------------------------------
+
+std::string
+LL5SchedWorkload::name() const
+{
+    return "LL5sched";
+}
+
+WorkloadImage
+LL5SchedWorkload::build(unsigned num_threads, unsigned scale) const
+{
+    // Identical recurrence and data to LL5, but each thread owns ONE
+    // contiguous chunk and synchronizes once per repetition: thread t
+    // waits for thread t-1's chunk-done flag of the same rep, then
+    // signals its own. Repetition r+1 of thread t-1 overlaps with
+    // repetition r of thread t, so the chain pipelines across reps --
+    // the "dividing tasks judiciously" rearrangement of section 6.1.
+    const std::int64_t n = scaled(1024, scale);
+    const int reps = 4;
+
+    Xorshift64 rng(0x11A5 + n); // same data as LL5
+    std::vector<double> x0 = randomVector(rng, n);
+    std::vector<double> y = randomVector(rng, n);
+    std::vector<double> z = randomVector(rng, n, 0.1, 0.9);
+
+    ProgramBuilder b;
+    Addr x_addr = b.arrayOf("x", x0);
+    b.array("pad_xy", 5);
+    b.arrayOf("y", y);
+    b.array("pad_yz", 9);
+    b.arrayOf("z", z);
+    b.array("flags", static_cast<std::uint32_t>(reps) * 8);
+
+    emitPrologue(b);
+    emitPartition(b, "part", n - 1, 6, 7);
+    b.addi(reg::start, reg::start, 1);
+    b.addi(reg::end, reg::end, 1);
+    b.la(6, "x").la(7, "y").la(8, "z").la(9, "flags");
+    b.li(14, reps);
+    b.ldi(15, 0); // rep index
+
+    b.label("rep");
+    // Wait once for the previous thread's chunk of this rep.
+    b.slli(13, 15, 6);
+    b.add(13, 9, 13); // this rep's flag row
+    b.beq(reg::tid, reg::zero, "nowait");
+    b.slli(12, reg::tid, 3);
+    b.add(12, 13, 12);
+    b.addi(12, 12, -8); // &row[tid-1]
+    emitSpinWaitNonzero(b, "wait", 12, 16);
+    b.label("nowait");
+    b.mov(10, reg::start);
+    b.label("loop");
+    b.bge(10, reg::end, "loop_end");
+    b.slli(12, 10, 3);
+    b.add(16, 6, 12);
+    b.ld(17, -8, 16);   // x[i-1]
+    b.add(18, 7, 12);
+    b.ld(18, 0, 18);    // y[i]
+    b.fsub(18, 18, 17);
+    b.add(19, 8, 12);
+    b.ld(19, 0, 19);    // z[i]
+    b.fmul(18, 19, 18);
+    b.st(18, 0, 16);    // x[i]
+    b.addi(10, 10, 1);
+    b.j("loop");
+    b.label("loop_end");
+    // Signal the next thread.
+    b.slli(12, reg::tid, 3);
+    b.add(12, 13, 12);
+    b.ldi(16, 1);
+    b.st(16, 0, 12);
+    b.addi(15, 15, 1);
+    b.addi(14, 14, -1);
+    b.bne(14, reg::zero, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> x = x0;
+        for (std::int64_t i = 1; i < n; ++i)
+            x[i] = z[i] * (y[i] - x[i - 1]);
+        return checkArray(mem, x_addr, x, "x");
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// LL7: equation of state fragment
+// --------------------------------------------------------------------
+
+std::string
+LL7Workload::name() const
+{
+    return "LL7";
+}
+
+WorkloadImage
+LL7Workload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = scaled(390, scale);
+    const int reps = 8;
+    const double q = 0.5, r = 0.3, t = 0.2;
+
+    Xorshift64 rng(0x11A7 + n);
+    std::vector<double> y = randomVector(rng, n);
+    std::vector<double> z = randomVector(rng, n);
+    std::vector<double> u = randomVector(rng, n + 6);
+
+    ProgramBuilder b;
+    Addr x_addr = b.array("x", static_cast<std::uint32_t>(n));
+    b.arrayOf("y", y);
+    b.arrayOf("z", z);
+    b.arrayOf("u", u);
+    b.arrayOf("consts", {q, r, t});
+
+    emitPrologue(b);
+    emitPartition(b, "part", n, 6, 7);
+    b.la(6, "x").la(7, "y").la(8, "z").la(9, "u");
+    b.la(13, "consts");
+    b.ld(10, 0, 13).ld(11, 8, 13).ld(12, 16, 13); // q, r, t
+    b.ldi(20, reps);
+
+    b.label("rep");
+    b.mov(13, reg::start);
+    b.label("loop");
+    b.bge(13, reg::end, "loop_end");
+    b.slli(14, 13, 3);
+    b.add(19, 9, 14);   // &u[k]
+    b.ld(15, 32, 19);   // u[k+4]
+    b.fmul(15, 10, 15);
+    b.ld(16, 40, 19);   // u[k+5]
+    b.fadd(15, 16, 15);
+    b.fmul(15, 10, 15);
+    b.ld(16, 48, 19);   // u[k+6]
+    b.fadd(15, 16, 15); // inner3
+    b.ld(16, 8, 19);    // u[k+1]
+    b.fmul(16, 11, 16);
+    b.ld(17, 16, 19);   // u[k+2]
+    b.fadd(16, 17, 16);
+    b.fmul(16, 11, 16);
+    b.ld(17, 24, 19);   // u[k+3]
+    b.fadd(16, 17, 16); // inner2
+    b.fmul(15, 12, 15); // t*inner3
+    b.fadd(16, 16, 15); // inner2 + t*inner3
+    b.fmul(16, 12, 16); // t*(...)
+    b.add(19, 7, 14);
+    b.ld(15, 0, 19);    // y[k]
+    b.fmul(15, 11, 15);
+    b.add(19, 8, 14);
+    b.ld(17, 0, 19);    // z[k]
+    b.fadd(15, 17, 15);
+    b.fmul(15, 11, 15); // r*(z + r*y)
+    b.add(19, 9, 14);
+    b.ld(17, 0, 19);    // u[k]
+    b.fadd(15, 17, 15);
+    b.fadd(15, 15, 16);
+    b.add(19, 6, 14);
+    b.st(15, 0, 19);
+    b.addi(13, 13, 1);
+    b.j("loop");
+    b.label("loop_end");
+    b.addi(20, 20, -1);
+    b.bne(20, reg::zero, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> expected(n);
+        for (std::int64_t k = 0; k < n; ++k) {
+            double in3 = u[k + 6] + q * (u[k + 5] + q * u[k + 4]);
+            double in2 = u[k + 3] + r * (u[k + 2] + r * u[k + 1]);
+            double v = u[k] + r * (z[k] + r * y[k]);
+            v = v + t * (in2 + t * in3);
+            expected[k] = v;
+        }
+        return checkArray(mem, x_addr, expected, "x");
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// LL11: first sum x[k] = x[k-1] + y[k], as a two-phase parallel scan
+// --------------------------------------------------------------------
+
+std::string
+LL11Workload::name() const
+{
+    return "LL11";
+}
+
+WorkloadImage
+LL11Workload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = scaled(1080, scale);
+    const int reps = 4;
+
+    Xorshift64 rng(0x11AB + n);
+    std::vector<double> y = randomVector(rng, n);
+
+    ProgramBuilder b;
+    Addr x_addr = b.array("x", static_cast<std::uint32_t>(n));
+    // y[k] fully aliases x[k]: the phase-1 read/write pair conflicts
+    // in a direct-mapped cache and coexists in the 2-way one.
+    padToCacheAlias(b, "pad_xy", x_addr);
+    b.arrayOf("y", y);
+    b.array("totals", 8);
+    b.array("flags", static_cast<std::uint32_t>(reps) * 2 * 8);
+
+    emitPrologue(b);
+    emitPartition(b, "part", n, 6, 7);
+    b.la(6, "x").la(7, "y").la(8, "totals").la(9, "flags");
+    b.li(14, reps);
+    b.ldi(15, 0); // barrier row index
+
+    b.label("rep");
+    // Phase 1: local prefix sum of the chunk.
+    b.mov(10, reg::start);
+    b.ldi(11, 0); // acc = 0.0
+    b.label("p1");
+    b.bge(10, reg::end, "p1_end");
+    b.slli(12, 10, 3);
+    b.add(13, 7, 12);
+    b.ld(16, 0, 13);
+    b.fadd(11, 11, 16);
+    b.add(13, 6, 12);
+    b.st(11, 0, 13);
+    b.addi(10, 10, 1);
+    b.j("p1");
+    b.label("p1_end");
+    b.slli(12, reg::tid, 3);
+    b.add(12, 8, 12);
+    b.st(11, 0, 12); // totals[tid]
+    b.slli(12, 15, 6);
+    b.add(12, 9, 12);
+    emitBarrier(b, "b1", 12, 13, 16, 17);
+    b.addi(15, 15, 1);
+    // Offset = sum of totals of earlier threads.
+    b.ldi(11, 0);
+    b.ldi(10, 0);
+    b.label("off");
+    b.bge(10, reg::tid, "off_end");
+    b.slli(12, 10, 3);
+    b.add(12, 8, 12);
+    b.ld(16, 0, 12);
+    b.fadd(11, 11, 16);
+    b.addi(10, 10, 1);
+    b.j("off");
+    b.label("off_end");
+    // Phase 2: add the offset across the chunk.
+    b.mov(10, reg::start);
+    b.label("p2");
+    b.bge(10, reg::end, "p2_end");
+    b.slli(12, 10, 3);
+    b.add(13, 6, 12);
+    b.ld(16, 0, 13);
+    b.fadd(16, 16, 11);
+    b.st(16, 0, 13);
+    b.addi(10, 10, 1);
+    b.j("p2");
+    b.label("p2_end");
+    b.slli(12, 15, 6);
+    b.add(12, 9, 12);
+    emitBarrier(b, "b2", 12, 13, 16, 17);
+    b.addi(15, 15, 1);
+    b.addi(14, 14, -1);
+    b.bne(14, reg::zero, "rep");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        // Replicate the scan's summation grouping exactly.
+        std::vector<double> totals(num_threads, 0.0);
+        std::vector<double> expected(n, 0.0);
+        for (unsigned t = 0; t < num_threads; ++t) {
+            auto [lo, hi] = chunkOf(n, num_threads, t);
+            double acc = 0.0;
+            for (std::int64_t k = lo; k < hi; ++k) {
+                acc += y[k];
+                expected[k] = acc;
+            }
+            totals[t] = acc;
+        }
+        for (unsigned t = 0; t < num_threads; ++t) {
+            auto [lo, hi] = chunkOf(n, num_threads, t);
+            double offset = 0.0;
+            for (unsigned u = 0; u < t; ++u)
+                offset += totals[u];
+            for (std::int64_t k = lo; k < hi; ++k)
+                expected[k] += offset;
+        }
+        return checkArray(mem, x_addr, expected, "x");
+    };
+    return image;
+}
+
+} // namespace sdsp

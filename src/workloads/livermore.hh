@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Group I benchmark declarations: the six simulated Livermore loops.
+ * See livermore.cc for what each kernel computes and how it is
+ * parallelized.
+ */
+
+#ifndef SDSP_WORKLOADS_LIVERMORE_HH
+#define SDSP_WORKLOADS_LIVERMORE_HH
+
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+
+/** Base for Group I benchmarks. */
+class LivermoreWorkload : public Workload
+{
+  public:
+    BenchmarkGroup
+    group() const override
+    {
+        return BenchmarkGroup::LivermoreLoops;
+    }
+};
+
+/** LL1: hydro fragment (embarrassingly parallel FP). */
+class LL1Workload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** LL2: ICCG reduction tree with per-level barriers. */
+class LL2Workload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** LL3: inner product with per-thread partial sums. */
+class LL3Workload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** LL5: tri-diagonal elimination; serial recurrence with explicit
+ *  producer-consumer synchronization (negative-speedup case). */
+class LL5Workload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/**
+ * LL5sched: the software-scheduling alternative of paper section 6.1
+ * item 4 applied to LL5 — the same tri-diagonal recurrence, but with
+ * the synchronization restructured from per-block producer-consumer
+ * flags to one coarse chunk-done flag per thread per repetition,
+ * which pipelines successive repetitions across threads. Registered
+ * as an extension benchmark (not one of the paper's eleven).
+ */
+class LL5SchedWorkload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** LL7: equation of state fragment (FP-dense, parallel). */
+class LL7Workload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+/** LL11: first sum as a two-phase parallel prefix scan. */
+class LL11Workload : public LivermoreWorkload
+{
+  public:
+    std::string name() const override;
+    WorkloadImage build(unsigned num_threads,
+                        unsigned scale) const override;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_WORKLOADS_LIVERMORE_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Group II integer-flavoured benchmarks: Matrix (dense multiply,
+ * FP arithmetic + heavy integer index multiplies) and Sieve (pure
+ * integer, divide-heavy, irregular store pattern).
+ */
+
+#include "workloads/group2.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/emit_util.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+std::int64_t
+scaled(std::int64_t base, unsigned scale, std::int64_t floor = 4)
+{
+    std::int64_t value = base * static_cast<std::int64_t>(scale) / 100;
+    return std::max(value, floor);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Matrix: C = A x B, rows of C partitioned across threads
+// --------------------------------------------------------------------
+
+std::string
+MatrixWorkload::name() const
+{
+    return "Matrix";
+}
+
+WorkloadImage
+MatrixWorkload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t m = scaled(20, scale);
+
+    Xorshift64 rng(0x3A7 + m);
+    std::vector<double> a(m * m), bmat(m * m);
+    for (auto &value : a)
+        value = rng.nextDouble(-1.0, 1.0);
+    for (auto &value : bmat)
+        value = rng.nextDouble(-1.0, 1.0);
+
+    ProgramBuilder b;
+    Addr a_addr = b.arrayOf("A", a);
+    b.arrayOf("B", bmat);
+    Addr c_addr = b.array("C", static_cast<std::uint32_t>(m * m));
+    (void)a_addr;
+
+    emitPrologue(b);
+    emitPartition(b, "part", m, 6, 7); // rows
+    b.la(6, "A").la(7, "B").la(8, "C");
+    b.li(9, m);
+
+    b.mov(10, reg::start);
+    b.label("iloop");
+    b.bge(10, reg::end, "iend");
+    b.mul(19, 10, 9);
+    b.slli(19, 19, 3);
+    b.add(19, 6, 19);  // &A[i][0]
+    b.ldi(11, 0);
+    b.label("jloop");
+    b.bge(11, 9, "jend");
+    b.ldi(13, 0);      // acc = 0.0
+    b.ldi(12, 0);
+    b.label("kloop");
+    b.bge(12, 9, "kend");
+    b.slli(14, 12, 3);
+    b.add(14, 19, 14);
+    b.ld(15, 0, 14);   // A[i][k]
+    b.mul(14, 12, 9);
+    b.add(14, 14, 11);
+    b.slli(14, 14, 3);
+    b.add(14, 7, 14);
+    b.ld(16, 0, 14);   // B[k][j]
+    b.fmul(15, 15, 16);
+    b.fadd(13, 13, 15);
+    b.addi(12, 12, 1);
+    b.j("kloop");
+    b.label("kend");
+    b.mul(14, 10, 9);
+    b.add(14, 14, 11);
+    b.slli(14, 14, 3);
+    b.add(14, 8, 14);
+    b.st(13, 0, 14);   // C[i][j]
+    b.addi(11, 11, 1);
+    b.j("jloop");
+    b.label("jend");
+    b.addi(10, 10, 1);
+    b.j("iloop");
+    b.label("iend");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) {
+                double acc = 0.0;
+                for (std::int64_t k = 0; k < m; ++k)
+                    acc += a[i * m + k] * bmat[k * m + j];
+                double got = readDouble(
+                    mem.image(),
+                    c_addr + static_cast<Addr>((i * m + j) * 8));
+                if (!nearlyEqual(got, acc)) {
+                    return VerifyResult::fail(
+                        format("C[%lld][%lld]: got %.17g expected "
+                               "%.17g",
+                               static_cast<long long>(i),
+                               static_cast<long long>(j), got, acc));
+                }
+            }
+        }
+        return VerifyResult::pass();
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// Sieve: mark composites in [2, limit], segments across threads
+// --------------------------------------------------------------------
+
+std::string
+SieveWorkload::name() const
+{
+    return "Sieve";
+}
+
+WorkloadImage
+SieveWorkload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t limit = scaled(6000, scale, 32);
+
+    // Base primes up to sqrt(limit), computed at build time: the
+    // equivalent of the serial startup phase every thread would
+    // otherwise replicate.
+    std::vector<std::uint64_t> base_primes;
+    for (std::int64_t p = 2; p * p <= limit; ++p) {
+        bool prime = true;
+        for (std::uint64_t q : base_primes) {
+            if (p % static_cast<std::int64_t>(q) == 0) {
+                prime = false;
+                break;
+            }
+        }
+        if (prime)
+            base_primes.push_back(static_cast<std::uint64_t>(p));
+    }
+
+    ProgramBuilder b;
+    Addr flags_addr =
+        b.array("flags", static_cast<std::uint32_t>(limit + 1));
+    b.arrayOfWords("primes", base_primes);
+
+    emitPrologue(b);
+    emitPartition(b, "part", limit - 1, 6, 7);
+    b.addi(reg::start, reg::start, 2);
+    b.addi(reg::end, reg::end, 2);
+    b.la(6, "flags").la(7, "primes");
+    b.li(8, static_cast<std::int64_t>(base_primes.size()));
+
+    b.ldi(9, 0); // prime index
+    b.label("ploop");
+    b.bge(9, 8, "pend");
+    b.slli(12, 9, 3);
+    b.add(12, 7, 12);
+    b.ld(10, 0, 12); // p
+    // lo = first multiple of p that is >= start ...
+    b.div(12, reg::start, 10);
+    b.mul(12, 12, 10);
+    b.bge(12, reg::start, "lo_ok");
+    b.add(12, 12, 10);
+    b.label("lo_ok");
+    // ... and >= p*p (smaller multiples have a smaller factor).
+    b.mul(14, 10, 10);
+    b.bge(12, 14, "qstart");
+    b.mov(12, 14);
+    b.label("qstart");
+    b.mov(11, 12);
+    b.label("qloop");
+    b.bge(11, reg::end, "qend");
+    b.slli(13, 11, 3);
+    b.add(13, 6, 13);
+    b.ldi(15, 1);
+    b.st(15, 0, 13);
+    b.add(11, 11, 10);
+    b.j("qloop");
+    b.label("qend");
+    b.addi(9, 9, 1);
+    b.j("ploop");
+    b.label("pend");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<bool> composite(limit + 1, false);
+        for (std::uint64_t p : base_primes) {
+            for (std::uint64_t q = p * p;
+                 q <= static_cast<std::uint64_t>(limit); q += p) {
+                composite[q] = true;
+            }
+        }
+        for (std::int64_t i = 2; i <= limit; ++i) {
+            std::uint64_t got = readWord(
+                mem.image(), flags_addr + static_cast<Addr>(i * 8));
+            if ((got != 0) != composite[i]) {
+                return VerifyResult::fail(
+                    format("flags[%lld]: got %llu expected %d",
+                           static_cast<long long>(i),
+                           static_cast<unsigned long long>(got),
+                           composite[i] ? 1 : 0));
+            }
+        }
+        return VerifyResult::pass();
+    };
+    return image;
+}
+
+} // namespace sdsp

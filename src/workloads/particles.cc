@@ -1,0 +1,484 @@
+/**
+ * @file
+ * The two molecular-dynamics Group II benchmarks.
+ *
+ * Water: 3-D N-body kernel whose force phase computes
+ * s = 1/(r^2 * sqrt(r^2)) per pair — the FP divide and square root
+ * make it the suite's heavy user of the non-pipelined FP divide unit
+ * (and of Conditional Switch trigger instructions).
+ *
+ * MPD: 2-D cutoff particle kernel; the per-pair cutoff test makes it
+ * branch-heavy FP code with a data-dependent, poorly predictable
+ * branch, a deliberately different profile from Water.
+ *
+ * Both alternate an O(N^2) force phase and an integration phase with
+ * flag-array barriers in between, each thread owning a particle
+ * range, exactly the homogeneous-multitasking structure the paper's
+ * benchmarks use.
+ */
+
+#include "workloads/group2.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/emit_util.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+/** Distinct particle positions on a jittered grid. */
+std::vector<double>
+jitteredPositions(Xorshift64 &rng, std::int64_t n, unsigned dims)
+{
+    std::vector<double> pos(dims * n);
+    std::int64_t side = 1;
+    while (side * side * (dims == 3 ? side : 1) < n)
+        ++side;
+    for (std::int64_t k = 0; k < n; ++k) {
+        std::int64_t cx = k % side;
+        std::int64_t cy = (k / side) % side;
+        std::int64_t cz = k / (side * side);
+        double jitter = 0.2;
+        pos[0 * n + k] =
+            static_cast<double>(cx) + rng.nextDouble(-jitter, jitter);
+        pos[1 * n + k] =
+            static_cast<double>(cy) + rng.nextDouble(-jitter, jitter);
+        if (dims == 3) {
+            pos[2 * n + k] = static_cast<double>(cz) +
+                             rng.nextDouble(-jitter, jitter);
+        }
+    }
+    return pos;
+}
+
+std::pair<std::int64_t, std::int64_t>
+chunkOf(std::int64_t n, unsigned nth, unsigned t)
+{
+    std::int64_t chunk = n / nth;
+    std::int64_t start = chunk * t;
+    std::int64_t end = (t + 1 == nth) ? n : start + chunk;
+    return {start, end};
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Water
+// --------------------------------------------------------------------
+
+std::string
+WaterWorkload::name() const
+{
+    return "Water";
+}
+
+WorkloadImage
+WaterWorkload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = std::max<std::int64_t>(
+        40 * static_cast<std::int64_t>(scale) / 100, 8);
+    const int steps = 2;
+    const double dt = 0.0005;
+    const auto n8 = static_cast<std::int64_t>(n * 8);
+
+    Xorshift64 rng(0x3A7E4 + n);
+    std::vector<double> pos0 = jitteredPositions(rng, n, 3);
+    std::vector<double> vel0(3 * n);
+    for (auto &value : vel0)
+        value = rng.nextDouble(-0.05, 0.05);
+
+    ProgramBuilder b;
+    Addr pos_addr = b.arrayOf("pos", pos0);
+    Addr vel_addr = b.arrayOf("vel", vel0);
+    b.array("force", static_cast<std::uint32_t>(3 * n));
+    b.dvalue("one", 1.0);
+    b.dvalue("dt", dt);
+    b.array("flags", static_cast<std::uint32_t>(steps) * 2 * 8);
+    b.array("stepcnt", 8);
+
+    emitPrologue(b);
+    emitPartition(b, "part", n, 6, 7);
+    b.la(6, "pos").la(7, "vel").la(8, "force").la(9, "flags");
+
+    b.label("step_loop");
+
+    // ---- Force phase over own particles ----
+    b.mov(10, reg::start);
+    b.label("fi");
+    b.bge(10, reg::end, "fi_end");
+    b.ldi(14, 0); // accX = 0.0
+    b.ldi(15, 0); // accY
+    b.ldi(16, 0); // accZ
+    b.ldi(11, 0);
+    b.label("fj");
+    b.li(12, n);
+    b.bge(11, 12, "fj_end");
+    b.beq(11, 10, "fj_next");
+    // dx/dy/dz
+    b.slli(12, 11, 3); // j*8
+    b.slli(13, 10, 3); // i*8
+    b.add(17, 6, 13);
+    b.ld(17, 0, 17);   // px[i]
+    b.add(18, 6, 12);
+    b.ld(18, 0, 18);   // px[j]
+    b.fsub(17, 17, 18); // dx
+    b.li(20, n8);
+    b.add(20, 6, 20);  // &py[0]
+    b.add(18, 20, 13);
+    b.ld(18, 0, 18);
+    b.add(19, 20, 12);
+    b.ld(19, 0, 19);
+    b.fsub(18, 18, 19); // dy
+    b.li(19, n8);
+    b.add(20, 20, 19); // &pz[0]
+    b.add(19, 20, 13);
+    b.ld(19, 0, 19);
+    b.add(20, 20, 12);
+    b.ld(20, 0, 20);
+    b.fsub(19, 19, 20); // dz
+    // r2 = dx^2 + dy^2 + dz^2
+    b.fmul(20, 17, 17);
+    b.fmul(12, 18, 18);
+    b.fadd(20, 20, 12);
+    b.fmul(12, 19, 19);
+    b.fadd(20, 20, 12);
+    // s = 1 / (r2 * sqrt(r2))
+    b.fsqrt(12, 20);
+    b.fmul(20, 20, 12);
+    b.la(13, "one");
+    b.ld(13, 0, 13);
+    b.fdiv(20, 13, 20);
+    // acc += s * d
+    b.fmul(17, 20, 17);
+    b.fadd(14, 14, 17);
+    b.fmul(18, 20, 18);
+    b.fadd(15, 15, 18);
+    b.fmul(19, 20, 19);
+    b.fadd(16, 16, 19);
+    b.label("fj_next");
+    b.addi(11, 11, 1);
+    b.j("fj");
+    b.label("fj_end");
+    // force[i] = acc (three axes)
+    b.slli(12, 10, 3);
+    b.add(13, 8, 12);
+    b.st(14, 0, 13);
+    b.li(20, n8);
+    b.add(13, 13, 20);
+    b.st(15, 0, 13);
+    b.add(13, 13, 20);
+    b.st(16, 0, 13);
+    b.addi(10, 10, 1);
+    b.j("fi");
+    b.label("fi_end");
+
+    // ---- Barrier (forces complete) ----
+    b.la(12, "stepcnt");
+    b.slli(13, reg::tid, 3);
+    b.add(12, 12, 13);
+    b.ld(13, 0, 12);   // step
+    b.slli(13, 13, 7); // step * 2 rows * 64 bytes
+    b.add(13, 9, 13);
+    emitBarrier(b, "wb1", 13, 14, 15, 16);
+
+    // ---- Integration phase over own particles ----
+    b.mov(10, reg::start);
+    b.label("ui");
+    b.bge(10, reg::end, "ui_end");
+    b.la(13, "dt");
+    b.ld(20, 0, 13);
+    b.slli(12, 10, 3);
+    for (int axis = 0; axis < 3; ++axis) {
+        if (axis > 0) {
+            b.li(14, n8);
+            b.add(12, 12, 14);
+        }
+        b.add(13, 8, 12);
+        b.ld(17, 0, 13);   // f
+        b.add(13, 7, 12);
+        b.ld(18, 0, 13);   // v
+        b.fmul(17, 20, 17);
+        b.fadd(18, 18, 17);
+        b.st(18, 0, 13);   // v'
+        b.add(13, 6, 12);
+        b.ld(19, 0, 13);   // p
+        b.fmul(17, 20, 18);
+        b.fadd(19, 19, 17);
+        b.st(19, 0, 13);   // p'
+    }
+    b.addi(10, 10, 1);
+    b.j("ui");
+    b.label("ui_end");
+
+    // ---- Barrier (positions stable), advance step ----
+    b.la(12, "stepcnt");
+    b.slli(13, reg::tid, 3);
+    b.add(12, 12, 13);
+    b.ld(13, 0, 12);
+    b.slli(14, 13, 7);
+    b.addi(14, 14, 64); // second row of this step
+    b.add(14, 9, 14);
+    emitBarrier(b, "wb2", 14, 15, 16, 17);
+    b.addi(13, 13, 1);
+    b.st(13, 0, 12);
+    b.ldi(14, steps);
+    b.blt(13, 14, "step_loop");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> pos = pos0, vel = vel0, force(3 * n, 0.0);
+        for (int step = 0; step < steps; ++step) {
+            for (std::int64_t i = 0; i < n; ++i) {
+                double ax = 0, ay = 0, az = 0;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    if (j == i)
+                        continue;
+                    double dx = pos[i] - pos[j];
+                    double dy = pos[n + i] - pos[n + j];
+                    double dz = pos[2 * n + i] - pos[2 * n + j];
+                    double r2 = dx * dx;
+                    r2 = r2 + dy * dy;
+                    r2 = r2 + dz * dz;
+                    double s = 1.0 / (r2 * std::sqrt(r2));
+                    ax += s * dx;
+                    ay += s * dy;
+                    az += s * dz;
+                }
+                force[i] = ax;
+                force[n + i] = ay;
+                force[2 * n + i] = az;
+            }
+            for (std::int64_t i = 0; i < n; ++i) {
+                for (int axis = 0; axis < 3; ++axis) {
+                    std::int64_t k = axis * n + i;
+                    vel[k] = vel[k] + dt * force[k];
+                    pos[k] = pos[k] + dt * vel[k];
+                }
+            }
+        }
+        for (std::int64_t k = 0; k < 3 * n; ++k) {
+            double got_pos = readDouble(
+                mem.image(), pos_addr + static_cast<Addr>(k * 8));
+            double got_vel = readDouble(
+                mem.image(), vel_addr + static_cast<Addr>(k * 8));
+            if (!nearlyEqual(got_pos, pos[k], 1e-7) ||
+                !nearlyEqual(got_vel, vel[k], 1e-7)) {
+                return VerifyResult::fail(
+                    format("particle state %lld mismatch "
+                           "(pos %.17g/%.17g vel %.17g/%.17g)",
+                           static_cast<long long>(k), got_pos, pos[k],
+                           got_vel, vel[k]));
+            }
+        }
+        return VerifyResult::pass();
+    };
+    return image;
+}
+
+// --------------------------------------------------------------------
+// MPD
+// --------------------------------------------------------------------
+
+std::string
+MpdWorkload::name() const
+{
+    return "MPD";
+}
+
+WorkloadImage
+MpdWorkload::build(unsigned num_threads, unsigned scale) const
+{
+    const std::int64_t n = std::max<std::int64_t>(
+        48 * static_cast<std::int64_t>(scale) / 100, 8);
+    const int steps = 2;
+    const double dt = 0.001;
+    const double cut2 = 2.25; // cutoff radius^2
+    const auto n8 = static_cast<std::int64_t>(n * 8);
+
+    Xorshift64 rng(0x3D7B + n);
+    std::vector<double> pos0 = jitteredPositions(rng, n, 2);
+    std::vector<double> vel0(2 * n);
+    for (auto &value : vel0)
+        value = rng.nextDouble(-0.05, 0.05);
+
+    ProgramBuilder b;
+    Addr pos_addr = b.arrayOf("pos", pos0);
+    Addr vel_addr = b.arrayOf("vel", vel0);
+    b.array("force", static_cast<std::uint32_t>(2 * n));
+    b.dvalue("cut2", cut2);
+    b.dvalue("dt", dt);
+    b.array("flags", static_cast<std::uint32_t>(steps) * 2 * 8);
+    b.array("stepcnt", 8);
+
+    emitPrologue(b);
+    emitPartition(b, "part", n, 6, 7);
+    b.la(6, "pos").la(7, "vel").la(8, "force").la(9, "flags");
+
+    b.label("step_loop");
+
+    // ---- Force phase ----
+    b.mov(10, reg::start);
+    b.label("fi");
+    b.bge(10, reg::end, "fi_end");
+    b.ldi(14, 0); // accX
+    b.ldi(15, 0); // accY
+    b.ldi(11, 0);
+    b.label("fj");
+    b.li(12, n);
+    b.bge(11, 12, "fj_end");
+    b.beq(11, 10, "fj_next");
+    b.slli(12, 11, 3);
+    b.slli(13, 10, 3);
+    b.add(17, 6, 13);
+    b.ld(17, 0, 17);
+    b.add(18, 6, 12);
+    b.ld(18, 0, 18);
+    b.fsub(17, 17, 18); // dx
+    b.li(20, n8);
+    b.add(20, 6, 20);
+    b.add(18, 20, 13);
+    b.ld(18, 0, 18);
+    b.add(19, 20, 12);
+    b.ld(19, 0, 19);
+    b.fsub(18, 18, 19); // dy
+    b.fmul(19, 17, 17);
+    b.fmul(20, 18, 18);
+    b.fadd(19, 19, 20); // s = dx^2 + dy^2
+    b.la(20, "cut2");
+    b.ld(20, 0, 20);
+    // The cutoff test: a data-dependent branch per pair.
+    b.fcmplt(12, 19, 20);
+    b.beq(12, reg::zero, "fj_next");
+    b.fsub(20, 20, 19); // w = cut2 - s
+    b.fmul(17, 20, 17);
+    b.fadd(14, 14, 17); // accX += w*dx
+    b.fmul(18, 20, 18);
+    b.fadd(15, 15, 18); // accY += w*dy
+    b.label("fj_next");
+    b.addi(11, 11, 1);
+    b.j("fj");
+    b.label("fj_end");
+    b.slli(12, 10, 3);
+    b.add(13, 8, 12);
+    b.st(14, 0, 13);
+    b.li(20, n8);
+    b.add(13, 13, 20);
+    b.st(15, 0, 13);
+    b.addi(10, 10, 1);
+    b.j("fi");
+    b.label("fi_end");
+
+    // ---- Barrier ----
+    b.la(12, "stepcnt");
+    b.slli(13, reg::tid, 3);
+    b.add(12, 12, 13);
+    b.ld(13, 0, 12);
+    b.slli(13, 13, 7);
+    b.add(13, 9, 13);
+    emitBarrier(b, "mb1", 13, 14, 15, 16);
+
+    // ---- Integration ----
+    b.mov(10, reg::start);
+    b.label("ui");
+    b.bge(10, reg::end, "ui_end");
+    b.la(13, "dt");
+    b.ld(20, 0, 13);
+    b.slli(12, 10, 3);
+    for (int axis = 0; axis < 2; ++axis) {
+        if (axis > 0) {
+            b.li(14, n8);
+            b.add(12, 12, 14);
+        }
+        b.add(13, 8, 12);
+        b.ld(17, 0, 13);
+        b.add(13, 7, 12);
+        b.ld(18, 0, 13);
+        b.fmul(17, 20, 17);
+        b.fadd(18, 18, 17);
+        b.st(18, 0, 13);
+        b.add(13, 6, 12);
+        b.ld(19, 0, 13);
+        b.fmul(17, 20, 18);
+        b.fadd(19, 19, 17);
+        b.st(19, 0, 13);
+    }
+    b.addi(10, 10, 1);
+    b.j("ui");
+    b.label("ui_end");
+
+    // ---- Barrier + step advance ----
+    b.la(12, "stepcnt");
+    b.slli(13, reg::tid, 3);
+    b.add(12, 12, 13);
+    b.ld(13, 0, 12);
+    b.slli(14, 13, 7);
+    b.addi(14, 14, 64);
+    b.add(14, 9, 14);
+    emitBarrier(b, "mb2", 14, 15, 16, 17);
+    b.addi(13, 13, 1);
+    b.st(13, 0, 12);
+    b.ldi(14, steps);
+    b.blt(13, 14, "step_loop");
+    b.halt();
+
+    WorkloadImage image;
+    image.name = name();
+    image.numThreads = num_threads;
+    image.program = b.finish();
+    image.verify = [=](const MainMemory &mem) {
+        std::vector<double> pos = pos0, vel = vel0, force(2 * n, 0.0);
+        for (int step = 0; step < steps; ++step) {
+            for (std::int64_t i = 0; i < n; ++i) {
+                double ax = 0, ay = 0;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    if (j == i)
+                        continue;
+                    double dx = pos[i] - pos[j];
+                    double dy = pos[n + i] - pos[n + j];
+                    double s = dx * dx;
+                    s = s + dy * dy;
+                    if (s < cut2) {
+                        double w = cut2 - s;
+                        ax += w * dx;
+                        ay += w * dy;
+                    }
+                }
+                force[i] = ax;
+                force[n + i] = ay;
+            }
+            for (std::int64_t i = 0; i < n; ++i) {
+                for (int axis = 0; axis < 2; ++axis) {
+                    std::int64_t k = axis * n + i;
+                    vel[k] = vel[k] + dt * force[k];
+                    pos[k] = pos[k] + dt * vel[k];
+                }
+            }
+        }
+        for (std::int64_t k = 0; k < 2 * n; ++k) {
+            double got_pos = readDouble(
+                mem.image(), pos_addr + static_cast<Addr>(k * 8));
+            double got_vel = readDouble(
+                mem.image(), vel_addr + static_cast<Addr>(k * 8));
+            if (!nearlyEqual(got_pos, pos[k], 1e-7) ||
+                !nearlyEqual(got_vel, vel[k], 1e-7)) {
+                return VerifyResult::fail(
+                    format("particle state %lld mismatch",
+                           static_cast<long long>(k)));
+            }
+        }
+        return VerifyResult::pass();
+    };
+    return image;
+}
+
+} // namespace sdsp

@@ -1,0 +1,67 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/group2.hh"
+#include "workloads/livermore.hh"
+
+namespace sdsp
+{
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const LL1Workload ll1;
+    static const LL2Workload ll2;
+    static const LL3Workload ll3;
+    static const LL5Workload ll5;
+    static const LL7Workload ll7;
+    static const LL11Workload ll11;
+    static const LaplaceWorkload laplace;
+    static const MpdWorkload mpd;
+    static const MatrixWorkload matrix;
+    static const SieveWorkload sieve;
+    static const WaterWorkload water;
+
+    static const std::vector<const Workload *> all = {
+        &ll1, &ll2, &ll3, &ll5, &ll7, &ll11,
+        &laplace, &mpd, &matrix, &sieve, &water,
+    };
+    return all;
+}
+
+const std::vector<const Workload *> &
+extensionWorkloads()
+{
+    static const LL5SchedWorkload ll5sched;
+    static const std::vector<const Workload *> extensions = {
+        &ll5sched,
+    };
+    return extensions;
+}
+
+std::vector<const Workload *>
+workloadsInGroup(BenchmarkGroup group)
+{
+    std::vector<const Workload *> result;
+    for (const Workload *workload : allWorkloads()) {
+        if (workload->group() == group)
+            result.push_back(workload);
+    }
+    return result;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload *workload : allWorkloads()) {
+        if (workload->name() == name)
+            return *workload;
+    }
+    for (const Workload *workload : extensionWorkloads()) {
+        if (workload->name() == name)
+            return *workload;
+    }
+    fatal("no benchmark named '%s'", name.c_str());
+}
+
+} // namespace sdsp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The benchmark suite framework.
+ *
+ * The paper simulates eleven C benchmarks compiled with the SDSP tool
+ * chain, programmed in the homogeneous-multitasking style: all threads
+ * execute the same code on different items of data. Group I is six
+ * Livermore loops (LL1, LL2, LL3, LL5, LL7, LL11); Group II is
+ * Laplace, MPD, Matrix, Sieve and Water.
+ *
+ * Each workload here is a generator: given a thread count and a size
+ * scale it emits the benchmark as SDSP-MT assembly (via
+ * ProgramBuilder), produces the initial data image, and returns a
+ * verifier that checks the final memory image against values computed
+ * independently in C++.
+ */
+
+#ifndef SDSP_WORKLOADS_WORKLOAD_HH
+#define SDSP_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "memory/main_memory.hh"
+
+namespace sdsp
+{
+
+/** The paper's two reporting groups. */
+enum class BenchmarkGroup
+{
+    LivermoreLoops, //!< Group I
+    GroupII,        //!< Group II (Laplace, MPD, Matrix, Sieve, Water)
+};
+
+/** Result of output verification. */
+struct VerifyResult
+{
+    bool ok = true;
+    std::string message;
+
+    static VerifyResult pass() { return {true, ""}; }
+    static VerifyResult
+    fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/** A built, runnable benchmark instance. */
+struct WorkloadImage
+{
+    std::string name;
+    unsigned numThreads = 1;
+    Program program;
+    /** Checks the final data memory against expected outputs. */
+    std::function<VerifyResult(const MainMemory &)> verify;
+};
+
+/** A benchmark generator. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as the paper labels it (e.g. "LL7", "Water"). */
+    virtual std::string name() const = 0;
+
+    /** Reporting group. */
+    virtual BenchmarkGroup group() const = 0;
+
+    /**
+     * Build an instance.
+     *
+     * @param num_threads Parallel threads the code is compiled for.
+     * @param scale       Problem-size scale in percent (100 = the
+     *                    default used by the paper-reproduction
+     *                    benches; tests use smaller values).
+     */
+    virtual WorkloadImage build(unsigned num_threads,
+                                unsigned scale = 100) const = 0;
+};
+
+/** All eleven benchmarks, Group I first, stable order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/**
+ * Extension benchmarks outside the paper's eleven (e.g. LL5sched,
+ * the software-scheduled LL5 variant of paper section 6.1).
+ */
+const std::vector<const Workload *> &extensionWorkloads();
+
+/** Benchmarks of one group, in suite order (extensions excluded). */
+std::vector<const Workload *> workloadsInGroup(BenchmarkGroup group);
+
+/** Find a benchmark (or extension) by name. Fatal if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace sdsp
+
+#endif // SDSP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the text assembler and disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/interpreter.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Assembler, BasicProgramRuns)
+{
+    AssemblyResult result = assemble(R"(
+        ; compute 6 * 7 the slow way
+            ldi  r1, 6
+            ldi  r2, 7
+            ldi  r3, 0
+        loop:
+            add  r3, r3, r2
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+    )");
+    Interpreter interp(result.program, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 3), 42u);
+    EXPECT_EQ(result.maxRegisterUsed, 3u);
+}
+
+TEST(Assembler, MemoryOperandsAndData)
+{
+    AssemblyResult result = assemble(R"(
+        .dword counter 5
+        .words table 10 20 30
+            la   r1, counter
+            ld   r2, 0(r1)
+            la   r3, table
+            ld   r4, 8(r3)
+            add  r2, r2, r4
+            st   r2, 0(r1)
+            halt
+    )");
+    Interpreter interp(result.program, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(readWord(interp.memory(), 0), 25u);
+}
+
+TEST(Assembler, DoubleDirectiveAndFpOps)
+{
+    AssemblyResult result = assemble(R"(
+        .double a 1.5
+        .double b 2.25
+        .double out 0
+            la   r1, a
+            ld   r2, 0(r1)
+            la   r1, b
+            ld   r3, 0(r1)
+            fadd r4, r2, r3
+            la   r1, out
+            st   r4, 0(r1)
+            halt
+    )");
+    Interpreter interp(result.program, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_DOUBLE_EQ(readDouble(interp.memory(), 16), 3.75);
+}
+
+TEST(Assembler, SpaceDirectiveZeroes)
+{
+    AssemblyResult result = assemble(R"(
+        .space buf 3
+            halt
+    )");
+    EXPECT_EQ(result.program.data.size(), 24u);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    AssemblyResult result = assemble(R"(
+            li   r1, 100000
+            mov  r2, r1
+            halt
+    )");
+    Interpreter interp(result.program, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 2), 100000u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    AssemblyResult result = assemble(R"(
+        # hash comment
+        ; semicolon comment
+
+            ldi r1, 1   ; trailing
+            halt        # trailing
+    )");
+    EXPECT_EQ(result.program.code.size(), 2u);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction)
+{
+    AssemblyResult result = assemble(R"(
+            j skip
+            ldi r1, 9
+        skip: halt
+    )");
+    Interpreter interp(result.program, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 0u);
+}
+
+TEST(Assembler, MultithreadOpcodes)
+{
+    AssemblyResult result = assemble(R"(
+            tid  r1
+            nth  r2
+            spin
+            halt
+    )");
+    Interpreter interp(result.program, 2);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 0u);
+    EXPECT_EQ(interp.reg(1, 1), 1u);
+    EXPECT_EQ(interp.reg(1, 2), 2u);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    AssemblyResult result = assemble(R"(
+            ldi r1, 0xff
+            halt
+    )");
+    Interpreter interp(result.program, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 255u);
+}
+
+TEST(Assembler, UnknownMnemonicIsFatal)
+{
+    EXPECT_EXIT(assemble("frobnicate r1, r2\n"),
+                ::testing::ExitedWithCode(1), "line 1");
+}
+
+TEST(Assembler, WrongArityIsFatal)
+{
+    EXPECT_EXIT(assemble("add r1, r2\n"),
+                ::testing::ExitedWithCode(1), "expects 3");
+}
+
+TEST(Assembler, BadRegisterIsFatal)
+{
+    EXPECT_EXIT(assemble("add r1, r200, r2\n"),
+                ::testing::ExitedWithCode(1), "must be a register");
+}
+
+TEST(Assembler, BadMemOperandIsFatal)
+{
+    EXPECT_EXIT(assemble("ld r1, 8[r2]\n"),
+                ::testing::ExitedWithCode(1), "line 1");
+}
+
+TEST(Assembler, UnknownDirectiveIsFatal)
+{
+    EXPECT_EXIT(assemble(".bogus x 1\n"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(Assembler, LayoutOptionApplies)
+{
+    LayoutOptions layout;
+    layout.alignBranchesToBlockEnd = true;
+    AssemblyResult result = assemble(R"(
+            ldi r1, 2
+        top:
+            addi r1, r1, -1
+            bne r1, r0, top
+            halt
+    )", 0, layout);
+    for (std::size_t pc = 0; pc < result.program.code.size(); ++pc) {
+        Instruction inst = Instruction::decode(result.program.code[pc]);
+        if (inst.isControl())
+            EXPECT_EQ(pc % 4, 3u);
+    }
+}
+
+TEST(Disassembler, ListsEveryInstruction)
+{
+    AssemblyResult result = assemble(R"(
+            ldi r1, 5
+            add r2, r1, r1
+            halt
+    )");
+    std::string text = disassemble(result.program);
+    EXPECT_NE(text.find("LDI r1, 5"), std::string::npos);
+    EXPECT_NE(text.find("ADD r2, r1, r1"), std::string::npos);
+    EXPECT_NE(text.find("HALT"), std::string::npos);
+}
+
+TEST(Assembler, RoundTripThroughDisassembly)
+{
+    // Every mnemonic the disassembler prints must reassemble to the
+    // same word (for the register forms it prints canonically).
+    AssemblyResult first = assemble(R"(
+            add r1, r2, r3
+            sub r4, r5, r6
+            fmul r7, r8, r9
+            ldi r1, -5
+            halt
+    )");
+    std::string listing;
+    for (InstWord word : first.program.code)
+        listing += Instruction::decode(word).toString() + "\n";
+    AssemblyResult second = assemble(listing);
+    EXPECT_EQ(first.program.code, second.program.code);
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Bits, ExtractsRightJustified)
+{
+    EXPECT_EQ(bits(0xDEADBEEFull, 31, 16), 0xDEADu);
+    EXPECT_EQ(bits(0xDEADBEEFull, 15, 0), 0xBEEFu);
+    EXPECT_EQ(bits(0xFFull, 3, 0), 0xFu);
+    EXPECT_EQ(bits(0x80000000ull, 31, 31), 1u);
+}
+
+TEST(Bits, SingleBitAndFullWidth)
+{
+    EXPECT_EQ(bits(0x5ull, 0, 0), 1u);
+    EXPECT_EQ(bits(0x5ull, 1, 1), 0u);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(InsertBits, InsertsField)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xAB), 0xAB00u);
+    EXPECT_EQ(insertBits(0xFFFF, 7, 0, 0), 0xFF00u);
+    EXPECT_EQ(insertBits(0, 63, 0, ~0ull), ~0ull);
+}
+
+TEST(InsertBits, DiscardsOverflow)
+{
+    // Field wider than the slot is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1F), 0xFu);
+}
+
+TEST(InsertBits, RoundTripsWithBits)
+{
+    std::uint64_t word = insertBits(0, 23, 17, 0x55);
+    EXPECT_EQ(bits(word, 23, 17), 0x55u);
+    EXPECT_EQ(bits(word, 16, 0), 0u);
+    EXPECT_EQ(bits(word, 31, 24), 0u);
+}
+
+TEST(Sext, SignExtends)
+{
+    EXPECT_EQ(sext(0x3FF, 10), -1);
+    EXPECT_EQ(sext(0x200, 10), -512);
+    EXPECT_EQ(sext(0x1FF, 10), 511);
+    EXPECT_EQ(sext(0, 10), 0);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0x7F, 8), 127);
+}
+
+TEST(IsPowerOf2, Classification)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Log2i, PowersOfTwo)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(256), 8u);
+    EXPECT_EQ(log2i(1ull << 40), 40u);
+}
+
+TEST(FitsSigned, Boundaries)
+{
+    EXPECT_TRUE(fitsSigned(511, 10));
+    EXPECT_TRUE(fitsSigned(-512, 10));
+    EXPECT_FALSE(fitsSigned(512, 10));
+    EXPECT_FALSE(fitsSigned(-513, 10));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(FitsUnsigned, Boundaries)
+{
+    EXPECT_TRUE(fitsUnsigned(0x1FFFF, 17));
+    EXPECT_FALSE(fitsUnsigned(0x20000, 17));
+    EXPECT_TRUE(fitsUnsigned(~0ull, 64));
+}
+
+/** Property sweep: insert-then-extract is the identity for every
+ *  field position and width that fits a 32-bit word. */
+class BitFieldRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitFieldRoundTrip, InsertExtractIdentity)
+{
+    unsigned lo = GetParam();
+    for (unsigned width = 1; lo + width <= 32; width += 3) {
+        unsigned hi = lo + width - 1;
+        std::uint64_t pattern = 0xA5A5A5A5ull;
+        std::uint64_t word = insertBits(0x12345678, hi, lo, pattern);
+        std::uint64_t mask =
+            width >= 64 ? ~0ull : ((1ull << width) - 1);
+        EXPECT_EQ(bits(word, hi, lo), pattern & mask);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, BitFieldRoundTrip,
+                         ::testing::Range(0u, 32u, 5u));
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the programmatic assembler (ProgramBuilder),
+ * including label fix-ups, the data section, pseudo-instructions and
+ * the block-alignment layout passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "isa/interpreter.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Builder, ForwardAndBackwardBranches)
+{
+    ProgramBuilder b;
+    b.ldi(1, 3);
+    b.label("top");
+    b.addi(2, 2, 1);
+    b.addi(1, 1, -1);
+    b.bne(1, 0, "top"); // backward (r0 stays 0)
+    b.beq(1, 0, "out"); // forward
+    b.ldi(2, 99);       // skipped
+    b.label("out");
+    b.halt();
+    Program prog = b.finish();
+
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 2), 3u);
+}
+
+TEST(Builder, JumpAndLink)
+{
+    ProgramBuilder b;
+    b.jal(5, "func");
+    b.ldi(2, 1); // executed after return
+    b.halt();
+    b.label("func");
+    b.ldi(3, 7);
+    b.jr(5);
+    Program prog = b.finish();
+
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 3), 7u);
+    EXPECT_EQ(interp.reg(0, 2), 1u);
+    EXPECT_EQ(interp.reg(0, 5), 1u); // link = pc+1
+}
+
+TEST(Builder, DataSectionLayoutAndInit)
+{
+    ProgramBuilder b;
+    Addr first = b.dword("first", 0x1122334455667788ull);
+    Addr arr = b.array("arr", 4);
+    Addr pi = b.dvalue("pi", 3.25);
+    b.halt();
+    Program prog = b.finish();
+
+    EXPECT_EQ(first, 0u);
+    EXPECT_EQ(arr, 8u);
+    EXPECT_EQ(pi, 40u);
+    EXPECT_EQ(readWord(prog.data, first), 0x1122334455667788ull);
+    EXPECT_EQ(readWord(prog.data, arr + 8), 0u);
+    EXPECT_DOUBLE_EQ(readDouble(prog.data, pi), 3.25);
+    EXPECT_EQ(b.dataAddress("arr"), 8u);
+    EXPECT_TRUE(b.hasDataSymbol("pi"));
+    EXPECT_FALSE(b.hasDataSymbol("nope"));
+}
+
+TEST(Builder, LiSmallUsesOneInstruction)
+{
+    ProgramBuilder b;
+    b.li(1, -512);
+    b.halt();
+    EXPECT_EQ(b.finish().code.size(), 2u);
+}
+
+TEST(Builder, LiLargeComposesLuiOri)
+{
+    ProgramBuilder b;
+    b.li(1, 0x123456);
+    b.halt();
+    Program prog = b.finish();
+
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 0x123456u);
+}
+
+TEST(Builder, LiExactMultipleOf1024SkipsOri)
+{
+    ProgramBuilder b;
+    b.li(1, 2048);
+    b.halt();
+    Program prog = b.finish();
+    EXPECT_EQ(prog.code.size(), 2u); // LUI + HALT only
+
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 2048u);
+}
+
+TEST(Builder, LiUnencodableIsFatal)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT(b.li(1, 1ll << 40), ::testing::ExitedWithCode(1),
+                "not encodable");
+}
+
+TEST(Builder, LaLoadsDataAddress)
+{
+    ProgramBuilder b;
+    b.array("pad", 100);
+    b.dword("target", 77);
+    b.la(1, "target");
+    b.ld(2, 0, 1);
+    b.halt();
+    Program prog = b.finish();
+
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 2), 77u);
+}
+
+TEST(Builder, UndefinedLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.j("nowhere");
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "undefined label");
+}
+
+TEST(Builder, DuplicateLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.label("dup");
+    EXPECT_EXIT(b.label("dup"), ::testing::ExitedWithCode(1),
+                "duplicate");
+}
+
+TEST(Builder, DuplicateDataSymbolIsFatal)
+{
+    ProgramBuilder b;
+    b.dword("dup", 0);
+    EXPECT_EXIT(b.dword("dup", 1), ::testing::ExitedWithCode(1),
+                "duplicate");
+}
+
+TEST(Builder, BranchOutOfRangeIsFatal)
+{
+    ProgramBuilder b;
+    b.label("far");
+    for (int i = 0; i < 600; ++i)
+        b.nop();
+    b.beq(0, 0, "far");
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(Builder, TracksMaxRegister)
+{
+    ProgramBuilder b;
+    b.add(5, 17, 3);
+    EXPECT_EQ(b.maxRegisterUsed(), 17u);
+    b.ld(40, 0, 2);
+    EXPECT_EQ(b.maxRegisterUsed(), 40u);
+}
+
+TEST(Builder, MemorySizeIncludesScratchRoundedUp)
+{
+    ProgramBuilder b;
+    b.dword("w", 1);
+    b.halt();
+    Program prog = b.finish(13); // 8 data + 13 scratch -> rounded
+    EXPECT_EQ(prog.memorySize % 8, 0u);
+    EXPECT_GE(prog.memorySize, 21u);
+}
+
+// ---- Layout passes (paper section 6.1 item 2) ----
+
+TEST(Layout, AlignsBranchTargetsToBlocks)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.nop();
+    b.label("target"); // at index 2: misaligned
+    b.addi(1, 1, 1);
+    b.slti(2, 1, 10);
+    b.bne(2, 0, "target");
+    b.halt();
+    LayoutOptions layout;
+    layout.alignTargetsToBlocks = true;
+    Program prog = b.finish(0, layout);
+
+    // The target must now start a 4-instruction fetch block, and the
+    // program must still behave identically.
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 10u);
+
+    // Find the padded target: the instruction after the NOP padding.
+    Instruction at4 = Instruction::decode(prog.code[4]);
+    EXPECT_EQ(at4.op, Opcode::ADDI);
+}
+
+TEST(Layout, AlignsBranchesToBlockEnd)
+{
+    ProgramBuilder b;
+    b.ldi(1, 5);
+    b.label("top");
+    b.addi(1, 1, -1);
+    b.bne(1, 0, "top");
+    b.halt();
+    LayoutOptions layout;
+    layout.alignBranchesToBlockEnd = true;
+    Program prog = b.finish(0, layout);
+
+    // Every control transfer sits in the last slot of its block.
+    for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
+        Instruction inst = Instruction::decode(prog.code[pc]);
+        if (inst.isControl())
+            EXPECT_EQ(pc % 4, 3u) << "pc " << pc;
+    }
+
+    Interpreter interp(prog, 1);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 0u);
+}
+
+TEST(Layout, CombinedPassesPreserveSemantics)
+{
+    auto build = [](const LayoutOptions &layout) {
+        ProgramBuilder b;
+        b.dword("acc", 0);
+        b.la(10, "acc");
+        b.ldi(1, 20);
+        b.ldi(2, 0);
+        b.label("loop");
+        b.add(2, 2, 1);
+        b.addi(1, 1, -1);
+        b.bne(1, 0, "loop");
+        b.st(2, 0, 10);
+        b.halt();
+        return b.finish(0, layout);
+    };
+
+    LayoutOptions both;
+    both.alignTargetsToBlocks = true;
+    both.alignBranchesToBlockEnd = true;
+
+    Interpreter plain(build({}), 1);
+    Interpreter padded(build(both), 1);
+    ASSERT_TRUE(plain.run());
+    ASSERT_TRUE(padded.run());
+    EXPECT_EQ(readWord(plain.memory(), 0), readWord(padded.memory(), 0));
+    EXPECT_EQ(readWord(plain.memory(), 0), 210u);
+}
+
+TEST(Builder, FinishTwiceIsAnError)
+{
+    ProgramBuilder b;
+    b.halt();
+    b.finish();
+    EXPECT_DEATH(b.finish(), "finish");
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the data-cache timing model: geometry, LRU,
+ * direct-mapped conflicts, the single-outstanding-miss non-blocking
+ * behaviour, double-miss blocking, and port limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+CacheConfig
+smallCache(std::uint32_t ways)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    cfg.lineBytes = 32;
+    cfg.ways = ways;
+    cfg.missPenalty = 10;
+    cfg.ports = 4;
+    return cfg;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    CacheAccessResult miss = cache.access(0x40, 1, false);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.readyCycle, 11u);
+
+    cache.beginCycle(20);
+    CacheAccessResult hit = cache.access(0x48, 20, false);
+    EXPECT_TRUE(hit.hit); // same 32-byte line
+    EXPECT_EQ(hit.readyCycle, 20u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(Cache, HitOnRefillingLineWaitsForFill)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0x40, 1, false); // refill lands at 11
+    CacheAccessResult hit = cache.access(0x40, 1, false);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.readyCycle, 11u);
+}
+
+TEST(Cache, TwoWayAssociativityAvoidsConflict)
+{
+    // 256B 2-way with 32B lines -> 4 sets; addresses 0 and 128 map to
+    // set 0 and coexist.
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0, 1, false);
+    cache.beginCycle(30);
+    cache.access(128, 30, false);
+    cache.beginCycle(60);
+    EXPECT_TRUE(cache.access(0, 60, false).hit);
+    cache.beginCycle(61);
+    EXPECT_TRUE(cache.access(128, 61, false).hit);
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    // Direct-mapped: 8 sets; addresses 0 and 256 collide.
+    DataCache cache(smallCache(1));
+    cache.beginCycle(1);
+    cache.access(0, 1, false);
+    cache.beginCycle(30);
+    cache.access(256, 30, false); // evicts line 0
+    cache.beginCycle(60);
+    EXPECT_FALSE(cache.access(0, 60, false).hit);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way set: fill both ways, touch way A, insert third line ->
+    // way B (LRU) must be evicted.
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0, 1, false); // A
+    cache.beginCycle(30);
+    cache.access(128, 30, false); // B
+    cache.beginCycle(60);
+    EXPECT_TRUE(cache.access(0, 60, false).hit); // touch A
+    cache.beginCycle(90);
+    cache.access(256, 90, false); // evicts B
+    cache.beginCycle(120);
+    EXPECT_TRUE(cache.access(0, 120, false).hit);
+    cache.beginCycle(121);
+    EXPECT_FALSE(cache.access(128, 121, false).hit);
+}
+
+TEST(Cache, SecondMissBlocksService)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0, 1, false); // refill until 11
+    CacheAccessResult second = cache.access(64, 1, false);
+    EXPECT_FALSE(second.hit);
+    // Second refill queues behind the first.
+    EXPECT_EQ(second.readyCycle, 21u);
+    // Cache refuses all service until both lands.
+    cache.beginCycle(5);
+    EXPECT_FALSE(cache.canAccept(5));
+    cache.beginCycle(20);
+    EXPECT_FALSE(cache.canAccept(20));
+    cache.beginCycle(21);
+    EXPECT_TRUE(cache.canAccept(21));
+}
+
+TEST(Cache, SingleMissDoesNotBlockOtherLines)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0, 1, false); // outstanding refill
+    EXPECT_TRUE(cache.canAccept(1));
+    cache.beginCycle(2);
+    EXPECT_TRUE(cache.canAccept(2));
+}
+
+TEST(Cache, PortLimitPerCycle)
+{
+    CacheConfig cfg = smallCache(2);
+    cfg.ports = 2;
+    DataCache cache(cfg);
+    cache.beginCycle(1);
+    EXPECT_TRUE(cache.canAccept(1));
+    cache.access(0, 1, false);
+    EXPECT_TRUE(cache.canAccept(1));
+    cache.access(0, 1, false);
+    EXPECT_FALSE(cache.canAccept(1));
+    cache.beginCycle(2);
+    EXPECT_TRUE(cache.canAccept(2));
+}
+
+TEST(Cache, ResetClearsLinesKeepsStats)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0, 1, false);
+    cache.reset();
+    cache.beginCycle(10);
+    EXPECT_FALSE(cache.access(0, 10, false).hit);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, StatsReport)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0, 1, false);
+    cache.noteRejection();
+    StatsRegistry registry;
+    cache.reportStats(registry, "dcache");
+    EXPECT_DOUBLE_EQ(registry.get("dcache.misses"), 1.0);
+    EXPECT_DOUBLE_EQ(registry.get("dcache.rejections"), 1.0);
+}
+
+TEST(Cache, BadGeometryIsRejected)
+{
+    CacheConfig cfg = smallCache(2);
+    cfg.sizeBytes = 300; // not a power of two
+    EXPECT_DEATH(DataCache{cfg}, "2\\^n");
+}
+
+TEST(CachePartitioning, ThreadsAreIsolated)
+{
+    CacheConfig cfg = smallCache(2);
+    cfg.partitions = 2;
+    DataCache cache(cfg);
+
+    // Thread 0 warms a line; thread 1 accessing the same address
+    // misses (its partition is separate) and must not evict thread
+    // 0's copy.
+    cache.beginCycle(1);
+    cache.access(0x40, 1, false, 0);
+    cache.beginCycle(30);
+    EXPECT_FALSE(cache.access(0x40, 30, false, 1).hit);
+    cache.beginCycle(60);
+    EXPECT_TRUE(cache.access(0x40, 60, false, 0).hit);
+    cache.beginCycle(61);
+    EXPECT_TRUE(cache.access(0x40, 61, false, 1).hit);
+}
+
+TEST(CachePartitioning, CapacityShrinksPerThread)
+{
+    // 256 B, 2-way, 32 B lines -> 4 sets. With 2 partitions each
+    // thread has 2 sets = 4 lines; a 5-line working set thrashes
+    // partitioned but fits the uniform cache (8 lines).
+    CacheConfig uniform_cfg = smallCache(2);
+    CacheConfig part_cfg = smallCache(2);
+    part_cfg.partitions = 2;
+    DataCache uniform(uniform_cfg);
+    DataCache partitioned(part_cfg);
+
+    Cycle now = 0;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr addr = 0; addr < 5 * 32; addr += 32) {
+            now += 40;
+            uniform.beginCycle(now);
+            uniform.access(addr, now, false, 0);
+            partitioned.beginCycle(now);
+            partitioned.access(addr, now, false, 0);
+        }
+    }
+    EXPECT_LT(uniform.misses(), partitioned.misses());
+}
+
+TEST(CachePartitioning, SharedCacheIgnoresThreadId)
+{
+    DataCache cache(smallCache(2));
+    cache.beginCycle(1);
+    cache.access(0x40, 1, false, 0);
+    cache.beginCycle(30);
+    EXPECT_TRUE(cache.access(0x40, 30, false, 3).hit);
+}
+
+TEST(CachePartitioning, UnevenPartitionCountWorks)
+{
+    // 4 sets, 3 partitions: one set per partition, one set unused.
+    CacheConfig cfg = smallCache(2);
+    cfg.partitions = 3;
+    DataCache cache(cfg);
+    cache.beginCycle(1);
+    cache.access(0, 1, false, 2);
+    cache.beginCycle(30);
+    EXPECT_TRUE(cache.access(0, 30, false, 2).hit);
+}
+
+TEST(CachePartitioning, TooManyPartitionsPanics)
+{
+    CacheConfig cfg = smallCache(2); // 4 sets
+    cfg.partitions = 5;
+    EXPECT_DEATH(DataCache{cfg}, "partitions");
+}
+
+/** Geometry sweep: hit rate of a strided scan behaves as expected
+ *  for every (ways, lineBytes) combination. */
+struct GeometryParam
+{
+    std::uint32_t ways;
+    std::uint32_t line;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<GeometryParam>
+{
+};
+
+TEST_P(CacheGeometry, SequentialScanMissesOncePerLine)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 8192;
+    cfg.lineBytes = GetParam().line;
+    cfg.ways = GetParam().ways;
+    cfg.missPenalty = 1;
+    cfg.ports = 1;
+    DataCache cache(cfg);
+
+    // One full pass over 4 KB (fits in the cache): one miss per line.
+    Cycle now = 0;
+    for (Addr addr = 0; addr < 4096; addr += 8) {
+        now += 40; // far apart; refills never overlap
+        cache.beginCycle(now);
+        cache.access(addr, now, false);
+    }
+    EXPECT_EQ(cache.misses(), 4096u / cfg.lineBytes);
+
+    // Second pass: all hits.
+    std::uint64_t misses_before = cache.misses();
+    for (Addr addr = 0; addr < 4096; addr += 8) {
+        now += 40;
+        cache.beginCycle(now);
+        EXPECT_TRUE(cache.access(addr, now, false).hit);
+    }
+    EXPECT_EQ(cache.misses(), misses_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(GeometryParam{1, 32}, GeometryParam{2, 32},
+                      GeometryParam{4, 32}, GeometryParam{1, 64},
+                      GeometryParam{2, 64}, GeometryParam{2, 16}));
+
+} // namespace
+} // namespace sdsp

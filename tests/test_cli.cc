@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the sdsp-run command-line interface: option parsing,
+ * error reporting, and end-to-end runs over a temporary assembly
+ * file.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tools/cli.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+CliOptions
+parse(std::initializer_list<const char *> args)
+{
+    return parseCliOptions(std::vector<std::string>(args.begin(),
+                                                    args.end()));
+}
+
+class CliFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "cli_test_prog.s";
+        std::ofstream file(path);
+        file << R"(
+            .dword out 0
+                tid  r2
+                nth  r3
+                ldi  r1, 10
+                ldi  r4, 0
+            loop:
+                add  r4, r4, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                beq  r2, r0, store
+                halt
+            store:
+                la   r5, out
+                st   r4, 0(r5)
+                halt
+        )";
+    }
+
+    std::string path;
+};
+
+TEST(CliParse, Defaults)
+{
+    CliOptions options = parse({"prog.s"});
+    ASSERT_TRUE(options.ok);
+    EXPECT_EQ(options.programPath, "prog.s");
+    EXPECT_EQ(options.config.numThreads, 4u); // MachineConfig default
+    EXPECT_FALSE(options.trace);
+    EXPECT_FALSE(options.stats);
+}
+
+TEST(CliParse, AllOptions)
+{
+    CliOptions options = parse(
+        {"-t", "2", "-f", "cswitch", "-s", "64", "--commit", "lowest",
+         "--rename", "scoreboard", "--no-bypass", "--cache-ways", "1",
+         "--cache-size", "4096", "--cache-partitions", "2",
+         "--btb-banks", "2", "--finite-icache", "--max-cycles",
+         "1234", "--align", "--trace", "--stats", "prog.s"});
+    ASSERT_TRUE(options.ok) << options.error;
+    EXPECT_EQ(options.config.numThreads, 2u);
+    EXPECT_EQ(options.config.fetchPolicy,
+              FetchPolicy::ConditionalSwitch);
+    EXPECT_EQ(options.config.suEntries, 64u);
+    EXPECT_EQ(options.config.commitPolicy,
+              CommitPolicy::LowestBlockOnly);
+    EXPECT_EQ(options.config.renameScheme,
+              RenameScheme::Scoreboard1Bit);
+    EXPECT_FALSE(options.config.bypassing);
+    EXPECT_EQ(options.config.dcache.ways, 1u);
+    EXPECT_EQ(options.config.dcache.sizeBytes, 4096u);
+    EXPECT_EQ(options.config.dcache.partitions, 2u);
+    EXPECT_EQ(options.config.btbBanks, 2u);
+    EXPECT_FALSE(options.config.perfectICache);
+    EXPECT_EQ(options.config.maxCycles, 1234u);
+    EXPECT_TRUE(options.align);
+    EXPECT_TRUE(options.trace);
+    EXPECT_TRUE(options.stats);
+}
+
+TEST(CliParse, WeightedPolicyWithWeights)
+{
+    CliOptions options =
+        parse({"-f", "weightedrr", "-w", "4,2,1,1", "prog.s"});
+    ASSERT_TRUE(options.ok) << options.error;
+    EXPECT_EQ(options.config.fetchPolicy,
+              FetchPolicy::WeightedRoundRobin);
+    EXPECT_EQ(options.config.fetchWeights,
+              (std::vector<unsigned>{4, 2, 1, 1}));
+}
+
+TEST(CliParse, Errors)
+{
+    EXPECT_FALSE(parse({}).ok);
+    EXPECT_FALSE(parse({"-t"}).ok);
+    EXPECT_FALSE(parse({"-t", "nope", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"-t", "99", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"-f", "bogus", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"--commit", "sideways", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"--what", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"a.s", "b.s"}).ok);
+    EXPECT_FALSE(parse({"-w", "1,x", "prog.s"}).ok);
+}
+
+TEST(CliParse, UsageMentionsEveryOption)
+{
+    std::string usage = cliUsage();
+    for (const char *token :
+         {"-t", "-f", "-s", "-w", "--commit", "--rename",
+          "--no-bypass", "--cache-ways", "--cache-partitions",
+          "--btb-banks", "--finite-icache", "--max-cycles", "--align",
+          "--trace", "--stats", "--disasm"}) {
+        EXPECT_NE(usage.find(token), std::string::npos) << token;
+    }
+}
+
+TEST_F(CliFile, RunsProgramAndReports)
+{
+    CliOptions options = parse({"-t", "2", path.c_str()});
+    ASSERT_TRUE(options.ok);
+    std::ostringstream out, trace;
+    int rc = runCli(options, out, trace);
+    EXPECT_EQ(rc, 0);
+    std::string text = out.str();
+    EXPECT_NE(text.find("finished  : yes"), std::string::npos);
+    EXPECT_NE(text.find("thread 1"), std::string::npos);
+}
+
+TEST_F(CliFile, StatsAndTrace)
+{
+    CliOptions options =
+        parse({"--stats", "--trace", path.c_str()});
+    ASSERT_TRUE(options.ok);
+    options.config.numThreads = 1;
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 0);
+    EXPECT_NE(out.str().find("sim.cycles"), std::string::npos);
+    EXPECT_NE(trace.str().find("fetch:"), std::string::npos);
+}
+
+TEST_F(CliFile, DisasmOnly)
+{
+    CliOptions options = parse({"--disasm", path.c_str()});
+    ASSERT_TRUE(options.ok);
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 0);
+    EXPECT_NE(out.str().find("TID r2"), std::string::npos);
+    EXPECT_EQ(out.str().find("cycles"), std::string::npos);
+}
+
+TEST_F(CliFile, AlignedRunMatchesPlainResult)
+{
+    std::ostringstream plain_out, aligned_out, trace;
+    CliOptions plain = parse({path.c_str()});
+    plain.config.numThreads = 1;
+    CliOptions aligned = parse({"--align", path.c_str()});
+    aligned.config.numThreads = 1;
+    EXPECT_EQ(runCli(plain, plain_out, trace), 0);
+    EXPECT_EQ(runCli(aligned, aligned_out, trace), 0);
+    // Same committed-instruction count modulo the padding NOPs is not
+    // guaranteed, but both must finish.
+    EXPECT_NE(plain_out.str().find("finished  : yes"),
+              std::string::npos);
+    EXPECT_NE(aligned_out.str().find("finished  : yes"),
+              std::string::npos);
+}
+
+TEST_F(CliFile, MissingFileReportsError)
+{
+    CliOptions options = parse({"/nonexistent/path.s"});
+    ASSERT_TRUE(options.ok);
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 1);
+    EXPECT_NE(out.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliFile, RegisterBudgetChecked)
+{
+    std::string wide = ::testing::TempDir() + "cli_wide.s";
+    std::ofstream file(wide);
+    file << "ldi r100, 1\nhalt\n";
+    file.close();
+
+    CliOptions options = parse({"-t", "4", wide.c_str()});
+    ASSERT_TRUE(options.ok);
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 1);
+    EXPECT_NE(out.str().find("allow only"), std::string::npos);
+}
+
+TEST_F(CliFile, CycleCapReturnsDistinctCode)
+{
+    std::string spin = ::testing::TempDir() + "cli_spin.s";
+    std::ofstream file(spin);
+    file << "forever:\nj forever\n";
+    file.close();
+
+    CliOptions options =
+        parse({"--max-cycles", "200", spin.c_str()});
+    ASSERT_TRUE(options.ok);
+    options.config.numThreads = 1;
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 2);
+    EXPECT_NE(out.str().find("NO (cycle cap)"), std::string::npos);
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the RNG, stats registry and table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/stats_registry.hh"
+#include "common/table.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Xorshift64, DeterministicForSeed)
+{
+    Xorshift64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xorshift64, DifferentSeedsDiffer)
+{
+    Xorshift64 a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Xorshift64, ZeroSeedRemapped)
+{
+    Xorshift64 a(0);
+    EXPECT_NE(a.next(), 0u);
+}
+
+TEST(Xorshift64, DoubleInUnitInterval)
+{
+    Xorshift64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double value = rng.nextDouble();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(Xorshift64, RangedDoubleInRange)
+{
+    Xorshift64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double value = rng.nextDouble(-3.0, 5.0);
+        EXPECT_GE(value, -3.0);
+        EXPECT_LT(value, 5.0);
+    }
+}
+
+TEST(Xorshift64, BelowRespectsBound)
+{
+    Xorshift64 rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(StatsRegistry, AddAndGet)
+{
+    StatsRegistry registry;
+    registry.add("a", 1.5);
+    registry.add("pre", "b", 2.5);
+    EXPECT_DOUBLE_EQ(registry.get("a"), 1.5);
+    EXPECT_DOUBLE_EQ(registry.get("pre.b"), 2.5);
+    EXPECT_TRUE(registry.has("a"));
+    EXPECT_FALSE(registry.has("missing"));
+}
+
+TEST(StatsRegistry, PreservesInsertionOrder)
+{
+    StatsRegistry registry;
+    registry.add("z", 1);
+    registry.add("a", 2);
+    ASSERT_EQ(registry.entries().size(), 2u);
+    EXPECT_EQ(registry.entries()[0].name, "z");
+    EXPECT_EQ(registry.entries()[1].name, "a");
+}
+
+TEST(StatsRegistry, GetMissingIsFatal)
+{
+    StatsRegistry registry;
+    EXPECT_EXIT(registry.get("nope"),
+                ::testing::ExitedWithCode(1), "no statistic");
+}
+
+TEST(Table, AsciiAlignsColumns)
+{
+    Table table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.toAscii();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CellBuilders)
+{
+    Table table({"a", "b", "c"});
+    table.beginRow();
+    table.cell("text");
+    table.cell(3.14159, 2);
+    table.cell(std::uint64_t{42});
+    std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("text,3.14,42"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting)
+{
+    Table table({"a"});
+    table.addRow({"has,comma"});
+    table.addRow({"has\"quote"});
+    std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, ArityMismatchIsFatal)
+{
+    Table table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only one"}), "arity");
+}
+
+TEST(Table, RowsCounted)
+{
+    Table table({"a"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for the multithreaded fetch unit: block formation,
+ * speculation, and the four fetch policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "branch/predictor_bank.hh"
+#include "core/fetch.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+std::vector<Instruction>
+decodeAll(const Program &prog)
+{
+    std::vector<Instruction> out;
+    for (InstWord word : prog.code)
+        out.push_back(Instruction::decode(word));
+    return out;
+}
+
+struct FetchFixture
+{
+    FetchFixture(unsigned threads, FetchPolicy policy,
+                 const Program &prog)
+        : code(decodeAll(prog)), btb(64, 1)
+    {
+        cfg.numThreads = threads;
+        cfg.fetchPolicy = policy;
+        fetch = std::make_unique<FetchUnit>(cfg, code, btb);
+    }
+
+    MachineConfig cfg;
+    std::vector<Instruction> code;
+    PredictorBank btb;
+    std::unique_ptr<FetchUnit> fetch;
+};
+
+Program
+straightLine(unsigned n)
+{
+    ProgramBuilder b;
+    for (unsigned i = 0; i + 1 < n; ++i)
+        b.addi(1, 1, 1);
+    b.halt();
+    return b.finish();
+}
+
+TEST(Fetch, FullAlignedBlock)
+{
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, straightLine(12));
+    auto block = f.fetch->fetchCycle(1);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->tid, 0u);
+    ASSERT_EQ(block->insts.size(), 4u);
+    EXPECT_EQ(block->insts[0].pc, 0u);
+    EXPECT_EQ(block->insts[3].pc, 3u);
+    EXPECT_EQ(f.fetch->pcOf(0), 4u);
+}
+
+TEST(Fetch, MisalignedEntryWastesLeadingSlots)
+{
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, straightLine(12));
+    f.fetch->onSquash(0, 6); // resume mid-block
+    auto block = f.fetch->fetchCycle(1);
+    ASSERT_TRUE(block.has_value());
+    ASSERT_EQ(block->insts.size(), 2u); // pc 6 and 7 only
+    EXPECT_EQ(block->insts[0].pc, 6u);
+    EXPECT_EQ(f.fetch->pcOf(0), 8u);
+}
+
+TEST(Fetch, HaltStopsThreadFetch)
+{
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, straightLine(2));
+    auto block = f.fetch->fetchCycle(1);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->insts.size(), 2u);
+    EXPECT_TRUE(block->insts.back().inst.isHalt());
+    // Nothing more to fetch until a squash restores the thread.
+    EXPECT_FALSE(f.fetch->fetchCycle(2).has_value());
+}
+
+TEST(Fetch, DirectJumpRedirectsImmediately)
+{
+    ProgramBuilder b;
+    b.j("target");
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.nop();
+    b.label("target");
+    b.halt();
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, b.finish());
+    auto block = f.fetch->fetchCycle(1);
+    ASSERT_TRUE(block.has_value());
+    // Instructions after the jump in the block are invalid.
+    EXPECT_EQ(block->insts.size(), 1u);
+    EXPECT_TRUE(block->insts[0].predictedTaken);
+    EXPECT_EQ(f.fetch->pcOf(0), 8u);
+}
+
+TEST(Fetch, CondBranchPredictedNotTakenOnBtbMiss)
+{
+    ProgramBuilder b;
+    b.beq(1, 2, "away");
+    b.nop();
+    b.nop();
+    b.nop();
+    b.label("away");
+    b.halt();
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, b.finish());
+    auto block = f.fetch->fetchCycle(1);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->insts.size(), 4u); // fall-through keeps filling
+    EXPECT_FALSE(block->insts[0].predictedTaken);
+    EXPECT_EQ(block->insts[0].predictedNextPc, 1u);
+}
+
+TEST(Fetch, CondBranchPredictedTakenRedirects)
+{
+    ProgramBuilder b;
+    b.beq(1, 2, "away");
+    b.nop();
+    b.nop();
+    b.nop();
+    b.label("away");
+    b.halt();
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, b.finish());
+    f.btb.update(0, 0, true, 4);
+    f.btb.update(0, 0, true, 4); // counter to strong taken
+    auto block = f.fetch->fetchCycle(1);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->insts.size(), 1u);
+    EXPECT_TRUE(block->insts[0].predictedTaken);
+    EXPECT_EQ(block->insts[0].predictedNextPc, 4u);
+    EXPECT_EQ(f.fetch->pcOf(0), 4u);
+}
+
+TEST(Fetch, SquashRestoresStoppedThread)
+{
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, straightLine(2));
+    f.fetch->fetchCycle(1); // consumes HALT, stops
+    EXPECT_FALSE(f.fetch->fetchCycle(2).has_value());
+    f.fetch->onSquash(0, 0);
+    EXPECT_TRUE(f.fetch->fetchCycle(3).has_value());
+}
+
+TEST(Fetch, TrueRoundRobinCyclesThreads)
+{
+    FetchFixture f(3, FetchPolicy::TrueRoundRobin, straightLine(40));
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 0u);
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 1u);
+    EXPECT_EQ(f.fetch->fetchCycle(3)->tid, 2u);
+    EXPECT_EQ(f.fetch->fetchCycle(4)->tid, 0u);
+}
+
+TEST(Fetch, TrueRoundRobinWastesStoppedThreadsSlot)
+{
+    // Thread 1 halts; True RR still gives it a turn (wasted),
+    // matching the paper's "irrespective of the state" counter.
+    FetchFixture f(2, FetchPolicy::TrueRoundRobin, straightLine(2));
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 0u); // t0 fetches HALT
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 1u); // t1 fetches HALT
+    // Both stopped (but not finished): every slot is wasted now.
+    EXPECT_FALSE(f.fetch->fetchCycle(3).has_value());
+    EXPECT_FALSE(f.fetch->fetchCycle(4).has_value());
+}
+
+TEST(Fetch, TrueRoundRobinSkipsFinishedThreads)
+{
+    FetchFixture f(2, FetchPolicy::TrueRoundRobin, straightLine(40));
+    f.fetch->onHaltCommitted(0);
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 1u);
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 1u);
+}
+
+TEST(Fetch, MaskedRoundRobinSkipsMaskedThread)
+{
+    FetchFixture f(3, FetchPolicy::MaskedRoundRobin, straightLine(40));
+    f.fetch->onCommitBlockedBottom(1);
+    EXPECT_TRUE(f.fetch->masked(1));
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 0u);
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 2u);
+    EXPECT_EQ(f.fetch->fetchCycle(3)->tid, 0u);
+    // Commit unmasks.
+    f.fetch->onCommitBlock(1);
+    EXPECT_FALSE(f.fetch->masked(1));
+    EXPECT_EQ(f.fetch->fetchCycle(4)->tid, 1u);
+}
+
+TEST(Fetch, TrueRoundRobinIgnoresMaskEvents)
+{
+    FetchFixture f(2, FetchPolicy::TrueRoundRobin, straightLine(40));
+    f.fetch->onCommitBlockedBottom(0);
+    EXPECT_FALSE(f.fetch->masked(0));
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 0u);
+}
+
+TEST(Fetch, ConditionalSwitchSticksUntilTrigger)
+{
+    FetchFixture f(2, FetchPolicy::ConditionalSwitch,
+                   straightLine(40));
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 0u);
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 0u);
+    f.fetch->onSwitchTrigger();
+    EXPECT_EQ(f.fetch->fetchCycle(3)->tid, 1u);
+    EXPECT_EQ(f.fetch->fetchCycle(4)->tid, 1u);
+}
+
+TEST(Fetch, ConditionalSwitchLeavesStoppedThread)
+{
+    FetchFixture f(2, FetchPolicy::ConditionalSwitch, straightLine(2));
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 0u); // halts thread 0
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 1u); // forced switch
+}
+
+TEST(Fetch, AdaptiveSkipsHighStallScoreThread)
+{
+    FetchFixture f(2, FetchPolicy::Adaptive, straightLine(80));
+    // Raise thread 0's stall score beyond the threshold (default 8).
+    for (int i = 0; i < 4; ++i)
+        f.fetch->onCommitBlockedBottom(0);
+    EXPECT_EQ(f.fetch->fetchCycle(1)->tid, 1u);
+    EXPECT_EQ(f.fetch->fetchCycle(2)->tid, 1u);
+    // The score decays one per tick; after enough ticks thread 0
+    // rejoins the rotation.
+    for (int i = 0; i < 10; ++i)
+        f.fetch->tick(0);
+    bool saw_zero = false;
+    for (int i = 0; i < 4; ++i)
+        saw_zero |= f.fetch->fetchCycle(10 + i)->tid == 0;
+    EXPECT_TRUE(saw_zero);
+}
+
+TEST(Fetch, AdaptiveFallsBackWhenAllScoresHigh)
+{
+    FetchFixture f(2, FetchPolicy::Adaptive, straightLine(80));
+    for (int i = 0; i < 4; ++i) {
+        f.fetch->onCommitBlockedBottom(0);
+        f.fetch->onCommitBlockedBottom(1);
+    }
+    // Both above threshold: fetch must not starve.
+    EXPECT_TRUE(f.fetch->fetchCycle(1).has_value());
+}
+
+TEST(Fetch, WeightedRoundRobinHonorsWeights)
+{
+    Program prog = straightLine(400);
+    std::vector<Instruction> code = decodeAll(prog);
+    MachineConfig cfg;
+    cfg.numThreads = 2;
+    cfg.fetchPolicy = FetchPolicy::WeightedRoundRobin;
+    cfg.fetchWeights = {3, 1};
+    PredictorBank btb(64, 1);
+    FetchUnit fetch(cfg, code, btb);
+
+    unsigned counts[2] = {0, 0};
+    for (Cycle now = 1; now <= 40; ++now) {
+        auto block = fetch.fetchCycle(now);
+        ASSERT_TRUE(block.has_value());
+        ++counts[block->tid];
+    }
+    // 3:1 weighting: thread 0 gets ~30 of 40 slots.
+    EXPECT_EQ(counts[0], 30u);
+    EXPECT_EQ(counts[1], 10u);
+}
+
+TEST(Fetch, WeightedRoundRobinDefaultsToEqual)
+{
+    Program prog = straightLine(400);
+    std::vector<Instruction> code = decodeAll(prog);
+    MachineConfig cfg;
+    cfg.numThreads = 2;
+    cfg.fetchPolicy = FetchPolicy::WeightedRoundRobin;
+    PredictorBank btb(64, 1);
+    FetchUnit fetch(cfg, code, btb);
+
+    unsigned counts[2] = {0, 0};
+    for (Cycle now = 1; now <= 20; ++now) {
+        auto block = fetch.fetchCycle(now);
+        ASSERT_TRUE(block.has_value());
+        ++counts[block->tid];
+    }
+    EXPECT_EQ(counts[0], 10u);
+    EXPECT_EQ(counts[1], 10u);
+}
+
+TEST(Fetch, WeightedRoundRobinSkipsUnfetchableThreads)
+{
+    Program prog = straightLine(400);
+    std::vector<Instruction> code = decodeAll(prog);
+    MachineConfig cfg;
+    cfg.numThreads = 2;
+    cfg.fetchPolicy = FetchPolicy::WeightedRoundRobin;
+    cfg.fetchWeights = {1, 8};
+    PredictorBank btb(64, 1);
+    FetchUnit fetch(cfg, code, btb);
+    fetch.onHaltCommitted(1);
+
+    // Thread 1 is gone; thread 0 must still fetch every cycle.
+    for (Cycle now = 1; now <= 10; ++now) {
+        auto block = fetch.fetchCycle(now);
+        ASSERT_TRUE(block.has_value());
+        EXPECT_EQ(block->tid, 0u);
+    }
+}
+
+TEST(Fetch, AllFinishedTracking)
+{
+    FetchFixture f(2, FetchPolicy::TrueRoundRobin, straightLine(8));
+    EXPECT_FALSE(f.fetch->allFinished());
+    f.fetch->onHaltCommitted(0);
+    EXPECT_FALSE(f.fetch->allFinished());
+    f.fetch->onHaltCommitted(1);
+    EXPECT_TRUE(f.fetch->allFinished());
+}
+
+TEST(Fetch, StatsReport)
+{
+    FetchFixture f(1, FetchPolicy::TrueRoundRobin, straightLine(12));
+    f.fetch->fetchCycle(1);
+    StatsRegistry registry;
+    f.fetch->reportStats(registry, "fetch");
+    EXPECT_DOUBLE_EQ(registry.get("fetch.blocks"), 1.0);
+    EXPECT_DOUBLE_EQ(registry.get("fetch.instructions"), 4.0);
+}
+
+} // namespace
+} // namespace sdsp

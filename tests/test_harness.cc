@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the experiment runner and the paper's speedup formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Speedup, PaperFormula)
+{
+    // speedup = (Mt_perf - St_perf)/St_perf, perf = 1/cycles.
+    EXPECT_DOUBLE_EQ(speedupPercent(50, 100), 100.0);
+    EXPECT_DOUBLE_EQ(speedupPercent(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(speedupPercent(200, 100), -50.0);
+    EXPECT_NEAR(speedupPercent(80, 100), 25.0, 1e-12);
+}
+
+TEST(Speedup, ZeroCyclesPanics)
+{
+    EXPECT_DEATH(speedupPercent(0, 100), "zero-cycle");
+}
+
+TEST(Mean, Values)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Runner, RunsAndVerifiesBenchmark)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 2;
+    RunResult result =
+        runWorkload(workloadByName("Matrix"), cfg, /*scale=*/10);
+    EXPECT_TRUE(result.finished);
+    EXPECT_TRUE(result.verified) << result.verifyMessage;
+    EXPECT_EQ(result.benchmark, "Matrix");
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.committed, 0u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_TRUE(result.stats.has("sim.cycles"));
+    EXPECT_DOUBLE_EQ(result.stats.get("sim.cycles"),
+                     static_cast<double>(result.cycles));
+}
+
+TEST(Runner, ReportsCycleCapAsUnverified)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 4;
+    cfg.maxCycles = 50; // far too few
+    RunResult result =
+        runWorkload(workloadByName("LL1"), cfg, /*scale=*/10);
+    EXPECT_FALSE(result.finished);
+    EXPECT_FALSE(result.verified);
+    EXPECT_EXIT(requireGood(result), ::testing::ExitedWithCode(1),
+                "did not finish");
+}
+
+TEST(Runner, RequireGoodPassesVerifiedRun)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 1;
+    RunResult result =
+        runWorkload(workloadByName("Sieve"), cfg, /*scale=*/10);
+    requireGood(result); // must not exit
+    SUCCEED();
+}
+
+TEST(Runner, ThreadCountFlowsIntoWorkloadBuild)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 3;
+    RunResult result =
+        runWorkload(workloadByName("LL3"), cfg, /*scale=*/10);
+    EXPECT_TRUE(result.verified) << result.verifyMessage;
+    // Three threads committed work.
+    EXPECT_GT(result.stats.get("sim.committed.thread2"), 0.0);
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the functional reference interpreter, including the
+ * static register partitioning and multithreaded execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "isa/interpreter.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Interpreter, RegistersStartZero)
+{
+    ProgramBuilder b;
+    b.halt();
+    Interpreter interp(b.finish(), 4);
+    for (unsigned t = 0; t < 4; ++t) {
+        for (unsigned r = 0; r < 32; ++r)
+            EXPECT_EQ(interp.reg(t, static_cast<RegIndex>(r)), 0u);
+    }
+}
+
+TEST(Interpreter, PartitionSizes)
+{
+    ProgramBuilder b;
+    b.halt();
+    Program prog = b.finish();
+    EXPECT_EQ(Interpreter(prog, 1).registersPerThread(), 128u);
+    EXPECT_EQ(Interpreter(prog, 2).registersPerThread(), 64u);
+    EXPECT_EQ(Interpreter(prog, 3).registersPerThread(), 42u);
+    EXPECT_EQ(Interpreter(prog, 4).registersPerThread(), 32u);
+    EXPECT_EQ(Interpreter(prog, 5).registersPerThread(), 25u);
+    EXPECT_EQ(Interpreter(prog, 6).registersPerThread(), 21u);
+}
+
+TEST(Interpreter, RegisterOutsidePartitionPanics)
+{
+    ProgramBuilder b;
+    b.ldi(40, 1); // r40 is fine for 1-2 threads, not for 4
+    b.halt();
+    Program prog = b.finish();
+
+    Interpreter ok(prog, 2);
+    EXPECT_TRUE(ok.run());
+
+    Interpreter bad(prog, 4);
+    EXPECT_DEATH(bad.run(), "partition");
+}
+
+TEST(Interpreter, ThreadsHaveIndependentRegisters)
+{
+    ProgramBuilder b;
+    b.tid(1);
+    b.addi(1, 1, 100);
+    b.halt();
+    Interpreter interp(b.finish(), 3);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 1), 100u);
+    EXPECT_EQ(interp.reg(1, 1), 101u);
+    EXPECT_EQ(interp.reg(2, 1), 102u);
+}
+
+TEST(Interpreter, ThreadsShareMemory)
+{
+    ProgramBuilder b;
+    b.array("cells", 8);
+    // Each thread stores tid+1 to cells[tid].
+    b.la(1, "cells");
+    b.tid(2);
+    b.slli(3, 2, 3);
+    b.add(1, 1, 3);
+    b.addi(2, 2, 1);
+    b.st(2, 0, 1);
+    b.halt();
+    Interpreter interp(b.finish(), 4);
+    ASSERT_TRUE(interp.run());
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(readWord(interp.memory(), t * 8), t + 1);
+}
+
+TEST(Interpreter, SpinFlagSynchronization)
+{
+    // Thread 0 publishes a value; thread 1 spins for the flag then
+    // reads the value. Round-robin stepping must make progress.
+    ProgramBuilder b;
+    b.dword("value", 0);
+    b.dword("flag", 0);
+    b.tid(2);
+    b.bne(2, 0, "consumer"); // r0 == 0
+    // producer (thread 0)
+    b.ldi(3, 234);
+    b.la(4, "value");
+    b.st(3, 0, 4);
+    b.ldi(3, 1);
+    b.la(4, "flag");
+    b.st(3, 0, 4);
+    b.halt();
+    b.label("consumer");
+    b.la(4, "flag");
+    b.label("spinloop");
+    b.spin();
+    b.ld(3, 0, 4);
+    b.beq(3, 0, "spinloop");
+    b.la(4, "value");
+    b.ld(5, 0, 4);
+    b.halt();
+    Interpreter interp(b.finish(), 2);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(1, 5), 234u);
+}
+
+TEST(Interpreter, HaltStopsOnlyItsThread)
+{
+    ProgramBuilder b;
+    b.tid(1);
+    b.beq(1, 0, "quit");
+    b.ldi(2, 5);
+    b.label("quit");
+    b.halt();
+    Interpreter interp(b.finish(), 2);
+    interp.stepThread(0); // tid
+    interp.stepThread(0); // beq taken
+    interp.stepThread(0); // halt
+    EXPECT_TRUE(interp.halted(0));
+    EXPECT_FALSE(interp.halted(1));
+    EXPECT_FALSE(interp.finished());
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(1, 2), 5u);
+}
+
+TEST(Interpreter, RunBudgetDetectsLivelock)
+{
+    ProgramBuilder b;
+    b.label("forever");
+    b.j("forever");
+    Interpreter interp(b.finish(), 1);
+    EXPECT_FALSE(interp.run(1000));
+}
+
+TEST(Interpreter, InstructionCounts)
+{
+    ProgramBuilder b;
+    b.ldi(1, 3);
+    b.label("top");
+    b.addi(1, 1, -1);
+    b.bne(1, 0, "top");
+    b.halt();
+    Interpreter interp(b.finish(), 1);
+    ASSERT_TRUE(interp.run());
+    // ldi + 3*(addi+bne) + halt = 8
+    EXPECT_EQ(interp.instructionCount(0), 8u);
+    EXPECT_EQ(interp.totalInstructionCount(), 8u);
+}
+
+TEST(Interpreter, MisalignedAccessPanics)
+{
+    ProgramBuilder b;
+    b.dword("w", 0);
+    b.ldi(1, 4);
+    b.ld(2, 0, 1); // address 4: misaligned
+    b.halt();
+    Interpreter interp(b.finish(), 1);
+    EXPECT_DEATH(interp.run(), "misaligned");
+}
+
+TEST(Interpreter, OutOfRangeAccessPanics)
+{
+    ProgramBuilder b;
+    b.dword("w", 0);
+    b.ldi(1, 1); // 1 word of memory; address 8 is out of range
+    b.slli(1, 1, 3);
+    b.ld(2, 0, 1);
+    b.halt();
+    Interpreter interp(b.finish(), 1);
+    EXPECT_DEATH(interp.run(), "out of range");
+}
+
+TEST(Interpreter, ClassCountsCharacterizeWorkload)
+{
+    ProgramBuilder b;
+    b.dword("w", 3);
+    b.la(1, "w");     // LDI (IntAlu)
+    b.ld(2, 0, 1);    // Load
+    b.mul(3, 2, 2);   // IntMul
+    b.fadd(4, 3, 3);  // FpAdd
+    b.st(4, 0, 1);    // Store
+    b.halt();         // Ctrl
+    Interpreter interp(b.finish(), 1);
+    ASSERT_TRUE(interp.run());
+    auto count = [&](FuClass cls) {
+        return interp.classCounts()[static_cast<unsigned>(cls)];
+    };
+    EXPECT_EQ(count(FuClass::IntAlu), 1u);
+    EXPECT_EQ(count(FuClass::Load), 1u);
+    EXPECT_EQ(count(FuClass::IntMul), 1u);
+    EXPECT_EQ(count(FuClass::FpAdd), 1u);
+    EXPECT_EQ(count(FuClass::Store), 1u);
+    EXPECT_EQ(count(FuClass::Ctrl), 1u);
+    EXPECT_EQ(count(FuClass::FpDiv), 0u);
+
+    std::uint64_t total = 0;
+    for (std::uint64_t value : interp.classCounts())
+        total += value;
+    EXPECT_EQ(total, interp.totalInstructionCount());
+}
+
+TEST(Interpreter, SetRegSeedsState)
+{
+    ProgramBuilder b;
+    b.add(2, 1, 1);
+    b.halt();
+    Interpreter interp(b.finish(), 1);
+    interp.setReg(0, 1, 21);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(interp.reg(0, 2), 42u);
+}
+
+} // namespace
+} // namespace sdsp

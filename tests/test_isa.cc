@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for instruction encoding/decoding and the opcode table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(OpcodeTable, NamesAndClasses)
+{
+    EXPECT_STREQ(opName(Opcode::ADD), "ADD");
+    EXPECT_STREQ(opName(Opcode::FDIV), "FDIV");
+    EXPECT_EQ(opInfo(Opcode::MUL).fuClass, FuClass::IntMul);
+    EXPECT_EQ(opInfo(Opcode::LD).fuClass, FuClass::Load);
+    EXPECT_EQ(opInfo(Opcode::BEQ).fuClass, FuClass::Ctrl);
+    EXPECT_EQ(opInfo(Opcode::FSQRT).fuClass, FuClass::FpDiv);
+}
+
+TEST(OpcodeTable, SwitchTriggers)
+{
+    // Paper section 5.1: integer divide, FP multiply/divide and
+    // synchronization primitives trigger a Conditional Switch.
+    EXPECT_TRUE(opInfo(Opcode::DIV).flags & kIsTrigger);
+    EXPECT_TRUE(opInfo(Opcode::REM).flags & kIsTrigger);
+    EXPECT_TRUE(opInfo(Opcode::FMUL).flags & kIsTrigger);
+    EXPECT_TRUE(opInfo(Opcode::FDIV).flags & kIsTrigger);
+    EXPECT_TRUE(opInfo(Opcode::SPIN).flags & kIsTrigger);
+    EXPECT_FALSE(opInfo(Opcode::ADD).flags & kIsTrigger);
+    EXPECT_FALSE(opInfo(Opcode::MUL).flags & kIsTrigger);
+}
+
+TEST(OpcodeTable, FlagConsistency)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        const OpInfo &oi = opInfo(op);
+        // Loads write a register and read a base.
+        if (oi.flags & kIsLoad) {
+            EXPECT_TRUE(oi.flags & kWritesRd) << oi.name;
+            EXPECT_TRUE(oi.flags & kReadsRs1) << oi.name;
+        }
+        // Stores write no register.
+        if (oi.flags & kIsStore)
+            EXPECT_FALSE(oi.flags & kWritesRd) << oi.name;
+        // Conditional branches read two sources, write none.
+        if (oi.flags & kIsCondBr) {
+            EXPECT_TRUE(oi.flags & kReadsRs1) << oi.name;
+            EXPECT_TRUE(oi.flags & kReadsRs2) << oi.name;
+            EXPECT_FALSE(oi.flags & kWritesRd) << oi.name;
+        }
+        // Control-class instructions are exactly the CT unit's.
+        bool is_ct = oi.flags & (kIsCondBr | kIsDirJump | kIsIndJump |
+                                 kIsHalt);
+        EXPECT_EQ(is_ct, oi.fuClass == FuClass::Ctrl) << oi.name;
+    }
+}
+
+TEST(Encoding, RFormatRoundTrip)
+{
+    Instruction inst = Instruction::makeR(Opcode::ADD, 127, 64, 1);
+    EXPECT_EQ(Instruction::decode(inst.encode()), inst);
+}
+
+TEST(Encoding, IFormatRoundTripSigned)
+{
+    for (std::int32_t imm : {-512, -1, 0, 1, 511}) {
+        Instruction inst = Instruction::makeI(Opcode::ADDI, 3, 4, imm);
+        EXPECT_EQ(Instruction::decode(inst.encode()), inst) << imm;
+    }
+}
+
+TEST(Encoding, LogicalImmediatesZeroExtend)
+{
+    // ORI accepts the full unsigned 10-bit range so that LUI+ORI
+    // composes 27-bit constants.
+    for (std::int32_t imm : {0, 511, 512, 1023}) {
+        Instruction inst = Instruction::makeI(Opcode::ORI, 3, 4, imm);
+        EXPECT_EQ(Instruction::decode(inst.encode()), inst) << imm;
+    }
+}
+
+TEST(Encoding, BFormatRoundTrip)
+{
+    Instruction inst = Instruction::makeB(Opcode::BEQ, 10, 11, -200);
+    EXPECT_EQ(Instruction::decode(inst.encode()), inst);
+}
+
+TEST(Encoding, JFormatRoundTrip)
+{
+    Instruction inst = Instruction::makeJ(Opcode::JAL, 31, 123456);
+    EXPECT_EQ(Instruction::decode(inst.encode()), inst);
+}
+
+TEST(Encoding, UFormatRoundTrip)
+{
+    Instruction inst = Instruction::makeJ(Opcode::LUI, 5, 0x1FFFF);
+    EXPECT_EQ(Instruction::decode(inst.encode()), inst);
+}
+
+TEST(Encoding, RegisterOverflowIsFatal)
+{
+    Instruction inst = Instruction::makeR(Opcode::ADD, 128, 0, 0);
+    EXPECT_EXIT(inst.encode(), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(Encoding, ImmediateOverflowIsFatal)
+{
+    Instruction too_big = Instruction::makeI(Opcode::ADDI, 1, 2, 512);
+    EXPECT_EXIT(too_big.encode(), ::testing::ExitedWithCode(1),
+                "does not fit");
+    Instruction ori_negative =
+        Instruction::makeI(Opcode::ORI, 1, 2, -1);
+    EXPECT_EXIT(ori_negative.encode(), ::testing::ExitedWithCode(1),
+                "does not fit");
+}
+
+TEST(Encoding, BadOpcodeFieldIsFatal)
+{
+    InstWord word = 0xFF000000u;
+    EXPECT_EXIT(Instruction::decode(word), ::testing::ExitedWithCode(1),
+                "invalid opcode");
+}
+
+TEST(StaticTarget, BranchesAreRelativeJumpsAbsolute)
+{
+    Instruction branch = Instruction::makeB(Opcode::BNE, 1, 2, -5);
+    EXPECT_EQ(branch.staticTarget(100), 95u);
+    Instruction jump = Instruction::makeJ(Opcode::J, 0, 42);
+    EXPECT_EQ(jump.staticTarget(100), 42u);
+}
+
+TEST(Disassembly, RepresentativeForms)
+{
+    EXPECT_EQ(Instruction::makeR(Opcode::ADD, 1, 2, 3).toString(),
+              "ADD r1, r2, r3");
+    EXPECT_EQ(Instruction::makeI(Opcode::LD, 4, 5, 16).toString(),
+              "LD r4, 16(r5)");
+    EXPECT_EQ(Instruction::makeB(Opcode::ST, 5, 4, 8).toString(),
+              "ST r4, 8(r5)");
+    EXPECT_EQ(Instruction::makeB(Opcode::BEQ, 1, 2, -3).toString(),
+              "BEQ r1, r2, -3");
+    EXPECT_EQ(Instruction::makeR(Opcode::HALT, 0, 0, 0).toString(),
+              "HALT");
+    EXPECT_EQ(Instruction::makeR(Opcode::TID, 7, 0, 0).toString(),
+              "TID r7");
+    EXPECT_EQ(Instruction::makeR(Opcode::JR, 0, 9, 0).toString(),
+              "JR r9");
+}
+
+/** Round-trip every opcode through encode/decode with benign
+ *  operands. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    const OpInfo &oi = opInfo(op);
+    Instruction inst;
+    inst.op = op;
+    switch (oi.format) {
+      case Format::R:
+        inst.rd = 1;
+        inst.rs1 = 2;
+        inst.rs2 = 3;
+        break;
+      case Format::I:
+        inst.rd = 1;
+        inst.rs1 = 2;
+        inst.imm = 7;
+        break;
+      case Format::B:
+        inst.rs1 = 1;
+        inst.rs2 = 2;
+        inst.imm = -7;
+        break;
+      case Format::J:
+      case Format::U:
+        inst.rd = 1;
+        inst.imm = 1000;
+        break;
+    }
+    EXPECT_EQ(Instruction::decode(inst.encode()), inst) << oi.name;
+    EXPECT_FALSE(inst.toString().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::Range(0u, kNumOpcodes));
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the shared BTB with 2-bit saturating counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "branch/predictor_bank.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(Predictor, MissOnColdLookup)
+{
+    BranchPredictor btb(64);
+    EXPECT_FALSE(btb.predict(10).hit);
+}
+
+TEST(Predictor, LearnsTakenBranch)
+{
+    BranchPredictor btb(64);
+    btb.update(10, true, 42);
+    BranchPrediction p = btb.predict(10);
+    EXPECT_TRUE(p.hit);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 42u);
+}
+
+TEST(Predictor, TwoBitHysteresis)
+{
+    BranchPredictor btb(64);
+    // Train strongly taken.
+    btb.update(10, true, 42);
+    btb.update(10, true, 42);
+    btb.update(10, true, 42); // counter saturates at 3
+    // One not-taken must not flip the prediction...
+    btb.update(10, false, 0);
+    EXPECT_TRUE(btb.predict(10).taken);
+    // ...but two must.
+    btb.update(10, false, 0);
+    EXPECT_FALSE(btb.predict(10).taken);
+}
+
+TEST(Predictor, NotTakenAllocationStartsWeak)
+{
+    BranchPredictor btb(64);
+    btb.update(10, false, 0);
+    BranchPrediction p = btb.predict(10);
+    EXPECT_TRUE(p.hit);
+    EXPECT_FALSE(p.taken);
+    // A single taken flips the weak counter.
+    btb.update(10, true, 7);
+    EXPECT_TRUE(btb.predict(10).taken);
+}
+
+TEST(Predictor, TargetTracksLatestTaken)
+{
+    BranchPredictor btb(64);
+    btb.update(10, true, 42);
+    btb.update(10, true, 43); // e.g. an indirect jump moved
+    EXPECT_EQ(btb.predict(10).target, 43u);
+}
+
+TEST(Predictor, AliasesDisplaceEachOther)
+{
+    BranchPredictor btb(16);
+    btb.update(3, true, 100);
+    btb.update(3 + 16, true, 200); // same BTB set
+    EXPECT_FALSE(btb.predict(3).hit);
+    BranchPrediction p = btb.predict(3 + 16);
+    EXPECT_TRUE(p.hit);
+    EXPECT_EQ(p.target, 200u);
+}
+
+TEST(Predictor, SharedAcrossThreadsByDesign)
+{
+    // The predictor is PC-indexed only; all threads of the
+    // homogeneous workload share entries (paper section 4).
+    BranchPredictor btb(64);
+    btb.update(10, true, 42); // "thread 0"
+    EXPECT_TRUE(btb.predict(10).taken); // "thread 1" benefits
+}
+
+TEST(Predictor, AccuracyStats)
+{
+    BranchPredictor btb(64);
+    EXPECT_DOUBLE_EQ(btb.accuracy(), 1.0);
+    btb.noteOutcome(false);
+    btb.noteOutcome(false);
+    btb.noteOutcome(true);
+    btb.noteOutcome(false);
+    EXPECT_EQ(btb.lookups(), 4u);
+    EXPECT_EQ(btb.mispredictions(), 1u);
+    EXPECT_DOUBLE_EQ(btb.accuracy(), 0.75);
+
+    StatsRegistry registry;
+    btb.reportStats(registry, "btb");
+    EXPECT_DOUBLE_EQ(registry.get("btb.accuracy"), 0.75);
+}
+
+TEST(Predictor, NonPowerOfTwoSizePanics)
+{
+    EXPECT_DEATH(BranchPredictor{100}, "power of two");
+}
+
+TEST(PredictorBank, SharedBankTrainsAcrossThreads)
+{
+    PredictorBank bank(64, 1);
+    bank.update(0, 10, true, 42);
+    EXPECT_TRUE(bank.predict(3, 10).taken); // any thread benefits
+    EXPECT_EQ(bank.banks(), 1u);
+    EXPECT_EQ(bank.entriesPerBank(), 64u);
+}
+
+TEST(PredictorBank, PrivateBanksAreIsolated)
+{
+    PredictorBank bank(64, 4);
+    bank.update(0, 10, true, 42);
+    EXPECT_TRUE(bank.predict(0, 10).taken);
+    EXPECT_FALSE(bank.predict(1, 10).hit); // no cross-training
+    EXPECT_EQ(bank.entriesPerBank(), 16u);
+}
+
+TEST(PredictorBank, BudgetSplitRoundsDownToPowerOfTwo)
+{
+    PredictorBank bank(512, 3); // 512/3 = 170 -> 128
+    EXPECT_EQ(bank.entriesPerBank(), 128u);
+    EXPECT_EQ(bank.banks(), 3u);
+}
+
+TEST(PredictorBank, AggregateAccuracy)
+{
+    PredictorBank bank(64, 2);
+    bank.noteOutcome(false);
+    bank.noteOutcome(true);
+    EXPECT_EQ(bank.lookups(), 2u);
+    EXPECT_EQ(bank.mispredictions(), 1u);
+    EXPECT_DOUBLE_EQ(bank.accuracy(), 0.5);
+
+    StatsRegistry registry;
+    bank.reportStats(registry, "btb");
+    EXPECT_DOUBLE_EQ(registry.get("btb.banks"), 2.0);
+    EXPECT_DOUBLE_EQ(registry.get("btb.accuracy"), 0.5);
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Property-based pipeline validation.
+ *
+ * Generates random (but always-terminating) programs — ALU/FP
+ * arithmetic, region-masked loads and stores, forward branches — and
+ * checks the invariant that the cycle-level pipeline's final
+ * architectural state (every register of every thread, plus the whole
+ * memory image) is bit-identical to the functional interpreter's,
+ * across the full cross-product of machine configuration axes the
+ * paper studies: thread count, fetch policy, commit policy, renaming
+ * scheme, bypassing and cache organization.
+ *
+ * Threads write only to disjoint memory regions, so every legal
+ * interleaving produces the same final state and the comparison is
+ * exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "common/random.hh"
+#include "core/processor.hh"
+#include "isa/interpreter.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+/** Registers the generator may touch (fits the 6-thread budget);
+ *  r15 is reserved as the JAL/JR link register and is never
+ *  clobbered by random instructions. */
+constexpr RegIndex kMinReg = 3;
+constexpr RegIndex kMaxReg = 14;
+constexpr RegIndex kLinkReg = 15;
+/** Per-thread memory region, in words (a power of two). */
+constexpr unsigned kRegionWords = 16;
+
+/**
+ * Generate one random terminating program for @p threads threads.
+ * With @p with_calls, a handful of leaf functions (straight-line
+ * compute ending in JR on the r15 link register) are appended and
+ * called from the body via JAL — covering call/return prediction and
+ * recovery.
+ */
+Program
+randomProgram(std::uint64_t seed, unsigned threads,
+              unsigned body_length, bool with_calls = false)
+{
+    Xorshift64 rng(seed);
+    ProgramBuilder b;
+
+    std::vector<std::uint64_t> init(kRegionWords * threads);
+    for (auto &word : init)
+        word = rng.next();
+    b.arrayOfWords("mem", init);
+
+    auto any_reg = [&]() {
+        return static_cast<RegIndex>(
+            kMinReg + rng.nextBelow(kMaxReg - kMinReg + 1));
+    };
+
+    // Prologue: r2 = region base for this thread.
+    b.tid(2);
+    b.ldi(1, kRegionWords * 8);
+    b.mul(2, 2, 1);
+    b.la(1, "mem");
+    b.add(2, 2, 1);
+    // Seed a few registers with distinctive values.
+    for (RegIndex r = kMinReg; r <= kMaxReg; ++r)
+        b.ldi(r, static_cast<std::int32_t>(rng.nextBelow(1000)) - 500);
+
+    int pending_label = -1;  // forward branch target not yet placed
+    InstAddr place_after = 0;
+    int label_counter = 0;
+    const unsigned num_functions = with_calls ? 3 : 0;
+
+    for (unsigned i = 0; i < body_length; ++i) {
+        if (pending_label >= 0 && b.here() >= place_after) {
+            b.label("fwd" + std::to_string(pending_label));
+            pending_label = -1;
+        }
+
+        switch (rng.nextBelow(10)) {
+          case 0:
+          case 1: { // R-format integer op
+            static const Opcode ops[] = {
+                Opcode::ADD, Opcode::SUB, Opcode::AND, Opcode::OR,
+                Opcode::XOR, Opcode::SLL, Opcode::SRL, Opcode::SRA,
+                Opcode::SLT, Opcode::SLTU,
+            };
+            b.emit(Instruction::makeR(ops[rng.nextBelow(10)],
+                                      any_reg(), any_reg(),
+                                      any_reg()));
+            break;
+          }
+          case 2: { // immediate op
+            static const Opcode ops[] = {
+                Opcode::ADDI, Opcode::ANDI, Opcode::ORI,
+                Opcode::XORI, Opcode::SLTI, Opcode::SLLI,
+                Opcode::SRLI, Opcode::SRAI,
+            };
+            Opcode op = ops[rng.nextBelow(8)];
+            std::int32_t imm;
+            if (op == Opcode::ANDI || op == Opcode::ORI ||
+                op == Opcode::XORI) {
+                imm = static_cast<std::int32_t>(rng.nextBelow(1024));
+            } else if (op == Opcode::SLLI || op == Opcode::SRLI ||
+                       op == Opcode::SRAI) {
+                imm = static_cast<std::int32_t>(rng.nextBelow(64));
+            } else {
+                imm = static_cast<std::int32_t>(rng.nextBelow(1024)) -
+                      512;
+            }
+            b.emit(Instruction::makeI(op, any_reg(), any_reg(), imm));
+            break;
+          }
+          case 3: { // multiply / divide
+            static const Opcode ops[] = {Opcode::MUL, Opcode::DIV,
+                                         Opcode::REM};
+            b.emit(Instruction::makeR(ops[rng.nextBelow(3)],
+                                      any_reg(), any_reg(),
+                                      any_reg()));
+            break;
+          }
+          case 4: { // floating point on whatever bits are there
+            static const Opcode ops[] = {
+                Opcode::FADD, Opcode::FSUB, Opcode::FMUL,
+                Opcode::FCMPLT, Opcode::FCMPLE, Opcode::CVTIF,
+            };
+            b.emit(Instruction::makeR(ops[rng.nextBelow(6)],
+                                      any_reg(), any_reg(),
+                                      any_reg()));
+            break;
+          }
+          case 5:
+          case 6: { // region-masked load
+            RegIndex addr = any_reg();
+            RegIndex idx = any_reg();
+            b.andi(addr, idx, kRegionWords - 1);
+            b.slli(addr, addr, 3);
+            b.add(addr, addr, 2);
+            b.ld(any_reg(), 0, addr);
+            break;
+          }
+          case 7: { // region-masked store
+            RegIndex addr = any_reg();
+            b.andi(addr, addr, kRegionWords - 1);
+            b.slli(addr, addr, 3);
+            b.add(addr, addr, 2);
+            b.st(any_reg(), 0, addr);
+            break;
+          }
+          case 8: { // forward conditional branch
+            if (pending_label < 0) {
+                static const Opcode ops[] = {Opcode::BEQ, Opcode::BNE,
+                                             Opcode::BLT, Opcode::BGE};
+                pending_label = label_counter++;
+                place_after =
+                    b.here() + 2 +
+                    static_cast<InstAddr>(rng.nextBelow(6));
+                b.emitToLabel(
+                    Instruction::makeB(ops[rng.nextBelow(4)],
+                                       any_reg(), any_reg(), 0),
+                    "fwd" + std::to_string(pending_label));
+            }
+            break;
+          }
+          case 9: { // SPIN / NOP filler, or a leaf call
+            if (with_calls && rng.nextBelow(2)) {
+                b.jal(kLinkReg, "func" + std::to_string(
+                               rng.nextBelow(num_functions)));
+            } else if (rng.nextBelow(2)) {
+                b.spin();
+            } else {
+                b.nop();
+            }
+            break;
+          }
+        }
+    }
+    // Place any dangling forward label, then stop.
+    if (pending_label >= 0)
+        b.label("fwd" + std::to_string(pending_label));
+    b.halt();
+
+    // Leaf functions: straight-line compute, return through r15.
+    for (unsigned f = 0; f < num_functions; ++f) {
+        b.label("func" + std::to_string(f));
+        for (unsigned k = 0; k < 2 + f; ++k) {
+            b.emit(Instruction::makeR(
+                k % 2 ? Opcode::ADD : Opcode::XOR, any_reg(),
+                any_reg(), any_reg()));
+        }
+        b.jr(kLinkReg);
+    }
+    return b.finish();
+}
+
+struct PropertyParam
+{
+    std::uint64_t seed;
+    unsigned threads;
+    FetchPolicy fetch;
+    CommitPolicy commit;
+    RenameScheme rename;
+    bool bypassing;
+    std::uint32_t cacheWays;
+    unsigned suEntries;
+    bool withCalls = false;
+    bool partitionedCache = false;
+    bool finiteICache = false;
+    unsigned btbBanks = 1;
+};
+
+class PipelineEquivalence
+    : public ::testing::TestWithParam<PropertyParam>
+{
+};
+
+TEST_P(PipelineEquivalence, MatchesInterpreterExactly)
+{
+    const PropertyParam &param = GetParam();
+    Program prog = randomProgram(param.seed, param.threads, 120,
+                                 param.withCalls);
+
+    MachineConfig cfg;
+    cfg.numThreads = param.threads;
+    cfg.fetchPolicy = param.fetch;
+    cfg.commitPolicy = param.commit;
+    cfg.renameScheme = param.rename;
+    cfg.bypassing = param.bypassing;
+    cfg.dcache.ways = param.cacheWays;
+    cfg.suEntries = param.suEntries;
+    cfg.maxCycles = 2'000'000;
+    if (param.partitionedCache)
+        cfg.dcache.partitions = param.threads;
+    cfg.perfectICache = !param.finiteICache;
+    cfg.btbBanks = param.btbBanks;
+    if (param.fetch == FetchPolicy::WeightedRoundRobin) {
+        for (unsigned t = 0; t < param.threads; ++t)
+            cfg.fetchWeights.push_back(1 + t % 3);
+    }
+
+    Processor cpu(cfg, prog);
+    SimResult result = cpu.run();
+    ASSERT_TRUE(result.finished);
+
+    Interpreter interp(prog, param.threads);
+    ASSERT_TRUE(interp.run());
+
+    for (unsigned t = 0; t < param.threads; ++t) {
+        for (RegIndex r = 1; r <= kLinkReg; ++r) {
+            EXPECT_EQ(cpu.readReg(static_cast<ThreadId>(t), r),
+                      interp.reg(static_cast<ThreadId>(t), r))
+                << "seed " << param.seed << " thread " << t << " r"
+                << unsigned{r};
+        }
+    }
+    EXPECT_EQ(cpu.memory().image(), interp.memory())
+        << "seed " << param.seed;
+    EXPECT_EQ(result.committedInstructions,
+              interp.totalInstructionCount());
+}
+
+std::vector<PropertyParam>
+propertyParams()
+{
+    std::vector<PropertyParam> params;
+    // Configuration axes exercised in rotation, several seeds each.
+    const FetchPolicy fetches[] = {
+        FetchPolicy::TrueRoundRobin, FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch, FetchPolicy::Adaptive,
+        FetchPolicy::WeightedRoundRobin};
+    const unsigned threads[] = {1, 2, 3, 4, 6};
+    const unsigned su_sizes[] = {16, 32, 48, 64};
+    std::uint64_t seed = 1000;
+    for (unsigned i = 0; i < 60; ++i) {
+        PropertyParam param;
+        param.seed = ++seed;
+        param.threads = threads[i % 5];
+        param.fetch = fetches[i % 5];
+        param.commit = (i % 3 == 0) ? CommitPolicy::LowestBlockOnly
+                                    : CommitPolicy::FlexibleFourBlocks;
+        param.rename = (i % 5 == 0) ? RenameScheme::Scoreboard1Bit
+                                    : RenameScheme::FullRenaming;
+        param.bypassing = i % 2 == 0;
+        param.cacheWays = (i % 4 == 0) ? 1 : 2;
+        param.suEntries = su_sizes[i % 4];
+        param.withCalls = i % 2 == 1;
+        param.partitionedCache = i % 7 == 0;
+        param.finiteICache = i % 6 == 0;
+        param.btbBanks = (i % 8 == 0) ? threads[i % 5] : 1;
+        params.push_back(param);
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, PipelineEquivalence,
+                         ::testing::ValuesIn(propertyParams()));
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the binary-rewriting layout pass (realignProgram).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/rewrite.hh"
+#include "isa/interpreter.hh"
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+LayoutOptions
+bothPasses()
+{
+    LayoutOptions layout;
+    layout.alignTargetsToBlocks = true;
+    layout.alignBranchesToBlockEnd = true;
+    return layout;
+}
+
+TEST(Rewrite, PreservesSemanticsOfLoop)
+{
+    ProgramBuilder b;
+    b.dword("out", 0);
+    b.la(3, "out");
+    b.ldi(1, 25);
+    b.label("top");
+    b.add(2, 2, 1);
+    b.addi(1, 1, -1);
+    b.bne(1, 0, "top");
+    b.st(2, 0, 3);
+    b.halt();
+    Program original = b.finish();
+    Program realigned = realignProgram(original, bothPasses());
+
+    // Control transfers sit at block ends.
+    for (std::size_t pc = 0; pc < realigned.code.size(); ++pc) {
+        Instruction inst = Instruction::decode(realigned.code[pc]);
+        if (inst.isControl())
+            EXPECT_EQ(pc % 4, 3u) << "pc " << pc;
+    }
+
+    Interpreter plain(original, 1);
+    Interpreter padded(realigned, 1);
+    ASSERT_TRUE(plain.run());
+    ASSERT_TRUE(padded.run());
+    EXPECT_EQ(plain.memory(), padded.memory());
+    EXPECT_EQ(readWord(plain.memory(), 0), 325u);
+}
+
+TEST(Rewrite, PreservesDataSection)
+{
+    ProgramBuilder b;
+    b.dword("a", 0x1234);
+    b.dvalue("pi", 3.5);
+    b.halt();
+    Program original = b.finish(64);
+    Program realigned = realignProgram(original, bothPasses());
+    EXPECT_EQ(realigned.data, original.data);
+    EXPECT_EQ(realigned.memorySize, original.memorySize);
+}
+
+TEST(Rewrite, RejectsLinkInstructions)
+{
+    ProgramBuilder b;
+    b.jal(5, "f");
+    b.label("f");
+    b.halt();
+    Program prog = b.finish();
+    EXPECT_EXIT(realignProgram(prog, bothPasses()),
+                ::testing::ExitedWithCode(1), "code address");
+}
+
+TEST(Rewrite, RejectsIndirectJumps)
+{
+    ProgramBuilder b;
+    b.jr(5);
+    b.halt();
+    Program prog = b.finish();
+    EXPECT_EXIT(realignProgram(prog, bothPasses()),
+                ::testing::ExitedWithCode(1), "code address");
+}
+
+TEST(Rewrite, EveryBenchmarkSurvivesRealignment)
+{
+    // The paper's section 6.1 layout optimization must preserve all
+    // eleven benchmarks' results.
+    for (const Workload *workload : allWorkloads()) {
+        WorkloadImage image = workload->build(2, 10);
+        Program realigned = realignProgram(image.program, bothPasses());
+        EXPECT_GT(realigned.code.size(), image.program.code.size())
+            << workload->name();
+
+        Interpreter interp(realigned, 2);
+        ASSERT_TRUE(interp.run()) << workload->name();
+        MainMemory mem;
+        mem.loadProgram(realigned);
+        mem.image() = interp.memory();
+        VerifyResult verdict = image.verify(mem);
+        EXPECT_TRUE(verdict.ok)
+            << workload->name() << ": " << verdict.message;
+    }
+}
+
+TEST(Rewrite, TargetsAlignedToBlocks)
+{
+    LayoutOptions targets_only;
+    targets_only.alignTargetsToBlocks = true;
+
+    ProgramBuilder b;
+    b.nop();
+    b.nop();
+    b.label("t");
+    b.addi(1, 1, 1);
+    b.slti(2, 1, 3);
+    b.bne(2, 0, "t");
+    b.halt();
+    Program realigned = realignProgram(b.finish(), targets_only);
+
+    // Find the branch; its target must be block-aligned.
+    for (std::size_t pc = 0; pc < realigned.code.size(); ++pc) {
+        Instruction inst = Instruction::decode(realigned.code[pc]);
+        if (inst.isCondBranch()) {
+            InstAddr target =
+                inst.staticTarget(static_cast<InstAddr>(pc));
+            EXPECT_EQ(target % 4, 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace sdsp

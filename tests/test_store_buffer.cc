@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the store buffer: ordering, commit gating, drains,
+ * same-thread forwarding and selective squash.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/store_buffer.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+struct Fixture : public ::testing::Test
+{
+    Fixture() : sb(4), cache(CacheConfig{}), mem(256) {}
+
+    StoreBuffer sb;
+    DataCache cache;
+    MainMemory mem;
+};
+
+TEST_F(Fixture, FillsAndReportsFull)
+{
+    EXPECT_FALSE(sb.full());
+    for (Tag seq = 1; seq <= 4; ++seq)
+        sb.insert(seq, 0, static_cast<Addr>(seq * 8), seq);
+    EXPECT_TRUE(sb.full());
+    EXPECT_EQ(sb.size(), 4u);
+}
+
+TEST_F(Fixture, UncommittedStoresDoNotDrain)
+{
+    sb.insert(1, 0, 8, 42);
+    cache.beginCycle(1);
+    EXPECT_EQ(sb.drain(cache, mem, 1), 0u);
+    EXPECT_EQ(mem.read(8), 0u);
+}
+
+TEST_F(Fixture, CommittedHeadDrainsInOrder)
+{
+    sb.insert(1, 0, 8, 42);
+    sb.insert(2, 0, 16, 43);
+    sb.commitUpTo(0, 2);
+    cache.beginCycle(1);
+    // Default cache has one port: one drain per cycle.
+    EXPECT_EQ(sb.drain(cache, mem, 1), 1u);
+    EXPECT_EQ(mem.read(8), 42u);
+    EXPECT_EQ(mem.read(16), 0u);
+    cache.beginCycle(2);
+    EXPECT_EQ(sb.drain(cache, mem, 2), 1u);
+    EXPECT_EQ(mem.read(16), 43u);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST_F(Fixture, DrainBlockedByUncommittedHead)
+{
+    // Head (oldest) uncommitted: nothing behind it may drain, which
+    // preserves global store order.
+    sb.insert(1, 0, 8, 1);
+    sb.insert(2, 1, 16, 2);
+    sb.commitUpTo(1, 2); // commit only the younger store
+    cache.beginCycle(1);
+    EXPECT_EQ(sb.drain(cache, mem, 1), 0u);
+}
+
+TEST_F(Fixture, OutOfOrderInsertKeptSorted)
+{
+    // Stores can execute out of order; the buffer reorders by seq.
+    sb.insert(5, 0, 40, 55);
+    sb.insert(2, 0, 16, 22);
+    ASSERT_EQ(sb.contents().size(), 2u);
+    EXPECT_EQ(sb.contents()[0].seq, 2u);
+    EXPECT_EQ(sb.contents()[1].seq, 5u);
+}
+
+TEST_F(Fixture, ForwardsYoungestOlderSameThreadStore)
+{
+    sb.insert(1, 0, 8, 100);
+    sb.insert(3, 0, 8, 300);
+    // A load with seq 5 sees the youngest older store (seq 3).
+    auto fwd = sb.forward(0, 8, 5);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_EQ(*fwd, 300u);
+    // A load with seq 2 sees only seq 1.
+    fwd = sb.forward(0, 8, 2);
+    ASSERT_TRUE(fwd.has_value());
+    EXPECT_EQ(*fwd, 100u);
+}
+
+TEST_F(Fixture, NeverForwardsAcrossThreads)
+{
+    sb.insert(1, 0, 8, 100);
+    EXPECT_FALSE(sb.forward(1, 8, 5).has_value());
+}
+
+TEST_F(Fixture, NeverForwardsFromYoungerStore)
+{
+    sb.insert(7, 0, 8, 100);
+    EXPECT_FALSE(sb.forward(0, 8, 5).has_value());
+}
+
+TEST_F(Fixture, NoForwardOnAddressMismatch)
+{
+    sb.insert(1, 0, 8, 100);
+    EXPECT_FALSE(sb.forward(0, 16, 5).has_value());
+}
+
+TEST_F(Fixture, SquashRemovesYoungerSameThreadOnly)
+{
+    sb.insert(1, 0, 8, 1);
+    sb.insert(2, 1, 16, 2);
+    sb.insert(3, 0, 24, 3);
+    sb.squash(0, 1); // drop thread 0 stores with seq > 1
+    ASSERT_EQ(sb.contents().size(), 2u);
+    EXPECT_EQ(sb.contents()[0].seq, 1u);
+    EXPECT_EQ(sb.contents()[1].seq, 2u);
+}
+
+TEST_F(Fixture, SquashingCommittedStorePanics)
+{
+    sb.insert(3, 0, 24, 3);
+    sb.commitUpTo(0, 3);
+    EXPECT_DEATH(sb.squash(0, 1), "committed");
+}
+
+TEST_F(Fixture, OverflowPanics)
+{
+    for (Tag seq = 1; seq <= 4; ++seq)
+        sb.insert(seq, 0, 8, 0);
+    EXPECT_DEATH(sb.insert(5, 0, 8, 0), "overflow");
+}
+
+TEST_F(Fixture, StatsReport)
+{
+    sb.insert(1, 0, 8, 9);
+    sb.commitUpTo(0, 1);
+    cache.beginCycle(1);
+    sb.drain(cache, mem, 1);
+    sb.forward(0, 8, 2); // no match: already drained
+    sb.noteFullStall();
+    StatsRegistry registry;
+    sb.reportStats(registry, "sb");
+    EXPECT_DOUBLE_EQ(registry.get("sb.inserts"), 1.0);
+    EXPECT_DOUBLE_EQ(registry.get("sb.drains"), 1.0);
+    EXPECT_DOUBLE_EQ(registry.get("sb.fullStalls"), 1.0);
+}
+
+TEST_F(Fixture, DrainRespectsCachePortBudget)
+{
+    CacheConfig cfg;
+    cfg.ports = 2;
+    DataCache wide(cfg);
+    sb.insert(1, 0, 8, 1);
+    sb.insert(2, 0, 16, 2);
+    sb.insert(3, 0, 24, 3);
+    sb.commitUpTo(0, 3);
+    wide.beginCycle(1);
+    EXPECT_EQ(sb.drain(wide, mem, 1), 2u);
+    wide.beginCycle(2);
+    EXPECT_EQ(sb.drain(wide, mem, 2), 1u);
+}
+
+} // namespace
+} // namespace sdsp

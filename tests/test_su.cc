@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Unit tests for the scheduling unit (combined reorder buffer +
+ * instruction window): dispatch, operand lookup, wakeup/bypass
+ * timing, selective squash, flexible commit selection and memory
+ * disambiguation queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/regfile.hh"
+#include "core/su.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+SuEntry
+makeEntry(Tag seq, ThreadId tid, Opcode op, RegIndex rd,
+          EntryState state = EntryState::Waiting)
+{
+    SuEntry entry;
+    entry.valid = true;
+    entry.seq = seq;
+    entry.tid = tid;
+    entry.inst = Instruction::makeR(op, rd, 0, 0);
+    entry.state = state;
+    return entry;
+}
+
+SuBlock
+makeBlock(ThreadId tid, std::vector<SuEntry> entries)
+{
+    SuBlock block;
+    block.tid = tid;
+    block.blockSeq = entries.front().seq;
+    block.entries = std::move(entries);
+    return block;
+}
+
+TEST(Su, CapacityAndOccupancy)
+{
+    SchedulingUnit su(2, 4);
+    EXPECT_TRUE(su.hasSpace());
+    EXPECT_TRUE(su.empty());
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1),
+                              makeEntry(2, 0, Opcode::ADD, 2)}));
+    EXPECT_EQ(su.occupancy(), 2u);
+    su.dispatch(makeBlock(1, {makeEntry(3, 1, Opcode::ADD, 1)}));
+    EXPECT_FALSE(su.hasSpace());
+    EXPECT_DEATH(su.dispatch(makeBlock(0, {makeEntry(9, 0,
+                                                     Opcode::ADD, 3)})),
+                 "full");
+}
+
+TEST(Su, FindNewestWriterMatchesThreadAndRegister)
+{
+    SchedulingUnit su(4, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 5)}));
+    su.dispatch(makeBlock(1, {makeEntry(2, 1, Opcode::ADD, 5)}));
+    su.dispatch(makeBlock(0, {makeEntry(3, 0, Opcode::ADD, 5)}));
+
+    const SuEntry *writer = su.findNewestWriter(0, 5);
+    ASSERT_NE(writer, nullptr);
+    EXPECT_EQ(writer->seq, 3u); // newest of thread 0, not thread 1's
+    writer = su.findNewestWriter(1, 5);
+    ASSERT_NE(writer, nullptr);
+    EXPECT_EQ(writer->seq, 2u);
+    EXPECT_EQ(su.findNewestWriter(0, 6), nullptr);
+}
+
+TEST(Su, FindNewestWriterIgnoresNonWriters)
+{
+    SchedulingUnit su(4, 4);
+    SuEntry store = makeEntry(1, 0, Opcode::ADD, 5);
+    store.inst = Instruction::makeB(Opcode::ST, 5, 5, 0);
+    su.dispatch(makeBlock(0, {store}));
+    EXPECT_EQ(su.findNewestWriter(0, 5), nullptr);
+}
+
+TEST(Su, BroadcastWakesMatchingOperands)
+{
+    SchedulingUnit su(4, 4);
+    SuEntry consumer = makeEntry(2, 0, Opcode::ADD, 3);
+    consumer.inst = Instruction::makeR(Opcode::ADD, 3, 1, 2);
+    consumer.src1 = {false, 0, 7}; // waiting on tag 7
+    consumer.src2 = {true, 5, kNoTag};
+    su.dispatch(makeBlock(0, {consumer}));
+
+    su.broadcast(7, 123, /*now=*/10, /*bypassing=*/true);
+    SuEntry *entry = su.findBySeq(2);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->state, EntryState::Ready);
+    EXPECT_EQ(entry->src1.value, 123u);
+    EXPECT_EQ(entry->earliestIssue, 10u); // same-cycle with bypass
+}
+
+TEST(Su, BroadcastWithoutBypassDelaysIssue)
+{
+    SchedulingUnit su(4, 4);
+    SuEntry consumer = makeEntry(2, 0, Opcode::ADD, 3);
+    consumer.src1 = {false, 0, 7};
+    su.dispatch(makeBlock(0, {consumer}));
+    su.broadcast(7, 1, 10, /*bypassing=*/false);
+    EXPECT_EQ(su.findBySeq(2)->earliestIssue, 11u);
+}
+
+TEST(Su, BroadcastLeavesPartiallyWaitingEntries)
+{
+    SchedulingUnit su(4, 4);
+    SuEntry consumer = makeEntry(2, 0, Opcode::ADD, 3);
+    consumer.src1 = {false, 0, 7};
+    consumer.src2 = {false, 0, 8};
+    su.dispatch(makeBlock(0, {consumer}));
+    su.broadcast(7, 1, 10, true);
+    EXPECT_EQ(su.findBySeq(2)->state, EntryState::Waiting);
+    su.broadcast(8, 2, 11, true);
+    EXPECT_EQ(su.findBySeq(2)->state, EntryState::Ready);
+}
+
+TEST(Su, SquashRemovesOnlyYoungerSameThread)
+{
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1),
+                              makeEntry(2, 0, Opcode::ADD, 2)}));
+    su.dispatch(makeBlock(1, {makeEntry(3, 1, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(0, {makeEntry(4, 0, Opcode::ADD, 3)}));
+
+    std::vector<Tag> squashed;
+    unsigned count = su.squashThread(0, /*after=*/1, &squashed);
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(squashed, (std::vector<Tag>{2, 4}));
+    // Thread 1 untouched; thread 0's block 2 fully removed; entry 1
+    // survives within its block.
+    EXPECT_NE(su.findBySeq(1), nullptr);
+    EXPECT_EQ(su.findBySeq(2), nullptr);
+    EXPECT_NE(su.findBySeq(3), nullptr);
+    EXPECT_EQ(su.findBySeq(4), nullptr);
+    EXPECT_EQ(su.contents().size(), 2u);
+}
+
+TEST(Su, CommitSelectsCompleteBottomBlock)
+{
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1,
+                                        EntryState::Done)}));
+    CommitSelection selection = su.selectCommit(4);
+    EXPECT_TRUE(selection.found);
+    EXPECT_EQ(selection.blockIndex, 0u);
+}
+
+TEST(Su, FlexibleCommitSkipsOtherThreadsIncompleteBlock)
+{
+    // Paper Figure 2: block 1 (thread 0) incomplete; block 2
+    // (thread 1) complete -> thread 1 commits from the middle.
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(1, {makeEntry(2, 1, Opcode::ADD, 1,
+                                        EntryState::Done)}));
+    CommitSelection selection = su.selectCommit(4);
+    EXPECT_TRUE(selection.found);
+    EXPECT_EQ(selection.blockIndex, 1u);
+}
+
+TEST(Su, FlexibleCommitRespectsSameThreadOrder)
+{
+    // Both blocks thread 0; the younger complete block must NOT pass
+    // the older incomplete one.
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(0, {makeEntry(2, 0, Opcode::ADD, 1,
+                                        EntryState::Done)}));
+    EXPECT_FALSE(su.selectCommit(4).found);
+}
+
+TEST(Su, FlexibleCommitChecksAllBlocksBelow)
+{
+    // Thread pattern A(incomplete) B(incomplete) B(complete): the
+    // complete B block is blocked by the incomplete B block below.
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(1, {makeEntry(2, 1, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(1, {makeEntry(3, 1, Opcode::ADD, 2,
+                                        EntryState::Done)}));
+    EXPECT_FALSE(su.selectCommit(4).found);
+}
+
+TEST(Su, CommitWindowLimitsLookahead)
+{
+    // Complete block sits above the window: LowestBlockOnly (window
+    // 1) must not find it; window 4 must.
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(1, {makeEntry(2, 1, Opcode::ADD, 1,
+                                        EntryState::Done)}));
+    EXPECT_FALSE(su.selectCommit(1).found);
+    EXPECT_TRUE(su.selectCommit(4).found);
+}
+
+TEST(Su, FlexibleCommitWindowIsFourBlocks)
+{
+    // A complete foreign block in slot 4 (fifth from bottom) is
+    // beyond the paper's four-block commit window.
+    SchedulingUnit su(8, 4);
+    for (Tag seq = 1; seq <= 4; ++seq) {
+        su.dispatch(makeBlock(0, {makeEntry(seq, 0, Opcode::ADD, 1)}));
+    }
+    su.dispatch(makeBlock(1, {makeEntry(9, 1, Opcode::ADD, 1,
+                                        EntryState::Done)}));
+    EXPECT_FALSE(su.selectCommit(4).found);
+    EXPECT_TRUE(su.selectCommit(5).found);
+}
+
+TEST(Su, RemoveBlockCompacts)
+{
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1)}));
+    su.dispatch(makeBlock(1, {makeEntry(2, 1, Opcode::ADD, 1)}));
+    SuBlock removed = su.removeBlock(0);
+    EXPECT_EQ(removed.tid, 0u);
+    EXPECT_EQ(su.contents().size(), 1u);
+    EXPECT_EQ(su.contents().front().tid, 1u);
+}
+
+TEST(Su, OlderUnresolvedStoreQuery)
+{
+    SchedulingUnit su(8, 4);
+    SuEntry store = makeEntry(1, 0, Opcode::ADD, 0);
+    store.inst = Instruction::makeB(Opcode::ST, 1, 2, 0);
+    su.dispatch(makeBlock(0, {store}));
+
+    EXPECT_TRUE(su.hasOlderUnresolvedStore(0, 5));
+    EXPECT_FALSE(su.hasOlderUnresolvedStore(1, 5)); // other thread
+    EXPECT_FALSE(su.hasOlderUnresolvedStore(0, 1)); // not older
+
+    su.findBySeq(1)->storeBuffered = true;
+    EXPECT_FALSE(su.hasOlderUnresolvedStore(0, 5)); // now resolved
+}
+
+TEST(Su, OlderUnbufferedStoreIsThreadBlind)
+{
+    SchedulingUnit su(8, 4);
+    SuEntry store = makeEntry(3, 1, Opcode::ADD, 0);
+    store.inst = Instruction::makeB(Opcode::ST, 1, 2, 0);
+    su.dispatch(makeBlock(1, {store}));
+
+    // Visible across threads (it gates the shared store buffer).
+    EXPECT_TRUE(su.hasOlderUnbufferedStore(7));
+    EXPECT_FALSE(su.hasOlderUnbufferedStore(3)); // not strictly older
+    su.findBySeq(3)->storeBuffered = true;
+    EXPECT_FALSE(su.hasOlderUnbufferedStore(7));
+}
+
+TEST(Su, OldestFirstIterationOrder)
+{
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1),
+                              makeEntry(2, 0, Opcode::ADD, 2)}));
+    su.dispatch(makeBlock(1, {makeEntry(3, 1, Opcode::ADD, 1)}));
+    std::vector<Tag> seen;
+    su.forEachOldestFirst([&](SuEntry &entry) {
+        seen.push_back(entry.seq);
+        return true;
+    });
+    EXPECT_EQ(seen, (std::vector<Tag>{1, 2, 3}));
+}
+
+TEST(Su, IterationStopsOnFalse)
+{
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1),
+                              makeEntry(2, 0, Opcode::ADD, 2)}));
+    unsigned visits = 0;
+    su.forEachOldestFirst([&](SuEntry &) {
+        ++visits;
+        return false;
+    });
+    EXPECT_EQ(visits, 1u);
+}
+
+TEST(RegFile, PartitionMapping)
+{
+    RegisterFile regs(128, 4);
+    EXPECT_EQ(regs.registersPerThread(), 32u);
+    regs.write(0, 5, 100);
+    regs.write(1, 5, 200);
+    EXPECT_EQ(regs.read(0, 5), 100u);
+    EXPECT_EQ(regs.read(1, 5), 200u);
+    EXPECT_EQ(regs.physIndex(2, 0), 64u);
+}
+
+TEST(RegFile, FloorPartitionWithRemainder)
+{
+    RegisterFile regs(128, 6);
+    EXPECT_EQ(regs.registersPerThread(), 21u);
+    EXPECT_EQ(regs.physIndex(5, 20), 5u * 21 + 20);
+}
+
+TEST(RegFile, OutOfPartitionPanics)
+{
+    RegisterFile regs(128, 4);
+    EXPECT_DEATH(regs.read(0, 32), "partition");
+}
+
+TEST(RegFile, ResetZeroes)
+{
+    RegisterFile regs(128, 2);
+    regs.write(1, 3, 7);
+    regs.reset();
+    EXPECT_EQ(regs.read(1, 3), 0u);
+}
+
+} // namespace
+} // namespace sdsp

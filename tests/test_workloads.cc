@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Benchmark-suite tests: every workload, at every thread count the
+ * paper simulates (1-6), must (a) verify against its C++ reference on
+ * the functional interpreter, (b) verify on the cycle-level pipeline,
+ * and (c) produce the same final memory image on both — the strongest
+ * end-to-end cross-check of the pipeline's architectural correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "isa/interpreter.hh"
+#include "workloads/emit_util.hh"
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+/** Small problem sizes keep the full 66-case sweep fast. */
+constexpr unsigned kTestScale = 12;
+
+struct SuiteParam
+{
+    std::string name;
+    unsigned threads;
+};
+
+void
+PrintTo(const SuiteParam &param, std::ostream *os)
+{
+    *os << param.name << "x" << param.threads;
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<SuiteParam>
+{
+};
+
+TEST_P(WorkloadSweep, InterpreterMatchesReference)
+{
+    const Workload &workload = workloadByName(GetParam().name);
+    unsigned threads = GetParam().threads;
+    WorkloadImage image = workload.build(threads, kTestScale);
+
+    Interpreter interp(image.program, threads);
+    ASSERT_TRUE(interp.run()) << "interpreter did not terminate";
+
+    MainMemory mem;
+    mem.loadProgram(image.program);
+    mem.image() = interp.memory();
+    VerifyResult verdict = image.verify(mem);
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+TEST_P(WorkloadSweep, PipelineMatchesReferenceAndInterpreter)
+{
+    const Workload &workload = workloadByName(GetParam().name);
+    unsigned threads = GetParam().threads;
+    WorkloadImage image = workload.build(threads, kTestScale);
+
+    MachineConfig cfg;
+    cfg.numThreads = threads;
+    cfg.maxCycles = 20'000'000;
+    Processor cpu(cfg, image.program);
+    ASSERT_TRUE(cpu.run().finished) << "pipeline hit the cycle cap";
+
+    VerifyResult verdict = image.verify(cpu.memory());
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+
+    Interpreter interp(image.program, threads);
+    ASSERT_TRUE(interp.run());
+    EXPECT_EQ(cpu.memory().image(), interp.memory())
+        << "pipeline and interpreter disagree on final memory";
+}
+
+std::vector<SuiteParam>
+sweepParams()
+{
+    std::vector<SuiteParam> params;
+    for (const Workload *workload : allWorkloads()) {
+        for (unsigned threads = 1; threads <= 6; ++threads)
+            params.push_back({workload->name(), threads});
+    }
+    return params;
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<SuiteParam> &info)
+{
+    return info.param.name + "_" +
+           std::to_string(info.param.threads) + "t";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSweep,
+                         ::testing::ValuesIn(sweepParams()), sweepName);
+
+// ---- Configuration-matrix sweep ------------------------------------
+// Every benchmark must verify on the pipeline under every design
+// variant the paper (or an ablation) exercises.
+
+struct VariantParam
+{
+    std::string benchmark;
+    std::string variant;
+};
+
+void
+PrintTo(const VariantParam &param, std::ostream *os)
+{
+    *os << param.benchmark << "/" << param.variant;
+}
+
+MachineConfig
+variantConfig(const std::string &variant)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 4;
+    cfg.maxCycles = 20'000'000;
+    if (variant == "enhancedFu") {
+        cfg.fu = FuConfig::sdspEnhanced();
+    } else if (variant == "directCache") {
+        cfg.dcache.ways = 1;
+    } else if (variant == "su16") {
+        cfg.suEntries = 16;
+    } else if (variant == "su64") {
+        cfg.suEntries = 64;
+    } else if (variant == "lowestCommit") {
+        cfg.commitPolicy = CommitPolicy::LowestBlockOnly;
+    } else if (variant == "scoreboard") {
+        cfg.renameScheme = RenameScheme::Scoreboard1Bit;
+    } else if (variant == "noBypass") {
+        cfg.bypassing = false;
+    } else if (variant == "maskedRR") {
+        cfg.fetchPolicy = FetchPolicy::MaskedRoundRobin;
+    } else if (variant == "cswitch") {
+        cfg.fetchPolicy = FetchPolicy::ConditionalSwitch;
+    } else if (variant == "adaptive") {
+        cfg.fetchPolicy = FetchPolicy::Adaptive;
+    } else if (variant == "weightedRR") {
+        cfg.fetchPolicy = FetchPolicy::WeightedRoundRobin;
+        cfg.fetchWeights = {2, 1, 1, 2};
+    } else if (variant == "partitionedCache") {
+        cfg.dcache.partitions = 4;
+    } else if (variant == "privateBtb") {
+        cfg.btbBanks = 4;
+    } else if (variant == "finiteICache") {
+        cfg.perfectICache = false;
+    } else if (variant != "default") {
+        ADD_FAILURE() << "unknown variant " << variant;
+    }
+    return cfg;
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<VariantParam>
+{
+};
+
+TEST_P(ConfigMatrix, BenchmarkVerifiesOnPipeline)
+{
+    const VariantParam &param = GetParam();
+    MachineConfig cfg = variantConfig(param.variant);
+    WorkloadImage image =
+        workloadByName(param.benchmark).build(cfg.numThreads,
+                                              kTestScale);
+    Processor cpu(cfg, image.program);
+    ASSERT_TRUE(cpu.run().finished) << "cycle cap";
+    VerifyResult verdict = image.verify(cpu.memory());
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+std::vector<VariantParam>
+matrixParams()
+{
+    const char *variants[] = {
+        "default",      "enhancedFu",  "directCache", "su16",
+        "su64",         "lowestCommit", "scoreboard", "noBypass",
+        "maskedRR",     "cswitch",     "adaptive",    "weightedRR",
+        "partitionedCache", "privateBtb", "finiteICache",
+    };
+    std::vector<VariantParam> params;
+    for (const Workload *workload : allWorkloads()) {
+        for (const char *variant : variants)
+            params.push_back({workload->name(), variant});
+    }
+    return params;
+}
+
+std::string
+matrixName(const ::testing::TestParamInfo<VariantParam> &info)
+{
+    return info.param.benchmark + "_" + info.param.variant;
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, ConfigMatrix,
+                         ::testing::ValuesIn(matrixParams()),
+                         matrixName);
+
+TEST(WorkloadSuite, RegistryHasElevenBenchmarks)
+{
+    EXPECT_EQ(allWorkloads().size(), 11u);
+    EXPECT_EQ(workloadsInGroup(BenchmarkGroup::LivermoreLoops).size(),
+              6u);
+    EXPECT_EQ(workloadsInGroup(BenchmarkGroup::GroupII).size(), 5u);
+}
+
+TEST(WorkloadSuite, ExtensionWorkloadsAreSeparate)
+{
+    EXPECT_GE(extensionWorkloads().size(), 1u);
+    EXPECT_EQ(workloadByName("LL5sched").name(), "LL5sched");
+    // Extensions never appear in the paper's eleven.
+    for (const Workload *workload : allWorkloads())
+        EXPECT_NE(workload->name(), "LL5sched");
+}
+
+TEST(WorkloadSuite, Ll5SchedMatchesLl5Semantics)
+{
+    // Both formulations compute the same recurrence on the same data;
+    // either verifier must accept the other's output.
+    for (unsigned threads : {1u, 4u}) {
+        WorkloadImage sched =
+            workloadByName("LL5sched").build(threads, kTestScale);
+        Interpreter interp(sched.program, threads);
+        ASSERT_TRUE(interp.run());
+        MainMemory mem;
+        mem.loadProgram(sched.program);
+        mem.image() = interp.memory();
+        VerifyResult verdict = sched.verify(mem);
+        EXPECT_TRUE(verdict.ok) << verdict.message;
+    }
+}
+
+TEST(WorkloadSuite, Ll5SchedVerifiesOnPipeline)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 4;
+    cfg.maxCycles = 20'000'000;
+    WorkloadImage image = workloadByName("LL5sched").build(4, kTestScale);
+    Processor cpu(cfg, image.program);
+    ASSERT_TRUE(cpu.run().finished);
+    VerifyResult verdict = image.verify(cpu.memory());
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+TEST(WorkloadSuite, LookupByName)
+{
+    EXPECT_EQ(workloadByName("Water").name(), "Water");
+    EXPECT_EQ(workloadByName("LL7").group(),
+              BenchmarkGroup::LivermoreLoops);
+    EXPECT_EXIT(workloadByName("bogus"),
+                ::testing::ExitedWithCode(1), "no benchmark");
+}
+
+TEST(WorkloadSuite, ProgramsRespectSuiteRegisterBudget)
+{
+    // Every benchmark must fit the 6-thread partition (21 registers).
+    for (const Workload *workload : allWorkloads()) {
+        WorkloadImage image = workload->build(6, kTestScale);
+        for (InstWord word : image.program.code) {
+            Instruction inst = Instruction::decode(word);
+            if (inst.writesRd())
+                EXPECT_LT(inst.rd, kSuiteRegisterBudget)
+                    << workload->name();
+            if (inst.readsRs1())
+                EXPECT_LT(inst.rs1, kSuiteRegisterBudget)
+                    << workload->name();
+            if (inst.readsRs2())
+                EXPECT_LT(inst.rs2, kSuiteRegisterBudget)
+                    << workload->name();
+        }
+    }
+}
+
+TEST(WorkloadSuite, VerifiersRejectCorruptedOutput)
+{
+    // Guards against vacuous verifiers: corrupt one output word and
+    // expect the check to fail.
+    for (const Workload *workload : allWorkloads()) {
+        WorkloadImage image = workload->build(2, kTestScale);
+        Interpreter interp(image.program, 2);
+        ASSERT_TRUE(interp.run());
+        MainMemory mem;
+        mem.loadProgram(image.program);
+        mem.image() = interp.memory();
+        ASSERT_TRUE(image.verify(mem).ok) << workload->name();
+
+        // Flip bits in an output cell. The first data word is an
+        // output for most benchmarks; find a word whose corruption
+        // the verifier notices.
+        bool caught = false;
+        for (Addr addr = 0; addr + 8 <= mem.size() && !caught;
+             addr += 8) {
+            RegVal original = mem.read(addr);
+            mem.write(addr, original ^ 0x7ff0000000000001ull);
+            caught = !image.verify(mem).ok;
+            mem.write(addr, original);
+        }
+        EXPECT_TRUE(caught) << workload->name()
+                            << ": verifier never fails";
+    }
+}
+
+TEST(WorkloadSuite, ScaleChangesProblemSize)
+{
+    const Workload &matrix = workloadByName("Matrix");
+    WorkloadImage small = matrix.build(1, 20);
+    WorkloadImage large = matrix.build(1, 100);
+    EXPECT_LT(small.program.memorySize, large.program.memorySize);
+}
+
+TEST(WorkloadSuite, Ll5UsesExplicitSynchronization)
+{
+    // The paper singles out LL5 for its inserted synchronization
+    // primitives; its program text must contain SPIN hints.
+    WorkloadImage image = workloadByName("LL5").build(4, kTestScale);
+    bool has_spin = false;
+    for (InstWord word : image.program.code)
+        has_spin |= Instruction::decode(word).op == Opcode::SPIN;
+    EXPECT_TRUE(has_spin);
+}
+
+TEST(WorkloadSuite, WaterUsesFpDivideAndSqrt)
+{
+    WorkloadImage image = workloadByName("Water").build(4, kTestScale);
+    bool has_div = false, has_sqrt = false;
+    for (InstWord word : image.program.code) {
+        Opcode op = Instruction::decode(word).op;
+        has_div |= op == Opcode::FDIV;
+        has_sqrt |= op == Opcode::FSQRT;
+    }
+    EXPECT_TRUE(has_div);
+    EXPECT_TRUE(has_sqrt);
+}
+
+TEST(WorkloadSuite, GroupsMatchPaperMembership)
+{
+    auto group_of = [](const std::string &name) {
+        return workloadByName(name).group();
+    };
+    for (const char *name : {"LL1", "LL2", "LL3", "LL5", "LL7", "LL11"})
+        EXPECT_EQ(group_of(name), BenchmarkGroup::LivermoreLoops);
+    for (const char *name :
+         {"Laplace", "MPD", "Matrix", "Sieve", "Water"})
+        EXPECT_EQ(group_of(name), BenchmarkGroup::GroupII);
+}
+
+} // namespace
+} // namespace sdsp
