@@ -25,22 +25,29 @@ main()
                 "train each other's branches, and each private slice "
                 "is only a quarter of the budget");
 
-    MachineConfig shared = paperConfig(4);
     MachineConfig banked = paperConfig(4);
     banked.btbBanks = 4;
+    std::vector<Variant> variants = {
+        {"shared", paperConfig(4)},
+        {"private", banked},
+    };
+    const auto &workloads = allWorkloads();
+    auto grid = runGrid(workloads, variants);
+    exportRunsJson(variants, grid);
 
     Table table({"benchmark", "shared cycles", "private cycles",
                  "shared acc %", "private acc %"});
-    for (const Workload *workload : allWorkloads()) {
-        RunResult s = runChecked(*workload, shared);
-        RunResult p = runChecked(*workload, banked);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const RunResult &s = grid[w][0];
+        const RunResult &p = grid[w][1];
         table.beginRow();
-        table.cell(workload->name());
+        table.cell(workloads[w]->name());
         table.cell(s.cycles);
         table.cell(p.cycles);
         table.cell(100.0 * s.branchAccuracy, 2);
         table.cell(100.0 * p.branchAccuracy, 2);
     }
     std::printf("\n%s", table.toAscii().c_str());
+    exportCsv(table);
     return 0;
 }

@@ -41,18 +41,23 @@ main()
                 "modest total-throughput cost; useful when one stream "
                 "is latency-critical");
 
+    std::vector<Variant> variants;
+    for (unsigned boost : {1u, 2u, 4u}) {
+        MachineConfig cfg = paperConfig(4);
+        cfg.fetchPolicy = FetchPolicy::WeightedRoundRobin;
+        cfg.fetchWeights = {boost, 1, 1, 1};
+        variants.push_back({format("%ux", boost), cfg});
+    }
+    const auto &workloads = allWorkloads();
+    auto grid = runGrid(workloads, variants);
+    exportRunsJson(variants, grid);
+
     Table table({"benchmark", "equal cycles", "2x cycles", "4x cycles",
                  "t0 share equal %", "t0 share 4x %"});
-    for (const Workload *workload : allWorkloads()) {
-        std::vector<RunResult> results;
-        for (unsigned boost : {1u, 2u, 4u}) {
-            MachineConfig cfg = paperConfig(4);
-            cfg.fetchPolicy = FetchPolicy::WeightedRoundRobin;
-            cfg.fetchWeights = {boost, 1, 1, 1};
-            results.push_back(runChecked(*workload, cfg));
-        }
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::vector<RunResult> &results = grid[w];
         table.beginRow();
-        table.cell(workload->name());
+        table.cell(workloads[w]->name());
         table.cell(results[0].cycles);
         table.cell(results[1].cycles);
         table.cell(results[2].cycles);
@@ -60,5 +65,6 @@ main()
         table.cell(100.0 * thread0Share(results[2]), 1);
     }
     std::printf("\n%s", table.toAscii().c_str());
+    exportCsv(table);
     return 0;
 }

@@ -30,26 +30,30 @@ main()
                 "speedup into a gain — the 'great impact' the paper "
                 "attributes to judicious task division");
 
-    const Workload &naive = workloadByName("LL5");
-    const Workload &sched = workloadByName("LL5sched");
+    std::vector<const Workload *> workloads = {
+        &workloadByName("LL5"), &workloadByName("LL5sched")};
+    std::vector<Variant> variants;
+    for (unsigned threads = 1; threads <= 6; ++threads)
+        variants.push_back({format("%uT", threads),
+                            paperConfig(threads)});
+    auto grid = runGrid(workloads, variants);
+    exportRunsJson(variants, grid);
 
     Table table({"threads", "LL5 cycles", "LL5sched cycles",
                  "LL5 speedup %", "LL5sched speedup %"});
-    Cycle base_naive = 0, base_sched = 0;
+    Cycle base_naive = grid[0][0].cycles;
+    Cycle base_sched = grid[1][0].cycles;
     for (unsigned threads = 1; threads <= 6; ++threads) {
-        RunResult n = runChecked(naive, paperConfig(threads));
-        RunResult s = runChecked(sched, paperConfig(threads));
-        if (threads == 1) {
-            base_naive = n.cycles;
-            base_sched = s.cycles;
-        }
+        Cycle n = grid[0][threads - 1].cycles;
+        Cycle s = grid[1][threads - 1].cycles;
         table.beginRow();
         table.cell(std::uint64_t{threads});
-        table.cell(n.cycles);
-        table.cell(s.cycles);
-        table.cell(speedupPercent(n.cycles, base_naive), 1);
-        table.cell(speedupPercent(s.cycles, base_sched), 1);
+        table.cell(n);
+        table.cell(s);
+        table.cell(speedupPercent(n, base_naive), 1);
+        table.cell(speedupPercent(s, base_sched), 1);
     }
     std::printf("\n%s", table.toAscii().c_str());
+    exportCsv(table);
     return 0;
 }

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "harness/artifacts.hh"
 
 namespace sdsp
 {
@@ -22,6 +23,12 @@ benchScale()
     if (value < 1 || value > 1000)
         fatal("SDSP_BENCH_SCALE out of range: %s", env);
     return static_cast<unsigned>(value);
+}
+
+unsigned
+benchJobs()
+{
+    return SweepRunner::defaultJobs();
 }
 
 MachineConfig
@@ -81,11 +88,28 @@ runChecked(const Workload &workload, const MachineConfig &config)
     return result;
 }
 
+namespace
+{
+
+/** $name if set and non-empty, with the directory created. */
+const char *
+exportDir(const char *name)
+{
+    const char *dir = std::getenv(name);
+    if (!dir || !*dir)
+        return nullptr;
+    if (!ensureOutputDir(dir))
+        return nullptr;
+    return dir;
+}
+
+} // namespace
+
 void
 exportCsv(const Table &table, const std::string &suffix)
 {
-    const char *dir = std::getenv("SDSP_BENCH_CSV");
-    if (!dir || !*dir)
+    const char *dir = exportDir("SDSP_BENCH_CSV");
+    if (!dir)
         return;
     std::string path = std::string(dir) + "/" + g_experiment_slug +
                        suffix + ".csv";
@@ -98,9 +122,82 @@ exportCsv(const Table &table, const std::string &suffix)
     std::printf("(csv written to %s)\n", path.c_str());
 }
 
+void
+exportRunsJson(const std::vector<Variant> &variants,
+               const std::vector<std::vector<RunResult>> &grid,
+               const std::string &suffix)
+{
+    const char *dir = exportDir("SDSP_BENCH_JSON");
+    if (!dir)
+        return;
+    std::string path = std::string(dir) + "/" + g_experiment_slug +
+                       suffix + ".json";
+
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("experiment", g_experiment_slug);
+    writer.field("scale", benchScale());
+    writer.key("runs").beginArray();
+    for (const std::vector<RunResult> &row : grid) {
+        for (std::size_t v = 0; v < row.size(); ++v) {
+            writer.beginObject();
+            writer.field("variant", variants[v].name);
+            writer.key("result");
+            appendJson(writer, row[v], /*include_stats=*/false);
+            writer.endObject();
+        }
+    }
+    writer.endArray();
+    writer.endObject();
+
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    file << writer.str() << '\n';
+    std::printf("(json written to %s)\n", path.c_str());
+}
+
+std::vector<std::vector<RunResult>>
+runGrid(const std::vector<const Workload *> &workloads,
+        const std::vector<Variant> &variants)
+{
+    SweepRunner runner;
+    for (const Workload *workload : workloads) {
+        for (const Variant &variant : variants)
+            runner.add(*workload, variant.config, benchScale(),
+                       variant.name);
+    }
+    std::vector<RunResult> flat = runner.run();
+
+    std::vector<std::vector<RunResult>> grid;
+    grid.reserve(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        auto first = flat.begin() +
+                     static_cast<std::ptrdiff_t>(w * variants.size());
+        grid.emplace_back(
+            std::make_move_iterator(first),
+            std::make_move_iterator(first + static_cast<std::ptrdiff_t>(
+                                                variants.size())));
+        for (const RunResult &result : grid.back())
+            requireGood(result);
+    }
+    return grid;
+}
+
 std::vector<std::vector<Cycle>>
 printCyclesTable(const std::vector<const Workload *> &workloads,
                  const std::vector<Variant> &variants)
+{
+    return printCyclesTable(workloads, variants,
+                            runGrid(workloads, variants));
+}
+
+std::vector<std::vector<Cycle>>
+printCyclesTable(const std::vector<const Workload *> &workloads,
+                 const std::vector<Variant> &variants,
+                 const std::vector<std::vector<RunResult>> &grid)
 {
     std::vector<std::string> header{"benchmark"};
     for (const Variant &variant : variants)
@@ -109,13 +206,12 @@ printCyclesTable(const std::vector<const Workload *> &workloads,
 
     std::vector<std::vector<Cycle>> cycles;
     std::vector<double> sums(variants.size(), 0.0);
-    for (const Workload *workload : workloads) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.beginRow();
-        table.cell(workload->name());
+        table.cell(workloads[w]->name());
         std::vector<Cycle> row;
         for (std::size_t v = 0; v < variants.size(); ++v) {
-            RunResult result =
-                runChecked(*workload, variants[v].config);
+            const RunResult &result = grid[w][v];
             row.push_back(result.cycles);
             sums[v] += static_cast<double>(result.cycles);
             table.cell(result.cycles);
@@ -128,6 +224,7 @@ printCyclesTable(const std::vector<const Workload *> &workloads,
         table.cell(sum / static_cast<double>(workloads.size()), 1);
     std::printf("\ncycles:\n%s", table.toAscii().c_str());
     exportCsv(table, "_cycles");
+    exportRunsJson(variants, grid);
     return cycles;
 }
 

@@ -12,7 +12,10 @@
  * The problem-size scale (percent) can be overridden with the
  * SDSP_BENCH_SCALE environment variable (default 100), and every
  * printed table is also written as CSV into the directory named by
- * SDSP_BENCH_CSV (if set) for plotting.
+ * SDSP_BENCH_CSV (if set) for plotting. Grid experiments execute
+ * their points concurrently on the sweep engine (SDSP_BENCH_JOBS
+ * workers, default hardware_concurrency); setting SDSP_BENCH_JSON to
+ * a directory additionally exports every grid's raw runs as JSON.
  */
 
 #ifndef SDSP_BENCH_BENCH_UTIL_HH
@@ -23,6 +26,7 @@
 
 #include "common/table.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workload.hh"
 
 namespace sdsp
@@ -32,6 +36,9 @@ namespace bench
 
 /** Problem-size scale in percent (SDSP_BENCH_SCALE, default 100). */
 unsigned benchScale();
+
+/** Sweep workers (SDSP_BENCH_JOBS, default hardware_concurrency). */
+unsigned benchJobs();
 
 /** The paper's default machine (Table 2) for @p threads threads. */
 MachineConfig paperConfig(unsigned threads = 4);
@@ -49,8 +56,9 @@ void printHeader(const std::string &experiment_id,
 
 /**
  * Write @p table as CSV into $SDSP_BENCH_CSV/<experiment><suffix>.csv
- * when that environment variable names a directory; otherwise a
- * no-op. The experiment name comes from the last printHeader call.
+ * when that environment variable is set (the directory is created if
+ * missing); otherwise a no-op. The experiment name comes from the
+ * last printHeader call.
  */
 void exportCsv(const Table &table, const std::string &suffix = "");
 
@@ -66,14 +74,44 @@ struct Variant
 };
 
 /**
- * Run each workload under each variant and print a cycles table
- * (rows: benchmarks; columns: variants), followed by a row of means.
+ * Run every (workload x variant) grid point concurrently on the
+ * sweep engine at benchScale(), fatal unless each run finishes and
+ * verifies.
+ *
+ * @return results[workload][variant], independent of the schedule.
+ */
+std::vector<std::vector<RunResult>>
+runGrid(const std::vector<const Workload *> &workloads,
+        const std::vector<Variant> &variants);
+
+/**
+ * Export @p grid (as returned by runGrid) into
+ * $SDSP_BENCH_JSON/<experiment><suffix>.json when that environment
+ * variable is set; otherwise a no-op.
+ */
+void exportRunsJson(const std::vector<Variant> &variants,
+                    const std::vector<std::vector<RunResult>> &grid,
+                    const std::string &suffix = "_runs");
+
+/**
+ * Run each workload under each variant (concurrently, via runGrid)
+ * and print a cycles table (rows: benchmarks; columns: variants),
+ * followed by a row of means.
  *
  * @return cycles[workload][variant].
  */
 std::vector<std::vector<Cycle>>
 printCyclesTable(const std::vector<const Workload *> &workloads,
                  const std::vector<Variant> &variants);
+
+/**
+ * As above, but over precomputed @p grid results — for experiments
+ * that also report other columns of the same runs.
+ */
+std::vector<std::vector<Cycle>>
+printCyclesTable(const std::vector<const Workload *> &workloads,
+                 const std::vector<Variant> &variants,
+                 const std::vector<std::vector<RunResult>> &grid);
 
 /**
  * Print a speedup table relative to a baseline column, using the

@@ -110,18 +110,29 @@ runCacheFigure(const std::string &figure, BenchmarkGroup group)
                 "associative ahead of direct everywhere, and the gap "
                 "widens as threads contend for the cache");
 
+    // One sweep covers the whole (organization x threads) grid;
+    // column order is direct then assoc for each thread count.
+    std::vector<Variant> variants;
+    for (unsigned threads = 1; threads <= 6; ++threads) {
+        MachineConfig direct = paperConfig(threads);
+        direct.dcache.ways = 1;
+        variants.push_back({format("direct/%uT", threads), direct});
+        variants.push_back(
+            {format("assoc/%uT", threads), paperConfig(threads)});
+    }
+    auto grid = runGrid(of(group), variants);
+    exportRunsJson(variants, grid);
+
     Table table({"threads", "direct", "assoc", "assoc gain %"});
+    double n = static_cast<double>(of(group).size());
     for (unsigned threads = 1; threads <= 6; ++threads) {
         double direct_sum = 0.0, assoc_sum = 0.0;
-        for (const Workload *workload : of(group)) {
-            MachineConfig direct = paperConfig(threads);
-            direct.dcache.ways = 1;
+        for (std::size_t w = 0; w < grid.size(); ++w) {
             direct_sum += static_cast<double>(
-                runChecked(*workload, direct).cycles);
+                grid[w][2 * (threads - 1)].cycles);
             assoc_sum += static_cast<double>(
-                runChecked(*workload, paperConfig(threads)).cycles);
+                grid[w][2 * (threads - 1) + 1].cycles);
         }
-        double n = static_cast<double>(of(group).size());
         table.beginRow();
         table.cell(std::uint64_t{threads});
         table.cell(direct_sum / n, 1);
@@ -129,6 +140,7 @@ runCacheFigure(const std::string &figure, BenchmarkGroup group)
         table.cell((direct_sum - assoc_sum) / direct_sum * 100.0, 2);
     }
     std::printf("\n%s", table.toAscii().c_str());
+    exportCsv(table);
     return 0;
 }
 
@@ -215,18 +227,19 @@ runCommitFigure(const std::string &figure, BenchmarkGroup group)
         {"Multiple", paperConfig(4)},
         {"Lowest", lowest},
     };
-    auto cycles = printCyclesTable(of(group), variants);
+    auto workloads = of(group);
+    auto grid = runGrid(workloads, variants);
+    auto cycles = printCyclesTable(workloads, variants, grid);
 
-    // SU-stall counts, the paper's explanation for the gap.
+    // SU-stall counts, the paper's explanation for the gap, from the
+    // same runs the cycles table reports.
     Table stalls(
         {"benchmark", "suStalls multiple", "suStalls lowest",
          "flexCommits"});
-    auto workloads = of(group);
     double gain_sum = 0.0;
     for (std::size_t w = 0; w < workloads.size(); ++w) {
-        RunResult multiple = runChecked(*workloads[w], variants[0].config);
-        RunResult only_lowest =
-            runChecked(*workloads[w], variants[1].config);
+        const RunResult &multiple = grid[w][0];
+        const RunResult &only_lowest = grid[w][1];
         stalls.beginRow();
         stalls.cell(workloads[w]->name());
         stalls.cell(multiple.suStalls);

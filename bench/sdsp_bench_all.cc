@@ -1,0 +1,327 @@
+/**
+ * @file
+ * The consolidated paper-reproduction driver.
+ *
+ * Enumerates every grid point of the paper's figure/table suite
+ * (fetch policies, thread counts, cache organizations, SU depths,
+ * functional-unit complements, commit policies — figures 3-14 and
+ * tables 3/5.2), deduplicates the points shared between experiments,
+ * executes them all concurrently on the sweep engine, and writes one
+ * machine-checkable bench_results.json (per-run cycles, IPC, hit
+ * rates, verify status, wall-clock, host metadata).
+ *
+ * Exit status is non-zero if any run fails to finish or verify, so
+ * CI can gate on this binary alone.
+ *
+ *     sdsp_bench_all [--jobs N] [--scale PCT] [--out FILE]
+ *                    [--only SUBSTR] [--list]
+ *
+ * --jobs defaults to SDSP_BENCH_JOBS / hardware_concurrency, --scale
+ * to SDSP_BENCH_SCALE / 100. The output goes to --out, else to
+ * $SDSP_BENCH_JSON/bench_results.json, else ./bench_results.json.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "harness/artifacts.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+namespace
+{
+
+/** One deduplicated grid point and the experiments that need it. */
+struct GridPoint
+{
+    const Workload *workload = nullptr;
+    MachineConfig config;
+    std::vector<std::string> experiments;
+};
+
+struct Suite
+{
+    std::vector<GridPoint> points;
+    /** (benchmark, configKey) -> index into points. */
+    std::map<std::string, std::size_t> index;
+    /** Grid points before deduplication, for reporting. */
+    std::size_t submitted = 0;
+
+    void
+    add(const Workload &workload, const MachineConfig &config,
+        const std::string &experiment)
+    {
+        ++submitted;
+        std::string key = workload.name() + "\n" + configKey(config);
+        auto [it, inserted] = index.try_emplace(key, points.size());
+        if (inserted)
+            points.push_back({&workload, config, {}});
+        std::vector<std::string> &tags =
+            points[it->second].experiments;
+        if (tags.empty() || tags.back() != experiment)
+            tags.push_back(experiment);
+    }
+
+    void
+    addForGroup(BenchmarkGroup group, const MachineConfig &config,
+                const std::string &experiment)
+    {
+        for (const Workload *workload : workloadsInGroup(group))
+            add(*workload, config, experiment);
+    }
+};
+
+/** The full figure/table grid of the paper's evaluation section. */
+Suite
+buildSuite()
+{
+    Suite suite;
+    const auto groups = {BenchmarkGroup::LivermoreLoops,
+                         BenchmarkGroup::GroupII};
+    auto figureId = [](BenchmarkGroup group, int ll_figure) {
+        return format("fig%02d",
+                      group == BenchmarkGroup::LivermoreLoops
+                          ? ll_figure
+                          : ll_figure + 1);
+    };
+
+    for (BenchmarkGroup group : groups) {
+        // Figures 3/4: fetch policies (plus the base case).
+        std::string fig = figureId(group, 3);
+        suite.addForGroup(group, paperConfig(1), fig);
+        for (FetchPolicy policy : {FetchPolicy::TrueRoundRobin,
+                                   FetchPolicy::MaskedRoundRobin,
+                                   FetchPolicy::ConditionalSwitch}) {
+            MachineConfig cfg = paperConfig(4);
+            cfg.fetchPolicy = policy;
+            suite.addForGroup(group, cfg, fig);
+        }
+
+        // Figures 5/6 + the section 5.2 summary: 1-6 threads.
+        fig = figureId(group, 5);
+        for (unsigned threads = 1; threads <= 6; ++threads)
+            suite.addForGroup(group, paperConfig(threads), fig);
+
+        // Figures 7/8 and Table 3: cache organization x threads.
+        fig = figureId(group, 7);
+        for (unsigned threads = 1; threads <= 6; ++threads) {
+            for (std::uint32_t ways : {1u, 2u}) {
+                MachineConfig cfg = paperConfig(threads);
+                cfg.dcache.ways = ways;
+                suite.addForGroup(group, cfg, fig);
+            }
+        }
+
+        // Figures 9/10: SU depth x {1,4} threads.
+        fig = figureId(group, 9);
+        for (unsigned threads : {1u, 4u}) {
+            for (unsigned entries : {16u, 32u, 48u, 64u}) {
+                MachineConfig cfg = paperConfig(threads);
+                cfg.suEntries = entries;
+                suite.addForGroup(group, cfg, fig);
+            }
+        }
+
+        // Figures 11/12 and Table 4: FU complement x {1,4} threads.
+        fig = figureId(group, 11);
+        for (unsigned threads : {1u, 4u}) {
+            for (bool enhanced : {false, true}) {
+                MachineConfig cfg = paperConfig(threads);
+                if (enhanced)
+                    cfg.fu = FuConfig::sdspEnhanced();
+                suite.addForGroup(group, cfg, fig);
+            }
+        }
+
+        // Figures 13/14: commit policy, 4 threads.
+        fig = figureId(group, 13);
+        for (CommitPolicy policy : {CommitPolicy::FlexibleFourBlocks,
+                                    CommitPolicy::LowestBlockOnly}) {
+            MachineConfig cfg = paperConfig(4);
+            cfg.commitPolicy = policy;
+            suite.addForGroup(group, cfg, fig);
+        }
+    }
+    return suite;
+}
+
+bool
+matchesFilter(const GridPoint &point, const std::string &filter)
+{
+    if (filter.empty())
+        return true;
+    for (const std::string &experiment : point.experiments) {
+        if (experiment.find(filter) != std::string::npos)
+            return true;
+    }
+    return point.workload->name().find(filter) != std::string::npos;
+}
+
+int
+usage(const char *argv0, int code)
+{
+    std::printf("usage: %s [--jobs N] [--scale PCT] [--out FILE] "
+                "[--only SUBSTR] [--list]\n",
+                argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 0; // 0 = SweepRunner::defaultJobs()
+    unsigned scale = benchScale();
+    std::string out_path;
+    std::string filter;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intArg = [&](const char *name) -> long {
+            if (++i >= argc)
+                fatal("%s needs a value", name);
+            char *end = nullptr;
+            long value = std::strtol(argv[i], &end, 10);
+            if (*end || value < 1)
+                fatal("bad %s value: %s", name, argv[i]);
+            return value;
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            long value = intArg("--jobs");
+            if (value > 256)
+                fatal("--jobs out of range: %ld", value);
+            jobs = static_cast<unsigned>(value);
+        } else if (arg == "--scale") {
+            long value = intArg("--scale");
+            if (value > 1000)
+                fatal("--scale out of range: %ld", value);
+            scale = static_cast<unsigned>(value);
+        } else if (arg == "--out") {
+            if (++i >= argc)
+                fatal("--out needs a value");
+            out_path = argv[i];
+        } else if (arg == "--only") {
+            if (++i >= argc)
+                fatal("--only needs a value");
+            filter = argv[i];
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    Suite suite = buildSuite();
+    std::vector<GridPoint> points;
+    for (GridPoint &point : suite.points) {
+        if (matchesFilter(point, filter))
+            points.push_back(std::move(point));
+    }
+
+    if (list_only) {
+        for (const GridPoint &point : points) {
+            std::string tags;
+            for (const std::string &experiment : point.experiments)
+                tags += (tags.empty() ? "" : ",") + experiment;
+            std::printf("%-10s %-14s %s\n",
+                        point.workload->name().c_str(), tags.c_str(),
+                        point.config.toString().c_str());
+        }
+        std::printf("%zu grid points (%zu before deduplication)\n",
+                    points.size(), suite.submitted);
+        return 0;
+    }
+    if (points.empty())
+        fatal("no grid points match --only %s", filter.c_str());
+
+    SweepRunner runner(jobs);
+    for (const GridPoint &point : points)
+        runner.add(*point.workload, point.config, scale,
+                   point.experiments.front());
+
+    std::printf("sdsp_bench_all: %zu grid points (%zu before "
+                "deduplication), scale %u%%, %u jobs\n",
+                points.size(), suite.submitted, scale, runner.jobs());
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> results = runner.run();
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    // Summarize; collect failures instead of dying on the first one
+    // so the JSON artifact records every verdict.
+    std::size_t failures = 0;
+    double sim_seconds = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &result = results[i];
+        sim_seconds += result.wallSeconds;
+        if (!result.finished || !result.verified) {
+            ++failures;
+            std::fprintf(stderr, "FAIL %s (%s): %s\n",
+                         result.benchmark.c_str(),
+                         result.config.toString().c_str(),
+                         result.verifyMessage.c_str());
+        }
+    }
+
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("schema_version", 1);
+    writer.field("suite", "sdsp_bench_all");
+    writer.key("host");
+    appendHostJson(writer);
+    writer.field("scale", scale);
+    writer.field("jobs", runner.jobs());
+    writer.field("grid_points", std::uint64_t{results.size()});
+    writer.field("failures", std::uint64_t{failures});
+    writer.field("wall_seconds", elapsed);
+    writer.field("serial_seconds", sim_seconds);
+    writer.key("runs").beginArray();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        writer.beginObject();
+        writer.key("experiments").beginArray();
+        for (const std::string &experiment : points[i].experiments)
+            writer.value(experiment);
+        writer.endArray();
+        writer.key("result");
+        appendJson(writer, results[i], /*include_stats=*/false);
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+
+    if (out_path.empty()) {
+        const char *dir = std::getenv("SDSP_BENCH_JSON");
+        if (dir && *dir && ensureOutputDir(dir))
+            out_path = std::string(dir) + "/bench_results.json";
+        else
+            out_path = "bench_results.json";
+    }
+    std::ofstream file(out_path);
+    if (!file)
+        fatal("cannot write %s", out_path.c_str());
+    file << writer.str() << '\n';
+
+    std::printf("wall %.2fs, serial-equivalent %.2fs (%.1fx), "
+                "%zu/%zu verified\n",
+                elapsed, sim_seconds,
+                elapsed > 0 ? sim_seconds / elapsed : 0.0,
+                results.size() - failures, results.size());
+    std::printf("(json written to %s)\n", out_path.c_str());
+    return failures == 0 ? 0 : 1;
+}

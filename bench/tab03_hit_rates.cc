@@ -15,17 +15,21 @@ using namespace sdsp::bench;
 namespace
 {
 
+/** Column index for (threads, ways) in the variant grid below. */
+std::size_t
+column(unsigned threads, std::uint32_t ways)
+{
+    return 2 * (threads - 1) + (ways - 1);
+}
+
 double
-averageHitRate(const std::vector<const Workload *> &workloads,
-               unsigned threads, std::uint32_t ways)
+averageHitRate(const std::vector<std::vector<RunResult>> &grid,
+               std::size_t col)
 {
     double sum = 0.0;
-    for (const Workload *workload : workloads) {
-        MachineConfig cfg = paperConfig(threads);
-        cfg.dcache.ways = ways;
-        sum += runChecked(*workload, cfg).cacheHitRate;
-    }
-    return sum / static_cast<double>(workloads.size());
+    for (const std::vector<RunResult> &row : grid)
+        sum += row[col].cacheHitRate;
+    return sum / static_cast<double>(grid.size());
 }
 
 } // namespace
@@ -40,22 +44,41 @@ main()
                 "sets first coexist, then thrash); associative ahead "
                 "of direct throughout, by a growing margin");
 
+    std::vector<Variant> variants;
+    for (unsigned threads = 1; threads <= 6; ++threads) {
+        for (std::uint32_t ways : {1u, 2u}) {
+            MachineConfig cfg = paperConfig(threads);
+            cfg.dcache.ways = ways;
+            variants.push_back(
+                {format("%uT/%u-way", threads, ways), cfg});
+        }
+    }
+
+    auto grid1 = runGrid(
+        workloadsInGroup(BenchmarkGroup::LivermoreLoops), variants);
+    auto grid2 =
+        runGrid(workloadsInGroup(BenchmarkGroup::GroupII), variants);
+    exportRunsJson(variants, grid1, "_group1_runs");
+    exportRunsJson(variants, grid2, "_group2_runs");
+
     Table table({"threads", "group", "direct %", "assoc %"});
     for (unsigned threads = 1; threads <= 6; ++threads) {
         for (BenchmarkGroup group :
              {BenchmarkGroup::LivermoreLoops, BenchmarkGroup::GroupII}) {
-            auto workloads = workloadsInGroup(group);
+            const auto &grid =
+                group == BenchmarkGroup::LivermoreLoops ? grid1 : grid2;
             table.beginRow();
             table.cell(std::uint64_t{threads});
             table.cell(group == BenchmarkGroup::LivermoreLoops
                            ? "Group I"
                            : "Group II");
-            table.cell(100.0 * averageHitRate(workloads, threads, 1),
-                       2);
-            table.cell(100.0 * averageHitRate(workloads, threads, 2),
-                       2);
+            table.cell(
+                100.0 * averageHitRate(grid, column(threads, 1)), 2);
+            table.cell(
+                100.0 * averageHitRate(grid, column(threads, 2)), 2);
         }
     }
     std::printf("\n%s", table.toAscii().c_str());
+    exportCsv(table);
     return 0;
 }

@@ -23,19 +23,28 @@ main()
                 "benchmarks gaining 20-55%; LL5 negative; Livermore "
                 "average positive at 3 threads, deteriorating by 6");
 
+    // The whole (benchmark x thread-count) grid in one sweep.
+    std::vector<Variant> variants;
+    for (unsigned threads = 1; threads <= 6; ++threads)
+        variants.push_back({format("%uT", threads),
+                            paperConfig(threads)});
+    const auto &workloads = allWorkloads();
+    auto grid = runGrid(workloads, variants);
+    exportRunsJson(variants, grid);
+
     Table table({"benchmark", "group", "base cycles", "peak speedup %",
                  "at threads"});
     double group_sum[2] = {0.0, 0.0};
     unsigned group_count[2] = {0, 0};
     std::vector<std::vector<double>> ll_speedups(7);
 
-    for (const Workload *workload : allWorkloads()) {
-        Cycle base = runChecked(*workload, paperConfig(1)).cycles;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const Workload *workload = workloads[w];
+        Cycle base = grid[w][0].cycles;
         double best = -1e9;
         unsigned best_threads = 2;
         for (unsigned threads = 2; threads <= 6; ++threads) {
-            Cycle cycles =
-                runChecked(*workload, paperConfig(threads)).cycles;
+            Cycle cycles = grid[w][threads - 1].cycles;
             double speedup = speedupPercent(cycles, base);
             if (workload->group() == BenchmarkGroup::LivermoreLoops)
                 ll_speedups[threads].push_back(speedup);

@@ -1,0 +1,201 @@
+#include "common/json.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+void
+JsonWriter::beforeValue()
+{
+    sdsp_assert(!done_, "JsonWriter: document already complete");
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    sdsp_assert(open_.empty() || open_.back() == 'a',
+                "JsonWriter: value inside an object needs a key");
+    if (!open_.empty()) {
+        if (hasElement_.back())
+            out_ += ',';
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    open_.push_back('o');
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    sdsp_assert(!open_.empty() && open_.back() == 'o' && !afterKey_,
+                "JsonWriter: endObject without matching beginObject");
+    out_ += '}';
+    open_.pop_back();
+    hasElement_.pop_back();
+    if (open_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    open_.push_back('a');
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    sdsp_assert(!open_.empty() && open_.back() == 'a',
+                "JsonWriter: endArray without matching beginArray");
+    out_ += ']';
+    open_.pop_back();
+    hasElement_.pop_back();
+    if (open_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    sdsp_assert(!open_.empty() && open_.back() == 'o' && !afterKey_,
+                "JsonWriter: key() is only valid inside an object");
+    if (hasElement_.back())
+        out_ += ',';
+    hasElement_.back() = true;
+    out_ += '"';
+    out_ += escaped(name);
+    out_ += "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += escaped(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number))
+        return null();
+    beforeValue();
+    // Shortest representation that round-trips a double.
+    std::string text = format("%.17g", number);
+    for (int precision = 1; precision < 17; ++precision) {
+        std::string candidate = format("%.*g", precision, number);
+        if (std::stod(candidate) == number) {
+            text = candidate;
+            break;
+        }
+    }
+    out_ += text;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out_ += format("%llu", static_cast<unsigned long long>(number));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out_ += format("%lld", static_cast<long long>(number));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    sdsp_assert(open_.empty() && !afterKey_,
+                "JsonWriter: str() with %zu open containers",
+                open_.size());
+    return out_;
+}
+
+std::string
+JsonWriter::escaped(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        unsigned char ch = static_cast<unsigned char>(c);
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (ch < 0x20)
+                out += format("\\u%04x", ch);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace sdsp

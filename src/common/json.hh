@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * The harness exports run artifacts (bench_results.json, per-table
+ * JSON next to the CSVs) without external dependencies; this writer
+ * produces RFC-8259 output with full string escaping. It is
+ * write-only by design — nothing in the simulator reads JSON back.
+ *
+ * Usage:
+ *     JsonWriter w;
+ *     w.beginObject().field("cycles", std::uint64_t{42});
+ *     w.key("tags").beginArray().value("a").value("b").endArray();
+ *     w.endObject();
+ *     std::string text = w.str();
+ */
+
+#ifndef SDSP_COMMON_JSON_HH
+#define SDSP_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdsp
+{
+
+/**
+ * Builds one JSON document into a string. Structural misuse (a key
+ * outside an object, unbalanced end calls, str() mid-document) is a
+ * simulator bug and panics.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Name the next value. Only valid directly inside an object. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number); //!< non-finite values emit null
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(unsigned number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The finished document. Panics while containers are open. */
+    const std::string &str() const;
+
+    /** Escape @p raw for inclusion inside a JSON string literal. */
+    static std::string escaped(const std::string &raw);
+
+  private:
+    /** Emit a separator/indicate a value is legal here. */
+    void beforeValue();
+
+    std::string out_;
+    /** Open containers: 'o' for object, 'a' for array. */
+    std::vector<char> open_;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> hasElement_;
+    bool afterKey_ = false;
+    bool done_ = false;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_JSON_HH

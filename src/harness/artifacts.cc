@@ -1,0 +1,154 @@
+#include "harness/artifacts.hh"
+
+#include <chrono>
+#include <ctime>
+#include <filesystem>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+void
+appendJson(JsonWriter &writer, const StatsRegistry &stats)
+{
+    writer.beginObject();
+    for (const StatEntry &entry : stats.entries())
+        writer.field(entry.name, entry.value);
+    writer.endObject();
+}
+
+void
+appendJson(JsonWriter &writer, const MachineConfig &config)
+{
+    writer.beginObject();
+    writer.field("threads", config.numThreads);
+    writer.field("fetch_policy", fetchPolicyName(config.fetchPolicy));
+    if (!config.fetchWeights.empty()) {
+        writer.key("fetch_weights").beginArray();
+        for (unsigned weight : config.fetchWeights)
+            writer.value(weight);
+        writer.endArray();
+    }
+    writer.field("block_size", config.blockSize);
+    writer.field("su_entries", config.suEntries);
+    writer.field("issue_width", config.issueWidth);
+    writer.field("writeback_width", config.writebackWidth);
+    writer.field("commit_policy",
+                 commitPolicyName(config.commitPolicy));
+    writer.field("rename_scheme",
+                 renameSchemeName(config.renameScheme));
+    writer.field("bypassing", config.bypassing);
+
+    writer.key("fu").beginObject();
+    for (unsigned cls = 0; cls < kNumFuClasses; ++cls) {
+        writer.key(fuClassName(static_cast<FuClass>(cls)))
+            .beginArray()
+            .value(config.fu.count[cls])
+            .value(config.fu.latency[cls])
+            .value(config.fu.pipelined[cls])
+            .endArray();
+    }
+    writer.endObject();
+
+    writer.key("dcache").beginObject();
+    writer.field("size_bytes", config.dcache.sizeBytes);
+    writer.field("line_bytes", config.dcache.lineBytes);
+    writer.field("ways", config.dcache.ways);
+    writer.field("miss_penalty", config.dcache.missPenalty);
+    writer.field("ports", config.dcache.ports);
+    writer.field("partitions", config.dcache.partitions);
+    writer.endObject();
+
+    writer.field("perfect_icache", config.perfectICache);
+    if (!config.perfectICache) {
+        writer.key("icache").beginObject();
+        writer.field("size_bytes", config.icache.sizeBytes);
+        writer.field("line_bytes", config.icache.lineBytes);
+        writer.field("ways", config.icache.ways);
+        writer.field("miss_penalty", config.icache.missPenalty);
+        writer.endObject();
+    }
+
+    writer.field("store_buffer_entries", config.storeBufferEntries);
+    writer.field("registers", config.numRegisters);
+    writer.field("btb_entries", config.btbEntries);
+    writer.field("btb_banks", config.btbBanks);
+    if (config.fetchPolicy == FetchPolicy::Adaptive)
+        writer.field("adaptive_threshold", config.adaptiveThreshold);
+    writer.field("max_cycles", config.maxCycles);
+    writer.endObject();
+}
+
+void
+appendJson(JsonWriter &writer, const RunResult &result,
+           bool include_stats)
+{
+    writer.beginObject();
+    writer.field("benchmark", result.benchmark);
+    writer.key("config");
+    appendJson(writer, result.config);
+    writer.field("finished", result.finished);
+    writer.field("verified", result.verified);
+    if (!result.verified)
+        writer.field("verify_message", result.verifyMessage);
+    writer.field("cycles", result.cycles);
+    writer.field("committed", result.committed);
+    writer.field("ipc", result.ipc);
+    writer.field("cache_hit_rate", result.cacheHitRate);
+    writer.field("branch_accuracy", result.branchAccuracy);
+    writer.field("su_stalls", result.suStalls);
+    writer.field("flex_commits", result.flexCommits);
+    writer.field("wall_seconds", result.wallSeconds);
+    if (include_stats) {
+        writer.key("stats");
+        appendJson(writer, result.stats);
+    }
+    writer.endObject();
+}
+
+void
+appendHostJson(JsonWriter &writer)
+{
+    writer.beginObject();
+    writer.field("compiler", __VERSION__);
+#ifdef NDEBUG
+    writer.field("assertions", false);
+#else
+    writer.field("assertions", true);
+#endif
+    writer.field("hardware_concurrency",
+                 std::thread::hardware_concurrency());
+
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char stamp[32];
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    writer.field("generated_utc", stamp);
+    writer.endObject();
+}
+
+std::string
+configKey(const MachineConfig &config)
+{
+    JsonWriter writer;
+    appendJson(writer, config);
+    return writer.str();
+}
+
+bool
+ensureOutputDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create output directory %s: %s", dir.c_str(),
+             ec.message().c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace sdsp

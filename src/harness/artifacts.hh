@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Structured run artifacts: JSON serialization of sweep results.
+ *
+ * Every measurement the harness produces can be exported as a
+ * machine-checkable JSON record — the CI pipeline diffs and gates on
+ * these instead of scraping ASCII tables. The serializers append to a
+ * caller-owned JsonWriter so one consolidated document
+ * (bench_results.json) and many small per-experiment exports share
+ * the same code.
+ */
+
+#ifndef SDSP_HARNESS_ARTIFACTS_HH
+#define SDSP_HARNESS_ARTIFACTS_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "harness/runner.hh"
+
+namespace sdsp
+{
+
+/** Append @p stats as one flat JSON object (name -> value). */
+void appendJson(JsonWriter &writer, const StatsRegistry &stats);
+
+/**
+ * Append @p config as a JSON object covering every design axis the
+ * paper sweeps (and the extension axes), so two configurations
+ * serialize equal iff the simulations they describe are equivalent.
+ */
+void appendJson(JsonWriter &writer, const MachineConfig &config);
+
+/**
+ * Append one run as a JSON object: identity, verification status,
+ * the paper's headline measurements, host wall-clock, and (when
+ * @p include_stats) the full statistics dump.
+ */
+void appendJson(JsonWriter &writer, const RunResult &result,
+                bool include_stats = true);
+
+/** Append host/build metadata (compiler, cores, UTC timestamp). */
+void appendHostJson(JsonWriter &writer);
+
+/**
+ * Stable identity key of a configuration (its JSON serialization).
+ * Used to deduplicate grid points shared between experiments.
+ */
+std::string configKey(const MachineConfig &config);
+
+/**
+ * Create @p dir (and parents) if missing. @return whether the
+ * directory exists afterwards; warns on failure.
+ */
+bool ensureOutputDir(const std::string &dir);
+
+} // namespace sdsp
+
+#endif // SDSP_HARNESS_ARTIFACTS_HH

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <numeric>
 
 #include "common/logging.hh"
@@ -11,6 +12,7 @@ RunResult
 runWorkload(const Workload &workload, const MachineConfig &config,
             unsigned scale)
 {
+    auto start = std::chrono::steady_clock::now();
     WorkloadImage image = workload.build(config.numThreads, scale);
 
     Processor cpu(config, image.program);
@@ -37,6 +39,10 @@ runWorkload(const Workload &workload, const MachineConfig &config,
         result.verified = false;
         result.verifyMessage = "simulation hit the cycle cap";
     }
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return result;
 }
 

@@ -35,6 +35,8 @@ struct RunResult
     double branchAccuracy = 1.0;
     std::uint64_t suStalls = 0;
     std::uint64_t flexCommits = 0;
+    /** Host wall-clock seconds spent building + simulating the run. */
+    double wallSeconds = 0.0;
     /** Full statistics dump. */
     StatsRegistry stats;
 };

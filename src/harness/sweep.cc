@@ -1,0 +1,105 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    const char *env = std::getenv("SDSP_BENCH_JOBS");
+    if (env && *env) {
+        char *end = nullptr;
+        long value = std::strtol(env, &end, 10);
+        if (*end || value < 1 || value > 256)
+            fatal("SDSP_BENCH_JOBS out of range: %s", env);
+        return static_cast<unsigned>(value);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::size_t
+SweepRunner::add(SweepJob job)
+{
+    sdsp_assert(job.workload != nullptr, "sweep job without workload");
+    queue_.push_back(std::move(job));
+    return queue_.size() - 1;
+}
+
+std::size_t
+SweepRunner::add(const Workload &workload, const MachineConfig &config,
+                 unsigned scale, std::string label)
+{
+    return add(SweepJob{&workload, config, scale, std::move(label)});
+}
+
+std::vector<RunResult>
+SweepRunner::run()
+{
+    std::vector<SweepJob> grid = std::move(queue_);
+    queue_.clear();
+
+    std::vector<RunResult> results(grid.size());
+    std::vector<std::exception_ptr> errors(grid.size());
+
+    // Self-scheduling work queue: workers claim the next unclaimed
+    // grid point. Results land at the point's submission index, so
+    // the output order never depends on the schedule.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= grid.size())
+                return;
+            try {
+                results[i] = runWorkload(*grid[i].workload,
+                                         grid[i].config, grid[i].scale);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::size_t workers =
+        std::min<std::size_t>(jobs_, grid.size() ? grid.size() : 1);
+    if (workers <= 1) {
+        // Serial fallback: same loop, calling thread, no pool.
+        worker();
+    } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        // jthread joins on destruction.
+    }
+
+    for (std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+std::vector<RunResult>
+runSweep(std::vector<SweepJob> grid, unsigned jobs)
+{
+    SweepRunner runner(jobs);
+    for (SweepJob &job : grid)
+        runner.add(std::move(job));
+    return runner.run();
+}
+
+} // namespace sdsp

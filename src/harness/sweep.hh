@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel sweep engine.
+ *
+ * The paper's evaluation is an embarrassingly parallel grid — eleven
+ * benchmarks times many machine variants per figure. Every grid point
+ * is an independent simulation (runWorkload constructs its own
+ * Processor, workload generators are stateless const objects, and all
+ * randomness is instance-seeded), so the points can run concurrently
+ * and the results are bit-identical to a serial sweep.
+ *
+ * SweepRunner is a batch executor: queue grid points with add(), then
+ * run() executes them on a fixed pool of worker threads and returns
+ * the results in submission order. The worker count comes from the
+ * constructor, the SDSP_BENCH_JOBS environment variable, or
+ * std::thread::hardware_concurrency(), in that priority order; one
+ * worker degenerates to a plain serial loop on the calling thread,
+ * which is both the determinism baseline and the zero-thread-overhead
+ * fallback.
+ */
+
+#ifndef SDSP_HARNESS_SWEEP_HH
+#define SDSP_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace sdsp
+{
+
+/** One grid point of a sweep. */
+struct SweepJob
+{
+    const Workload *workload = nullptr;
+    MachineConfig config;
+    /** Problem-size scale in percent (see Workload::build). */
+    unsigned scale = 100;
+    /** Free-form tag (e.g. the experiment id) carried to artifacts. */
+    std::string label;
+};
+
+/**
+ * Executes a batch of independent grid points on a fixed thread pool.
+ *
+ * Results are returned in submission order regardless of completion
+ * order. If a grid point throws, the remaining queued points still
+ * run; run() then rethrows the exception of the lowest-indexed failed
+ * point on the calling thread.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker threads; 0 means defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /**
+     * The worker count used when the constructor is given 0:
+     * SDSP_BENCH_JOBS if set (fatal when unparseable or out of
+     * [1, 256]), otherwise hardware_concurrency(), at least 1.
+     */
+    static unsigned defaultJobs();
+
+    /** Worker threads run() will use. */
+    unsigned jobs() const { return jobs_; }
+
+    /** Queue a grid point. @return its index into run()'s result. */
+    std::size_t add(SweepJob job);
+
+    /** Queue a grid point. @return its index into run()'s result. */
+    std::size_t add(const Workload &workload,
+                    const MachineConfig &config, unsigned scale = 100,
+                    std::string label = std::string());
+
+    /** Grid points queued since the last run(). */
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Execute every queued point, clear the queue, and return the
+     * results in submission order.
+     */
+    std::vector<RunResult> run();
+
+  private:
+    unsigned jobs_;
+    std::vector<SweepJob> queue_;
+};
+
+/** One-shot convenience: run @p grid on @p jobs workers. */
+std::vector<RunResult> runSweep(std::vector<SweepJob> grid,
+                                unsigned jobs = 0);
+
+} // namespace sdsp
+
+#endif // SDSP_HARNESS_SWEEP_HH

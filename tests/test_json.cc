@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the JSON writer: document structure, string escaping,
+ * numeric round-tripping, and misuse detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(JsonWriter, EmptyObjectAndArray)
+{
+    {
+        JsonWriter w;
+        w.beginObject().endObject();
+        EXPECT_EQ(w.str(), "{}");
+    }
+    {
+        JsonWriter w;
+        w.beginArray().endArray();
+        EXPECT_EQ(w.str(), "[]");
+    }
+}
+
+TEST(JsonWriter, ObjectFields)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("name", "LL1")
+        .field("cycles", std::uint64_t{7528})
+        .field("verified", true)
+        .field("delta", -3)
+        .endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"LL1\",\"cycles\":7528,"
+                       "\"verified\":true,\"delta\":-3}");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("runs").beginArray();
+    w.beginObject().field("id", 1u).endObject();
+    w.beginObject().field("id", 2u).endObject();
+    w.endArray();
+    w.key("empty").beginArray().endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"runs\":[{\"id\":1},{\"id\":2}],\"empty\":[]}");
+}
+
+TEST(JsonWriter, ArrayCommas)
+{
+    JsonWriter w;
+    w.beginArray().value("a").value(1u).value(false).null().endArray();
+    EXPECT_EQ(w.str(), "[\"a\",1,false,null]");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escaped("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escaped("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(JsonWriter::escaped("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escaped("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escaped("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escaped("\r\b\f"), "\\r\\b\\f");
+    EXPECT_EQ(JsonWriter::escaped(std::string("\x01\x1f")),
+              "\\u0001\\u001f");
+    // Multi-byte UTF-8 passes through untouched.
+    EXPECT_EQ(JsonWriter::escaped("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, EscapingAppliesToKeysAndValues)
+{
+    JsonWriter w;
+    w.beginObject().field("a\"b", "c\nd").endObject();
+    EXPECT_EQ(w.str(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+TEST(JsonWriter, IntegerExtremes)
+{
+    JsonWriter w;
+    w.beginArray()
+        .value(std::numeric_limits<std::uint64_t>::max())
+        .value(std::numeric_limits<std::int64_t>::min())
+        .endArray();
+    EXPECT_EQ(w.str(),
+              "[18446744073709551615,-9223372036854775808]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    // The writer picks the shortest decimal form that parses back to
+    // the same double.
+    for (double v : {0.0, 1.0, 0.1, -0.25, 1.0 / 3.0, 1e300, 6.25e-3,
+                     123456.789, 0.9755590223608944}) {
+        JsonWriter w;
+        w.beginArray().value(v).endArray();
+        std::string text = w.str();
+        double parsed =
+            std::stod(text.substr(1, text.size() - 2));
+        EXPECT_EQ(parsed, v) << text;
+    }
+    // Integral doubles print without an exponent or decimals.
+    JsonWriter w;
+    w.beginArray().value(42.0).endArray();
+    EXPECT_EQ(w.str(), "[42]");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull)
+{
+    JsonWriter w;
+    w.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .value(-std::numeric_limits<double>::infinity())
+        .endArray();
+    EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriterDeathTest, MisuseIsDetected)
+{
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.value(1u); // value without key
+        },
+        "needs a key");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            (void)w.str(); // unbalanced
+        },
+        "open container");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginArray();
+            w.key("k"); // key inside array
+        },
+        "only valid inside an object");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginArray().endObject(); // mismatched end
+        },
+        "endObject");
+}
+
+} // namespace
+} // namespace sdsp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: parallel/serial equivalence,
+ * submission-order results, exception propagation, worker-count
+ * resolution, and the artifact serializers the sweep feeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "harness/artifacts.hh"
+#include "harness/sweep.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+std::vector<SweepJob>
+smallGrid()
+{
+    std::vector<SweepJob> grid;
+    for (const char *name : {"LL1", "LL5", "Matrix", "Sieve"}) {
+        for (unsigned threads : {1u, 4u}) {
+            MachineConfig cfg;
+            cfg.numThreads = threads;
+            grid.push_back(
+                {&workloadByName(name), cfg, /*scale=*/10, name});
+        }
+    }
+    return grid;
+}
+
+TEST(Sweep, ParallelMatchesSerial)
+{
+    std::vector<RunResult> serial = runSweep(smallGrid(), 1);
+    std::vector<RunResult> parallel = runSweep(smallGrid(), 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].benchmark);
+        EXPECT_TRUE(serial[i].verified) << serial[i].verifyMessage;
+        EXPECT_TRUE(parallel[i].verified) << parallel[i].verifyMessage;
+        // Bit-identical measurements, not just close ones: each grid
+        // point owns its Processor and all randomness is
+        // instance-seeded.
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        EXPECT_EQ(serial[i].committed, parallel[i].committed);
+        EXPECT_EQ(serial[i].suStalls, parallel[i].suStalls);
+        EXPECT_EQ(serial[i].flexCommits, parallel[i].flexCommits);
+        ASSERT_EQ(serial[i].stats.entries().size(),
+                  parallel[i].stats.entries().size());
+        for (std::size_t s = 0; s < serial[i].stats.entries().size();
+             ++s) {
+            EXPECT_EQ(serial[i].stats.entries()[s].name,
+                      parallel[i].stats.entries()[s].name);
+            EXPECT_EQ(serial[i].stats.entries()[s].value,
+                      parallel[i].stats.entries()[s].value);
+        }
+    }
+}
+
+TEST(Sweep, ResultsFollowSubmissionOrder)
+{
+    std::vector<SweepJob> grid = smallGrid();
+    std::vector<RunResult> results = runSweep(grid, 3);
+    ASSERT_EQ(results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(results[i].benchmark, grid[i].workload->name());
+        EXPECT_EQ(results[i].config.numThreads,
+                  grid[i].config.numThreads);
+    }
+}
+
+TEST(Sweep, RunClearsTheQueue)
+{
+    SweepRunner runner(2);
+    EXPECT_EQ(runner.add(workloadByName("Sieve"), MachineConfig{}, 10),
+              0u);
+    EXPECT_EQ(runner.add(workloadByName("LL1"), MachineConfig{}, 10),
+              1u);
+    EXPECT_EQ(runner.pending(), 2u);
+    EXPECT_EQ(runner.run().size(), 2u);
+    EXPECT_EQ(runner.pending(), 0u);
+    EXPECT_TRUE(runner.run().empty());
+}
+
+/** A workload whose build fails, to exercise error paths. */
+class ThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Throwing"; }
+    BenchmarkGroup
+    group() const override
+    {
+        return BenchmarkGroup::GroupII;
+    }
+    WorkloadImage
+    build(unsigned, unsigned) const override
+    {
+        throw std::runtime_error("deliberate grid-point failure");
+    }
+};
+
+TEST(Sweep, ExceptionFromGridPointPropagates)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        ThrowingWorkload bad;
+        SweepRunner runner(jobs);
+        runner.add(workloadByName("Sieve"), MachineConfig{}, 10);
+        runner.add(bad, MachineConfig{}, 10);
+        runner.add(workloadByName("LL1"), MachineConfig{}, 10);
+        EXPECT_THROW(
+            {
+                try {
+                    runner.run();
+                } catch (const std::runtime_error &err) {
+                    EXPECT_STREQ(err.what(),
+                                 "deliberate grid-point failure");
+                    throw;
+                }
+            },
+            std::runtime_error)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(Sweep, DefaultJobsReadsEnvironment)
+{
+    setenv("SDSP_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(SweepRunner::defaultJobs(), 3u);
+    EXPECT_EQ(SweepRunner(0).jobs(), 3u);
+    // An explicit constructor argument wins over the environment.
+    EXPECT_EQ(SweepRunner(7).jobs(), 7u);
+    unsetenv("SDSP_BENCH_JOBS");
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+}
+
+TEST(SweepDeathTest, BadJobsEnvIsFatal)
+{
+    setenv("SDSP_BENCH_JOBS", "0", 1);
+    EXPECT_EXIT(SweepRunner::defaultJobs(),
+                ::testing::ExitedWithCode(1), "SDSP_BENCH_JOBS");
+    setenv("SDSP_BENCH_JOBS", "lots", 1);
+    EXPECT_EXIT(SweepRunner::defaultJobs(),
+                ::testing::ExitedWithCode(1), "SDSP_BENCH_JOBS");
+    unsetenv("SDSP_BENCH_JOBS");
+}
+
+TEST(Artifacts, RunResultSerializesHeadlineFields)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 2;
+    RunResult result =
+        runWorkload(workloadByName("Sieve"), cfg, /*scale=*/10);
+    ASSERT_TRUE(result.verified) << result.verifyMessage;
+
+    JsonWriter writer;
+    appendJson(writer, result, /*include_stats=*/true);
+    const std::string &json = writer.str();
+    EXPECT_NE(json.find("\"benchmark\":\"Sieve\""), std::string::npos);
+    EXPECT_NE(json.find("\"verified\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"sim.cycles\":"), std::string::npos);
+    EXPECT_GT(result.wallSeconds, 0.0);
+}
+
+TEST(Artifacts, ConfigKeySeparatesDistinctMachines)
+{
+    MachineConfig a, b;
+    EXPECT_EQ(configKey(a), configKey(b));
+    b.fu = FuConfig::sdspEnhanced();
+    EXPECT_NE(configKey(a), configKey(b)) << "FU complement must be "
+                                             "part of the identity";
+    MachineConfig c;
+    c.dcache.ways = 1;
+    EXPECT_NE(configKey(a), configKey(c));
+    MachineConfig d;
+    d.fetchWeights = {2, 1, 1, 1};
+    EXPECT_NE(configKey(a), configKey(d));
+}
+
+} // namespace
+} // namespace sdsp
