@@ -267,9 +267,15 @@ main(int argc, char **argv)
     // so the JSON artifact records every verdict.
     std::size_t failures = 0;
     double sim_seconds = 0.0;
+    double sim_loop_seconds = 0.0;
+    std::uint64_t sim_cycles = 0;
+    std::uint64_t sim_insts = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &result = results[i];
         sim_seconds += result.wallSeconds;
+        sim_loop_seconds += result.simSeconds;
+        sim_cycles += result.cycles;
+        sim_insts += result.committed;
         if (!result.finished || !result.verified) {
             ++failures;
             std::fprintf(stderr, "FAIL %s (%s): %s\n",
@@ -291,6 +297,16 @@ main(int argc, char **argv)
     writer.field("failures", std::uint64_t{failures});
     writer.field("wall_seconds", elapsed);
     writer.field("serial_seconds", sim_seconds);
+    writer.field("sim_cycles_total", sim_cycles);
+    writer.field("sim_insts_total", sim_insts);
+    writer.field("sim_cycles_per_second",
+                 sim_loop_seconds > 0
+                     ? static_cast<double>(sim_cycles) / sim_loop_seconds
+                     : 0.0);
+    writer.field("sim_insts_per_second",
+                 sim_loop_seconds > 0
+                     ? static_cast<double>(sim_insts) / sim_loop_seconds
+                     : 0.0);
     writer.key("runs").beginArray();
     for (std::size_t i = 0; i < results.size(); ++i) {
         writer.beginObject();

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark.
+ *
+ * Every figure in the paper is a sweep over the same 253-point grid,
+ * so the wall-clock cost of one simulated cycle is the suite's
+ * dominant cost. This benchmark runs a representative slice of that
+ * grid — every workload of both benchmark groups at 1, 4 and 6
+ * threads — serially, several times, and reports the aggregate
+ * simulation throughput in MSimCycles/s (simulated cycles per host
+ * wall-second, simulation loop only: no workload build, no
+ * verification). The best repetition is the headline number; it is
+ * what BENCH_baseline.json tracks across PRs.
+ *
+ *     sdsp_bench_simspeed [--reps N] [--scale PCT] [--out FILE]
+ *
+ * The JSON artifact goes to --out, else to
+ * $SDSP_BENCH_JSON/bench_simspeed.json, else ./bench_simspeed.json.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "harness/artifacts.hh"
+
+using namespace sdsp;
+using namespace sdsp::bench;
+
+namespace
+{
+
+/** Aggregate measurements of one repetition over the whole slice. */
+struct RepResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    double simSeconds = 0.0;
+
+    double
+    mCyclesPerSecond() const
+    {
+        return simSeconds > 0
+                   ? static_cast<double>(cycles) / simSeconds / 1e6
+                   : 0.0;
+    }
+
+    double
+    mInstsPerSecond() const
+    {
+        return simSeconds > 0
+                   ? static_cast<double>(insts) / simSeconds / 1e6
+                   : 0.0;
+    }
+};
+
+int
+usage(const char *argv0, int code)
+{
+    std::printf("usage: %s [--reps N] [--scale PCT] [--out FILE]\n",
+                argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned reps = 3;
+    unsigned scale = benchScale();
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intArg = [&](const char *name) -> long {
+            if (++i >= argc)
+                fatal("%s needs a value", name);
+            char *end = nullptr;
+            long value = std::strtol(argv[i], &end, 10);
+            if (*end || value < 1)
+                fatal("bad %s value: %s", name, argv[i]);
+            return value;
+        };
+        if (arg == "--reps") {
+            long value = intArg("--reps");
+            if (value > 100)
+                fatal("--reps out of range: %ld", value);
+            reps = static_cast<unsigned>(value);
+        } else if (arg == "--scale") {
+            long value = intArg("--scale");
+            if (value > 1000)
+                fatal("--scale out of range: %ld", value);
+            scale = static_cast<unsigned>(value);
+        } else if (arg == "--out") {
+            if (++i >= argc)
+                fatal("--out needs a value");
+            out_path = argv[i];
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(argv[0], 2);
+        }
+    }
+
+    // The slice: both benchmark groups at low, default and maximum
+    // thread count — single-thread runs stress the per-thread index
+    // paths least, six-thread runs stress them most.
+    std::vector<const Workload *> workloads;
+    for (const Workload *workload : groupI())
+        workloads.push_back(workload);
+    for (const Workload *workload : groupII())
+        workloads.push_back(workload);
+    const std::vector<unsigned> thread_counts = {1, 4, 6};
+
+    std::printf("sdsp_bench_simspeed: %zu workloads x %zu thread "
+                "counts, scale %u%%, %u reps\n",
+                workloads.size(), thread_counts.size(), scale, reps);
+
+    std::vector<RepResult> rep_results;
+    std::vector<RunResult> last_runs;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        RepResult aggregate;
+        last_runs.clear();
+        for (const Workload *workload : workloads) {
+            for (unsigned threads : thread_counts) {
+                RunResult result =
+                    runWorkload(*workload, paperConfig(threads), scale);
+                requireGood(result);
+                aggregate.cycles += result.cycles;
+                aggregate.insts += result.committed;
+                aggregate.simSeconds += result.simSeconds;
+                last_runs.push_back(std::move(result));
+            }
+        }
+        rep_results.push_back(aggregate);
+        std::printf("  rep %u: %.2f MSimCycles/s, %.2f MSimInsts/s "
+                    "(%.3fs sim over %llu cycles)\n",
+                    rep + 1, aggregate.mCyclesPerSecond(),
+                    aggregate.mInstsPerSecond(), aggregate.simSeconds,
+                    static_cast<unsigned long long>(aggregate.cycles));
+    }
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < rep_results.size(); ++i) {
+        if (rep_results[i].mCyclesPerSecond() >
+            rep_results[best].mCyclesPerSecond()) {
+            best = i;
+        }
+    }
+    const RepResult &headline = rep_results[best];
+    std::printf("best: %.2f MSimCycles/s, %.2f MSimInsts/s\n",
+                headline.mCyclesPerSecond(),
+                headline.mInstsPerSecond());
+
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("schema_version", 1);
+    writer.field("suite", "sdsp_bench_simspeed");
+    writer.key("host");
+    appendHostJson(writer);
+    writer.field("scale", scale);
+    writer.field("reps", reps);
+    writer.field("grid_points",
+                 std::uint64_t{workloads.size() * thread_counts.size()});
+    writer.field("sim_cycles", headline.cycles);
+    writer.field("sim_insts", headline.insts);
+    writer.field("sim_seconds", headline.simSeconds);
+    writer.field("m_sim_cycles_per_second",
+                 headline.mCyclesPerSecond());
+    writer.field("m_sim_insts_per_second", headline.mInstsPerSecond());
+    writer.key("reps_m_sim_cycles_per_second").beginArray();
+    for (const RepResult &rep : rep_results)
+        writer.value(rep.mCyclesPerSecond());
+    writer.endArray();
+    writer.key("runs").beginArray();
+    for (const RunResult &result : last_runs) {
+        writer.beginObject();
+        writer.field("benchmark", result.benchmark);
+        writer.field("threads", result.config.numThreads);
+        writer.field("cycles", result.cycles);
+        writer.field("committed", result.committed);
+        writer.field("sim_seconds", result.simSeconds);
+        writer.field("sim_cycles_per_second",
+                     result.simCyclesPerSecond);
+        writer.field("sim_insts_per_second", result.simInstsPerSecond);
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+
+    if (out_path.empty()) {
+        const char *dir = std::getenv("SDSP_BENCH_JSON");
+        if (dir && *dir && ensureOutputDir(dir))
+            out_path = std::string(dir) + "/bench_simspeed.json";
+        else
+            out_path = "bench_simspeed.json";
+    }
+    std::ofstream file(out_path);
+    if (!file)
+        fatal("cannot write %s", out_path.c_str());
+    file << writer.str() << '\n';
+    std::printf("(json written to %s)\n", out_path.c_str());
+    return 0;
+}

@@ -12,6 +12,10 @@ FuPool::FuPool(const FuConfig &config) : cfg(config)
     instances.resize(kNumFuClasses);
     for (unsigned cls = 0; cls < kNumFuClasses; ++cls)
         instances[cls].resize(cfg.count[cls]);
+    // Bounded by in-flight instructions (the SU window); reserve a
+    // generous fixed amount so issue never reallocates in steady
+    // state.
+    inflight.reserve(256);
 }
 
 std::vector<FuPool::Instance> &

@@ -145,8 +145,8 @@ FetchUnit::selectThread()
     return -1;
 }
 
-FetchedBlock
-FetchUnit::fetchBlock(ThreadId tid)
+void
+FetchUnit::fetchBlock(ThreadId tid, FetchedBlock &block)
 {
     ThreadState &thread = threads[tid];
     InstAddr pc = thread.pc;
@@ -154,8 +154,8 @@ FetchUnit::fetchBlock(ThreadId tid)
     auto end = static_cast<InstAddr>(
         std::min<std::size_t>(aligned + cfg.blockSize, code.size()));
 
-    FetchedBlock block;
     block.tid = tid;
+    block.insts.clear();
     statWastedSlots += pc - aligned; // slots before the entry PC
 
     bool redirected = false;
@@ -177,7 +177,7 @@ FetchUnit::fetchBlock(ThreadId tid)
             ++statBlocks;
             ++statBlocksPerThread[tid];
             statInsts += block.insts.size();
-            return block;
+            return;
         }
 
         if (inst.isDirectJump()) {
@@ -220,16 +220,15 @@ FetchUnit::fetchBlock(ThreadId tid)
     ++statBlocks;
     ++statBlocksPerThread[tid];
     statInsts += block.insts.size();
-    return block;
 }
 
-std::optional<FetchedBlock>
-FetchUnit::fetchCycle(Cycle now)
+bool
+FetchUnit::fetchCycle(Cycle now, FetchedBlock &out)
 {
     int pick = selectThread();
     if (pick < 0) {
         ++statIdleCycles;
-        return std::nullopt;
+        return false;
     }
     auto tid = static_cast<ThreadId>(pick);
 
@@ -239,24 +238,25 @@ FetchUnit::fetchCycle(Cycle now)
             // Waiting on an instruction line refill; the slot is
             // wasted (only this thread slows down).
             ++statIcacheStallCycles;
-            return std::nullopt;
+            return false;
         }
         // One I-cache line holds one aligned fetch block.
         Addr line_addr = (thread.pc & ~(cfg.blockSize - 1)) * 4;
         if (!icache->canAccept(now)) {
             icache->noteRejection();
             ++statIcacheStallCycles;
-            return std::nullopt;
+            return false;
         }
         CacheAccessResult probe =
             icache->access(line_addr, now, false, tid);
         if (!probe.hit) {
             thread.ifetchReadyAt = probe.readyCycle;
             ++statIcacheStallCycles;
-            return std::nullopt;
+            return false;
         }
     }
-    return fetchBlock(tid);
+    fetchBlock(tid, out);
+    return true;
 }
 
 void

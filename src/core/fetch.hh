@@ -79,9 +79,22 @@ class FetchUnit
     /**
      * Fetch one block this cycle (the fetch latch must be free).
      *
-     * @return The fetched block, or nullopt if no thread could fetch.
+     * Fills @p out (reusing its storage, so a caller-owned latch
+     * block makes the fetch path allocation-free in steady state).
+     *
+     * @return true iff a block was fetched.
      */
-    std::optional<FetchedBlock> fetchCycle(Cycle now);
+    bool fetchCycle(Cycle now, FetchedBlock &out);
+
+    /** Convenience overload returning a fresh block (tests). */
+    std::optional<FetchedBlock>
+    fetchCycle(Cycle now)
+    {
+        FetchedBlock block;
+        if (!fetchCycle(now, block))
+            return std::nullopt;
+        return block;
+    }
 
     // ---- Notifications from the rest of the pipeline ----
 
@@ -148,8 +161,8 @@ class FetchUnit
     /** Pick the fetching thread per policy; -1 if none. */
     int selectThread();
 
-    /** Fetch the aligned block for @p tid. */
-    FetchedBlock fetchBlock(ThreadId tid);
+    /** Fetch the aligned block for @p tid into @p out. */
+    void fetchBlock(ThreadId tid, FetchedBlock &out);
 
     const MachineConfig &cfg;
     const std::vector<Instruction> &code;

@@ -33,7 +33,8 @@ Processor::Processor(const MachineConfig &config, const Program &program)
       sb(config.storeBufferEntries),
       btb(config.btbEntries, config.btbBanks),
       regs(config.numRegisters, config.numThreads),
-      su(config.suBlocks(), config.blockSize),
+      su(config.suBlocks(), config.blockSize, config.numThreads,
+         config.regsPerThread()),
       fus(config.fu),
       fetch(cfg, decodedCode, btb, icache.get()),
       statCommittedPerThread(config.numThreads, 0),
@@ -152,6 +153,8 @@ Processor::commitStage()
     tracef("commit: block seq=%llu tid=%u from slot %zu",
            static_cast<unsigned long long>(block.blockSeq),
            unsigned{block.tid}, selection.blockIndex);
+
+    su.recycleBlock(std::move(block));
 }
 
 // --------------------------------------------------------------------
@@ -170,17 +173,17 @@ Processor::handleMispredict(SuEntry &entry)
     InstAddr pc = entry.pc;
     InstAddr next_pc = entry.resolvedNextPc;
 
-    std::vector<Tag> squashed;
-    unsigned count = su.squashThread(tid, seq, &squashed);
+    squashScratch.clear();
+    unsigned count = su.squashThread(tid, seq, &squashScratch);
     statSquashed += count;
-    for (Tag squashed_seq : squashed)
+    for (Tag squashed_seq : squashScratch)
         fus.cancel(squashed_seq);
     sb.squash(tid, seq);
 
     // The fetch latch holds the youngest fetched block; if it belongs
     // to this thread it is wrong-path.
-    if (fetchLatch && fetchLatch->tid == tid)
-        fetchLatch.reset();
+    if (fetchLatchFull && fetchLatch.tid == tid)
+        fetchLatchFull = false;
 
     fetch.onSquash(tid, next_pc);
 
@@ -202,7 +205,8 @@ Processor::writebackStage()
         entry->state = EntryState::Done;
 
         if (entry->inst.writesRd())
-            su.broadcast(entry->seq, entry->result, now, cfg.bypassing);
+            su.broadcast(completion.seq, entry->result, now,
+                         cfg.bypassing);
 
         if (entry->mispredicted)
             handleMispredict(*entry);
@@ -302,7 +306,7 @@ Processor::tryIssue(SuEntry &entry)
         }
         Addr addr = evalEffectiveAddress(inst, entry.src1.value);
         sb.insert(entry.seq, entry.tid, addr, entry.src2.value);
-        entry.storeBuffered = true;
+        su.markStoreBuffered(entry);
     }
 
     executeEntry(entry);
@@ -369,7 +373,7 @@ Processor::renameOperand(ThreadId tid, RegIndex reg,
 void
 Processor::dispatchStage()
 {
-    if (!fetchLatch)
+    if (!fetchLatchFull)
         return;
 
     if (!su.hasSpace()) {
@@ -379,7 +383,7 @@ Processor::dispatchStage()
         return;
     }
 
-    const FetchedBlock &fetched = *fetchLatch;
+    const FetchedBlock &fetched = fetchLatch;
     ThreadId tid = fetched.tid;
 
     // 1-bit scoreboarding: no renaming, so dispatch must stall while
@@ -396,10 +400,9 @@ Processor::dispatchStage()
         }
     }
 
-    SuBlock block;
+    SuBlock block = su.acquireBlock();
     block.tid = tid;
     block.blockSeq = nextSeq;
-    block.entries.reserve(fetched.insts.size());
 
     for (const FetchedInst &slot : fetched.insts) {
         SuEntry entry;
@@ -432,7 +435,7 @@ Processor::dispatchStage()
     }
 
     su.dispatch(std::move(block));
-    fetchLatch.reset();
+    fetchLatchFull = false;
 }
 
 // --------------------------------------------------------------------
@@ -443,15 +446,15 @@ void
 Processor::fetchStage()
 {
     fetch.tick(now);
-    if (fetchLatch) {
+    if (fetchLatchFull) {
         ++statLatchFullCycles;
         return;
     }
-    std::optional<FetchedBlock> block = fetch.fetchCycle(now);
-    if (block && !block->insts.empty()) {
-        tracef("fetch: tid=%u pc=%u n=%zu", unsigned{block->tid},
-               block->insts.front().pc, block->insts.size());
-        fetchLatch = std::move(block);
+    if (fetch.fetchCycle(now, fetchLatch) &&
+        !fetchLatch.insts.empty()) {
+        tracef("fetch: tid=%u pc=%u n=%zu", unsigned{fetchLatch.tid},
+               fetchLatch.insts.front().pc, fetchLatch.insts.size());
+        fetchLatchFull = true;
     }
 }
 
@@ -478,7 +481,7 @@ bool
 Processor::done() const
 {
     return fetch.allFinished() && su.empty() && sb.empty() &&
-           !fus.busy() && !fetchLatch;
+           !fus.busy() && !fetchLatchFull;
 }
 
 SimResult

@@ -191,7 +191,10 @@ class Processor
     FuPool fus;
     FetchUnit fetch;
 
-    std::optional<FetchedBlock> fetchLatch;
+    /** The fetch latch: storage is reused cycle to cycle so the
+     *  steady-state loop allocates nothing. */
+    FetchedBlock fetchLatch;
+    bool fetchLatchFull = false;
     Tag nextSeq = 1;
     Cycle now = 0;
 
@@ -219,6 +222,8 @@ class Processor
 
     /** Scratch buffer reused by the writeback stage. */
     std::vector<FuCompletion> completions;
+    /** Scratch buffer reused by handleMispredict. */
+    std::vector<Tag> squashScratch;
 };
 
 } // namespace sdsp

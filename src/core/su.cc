@@ -1,29 +1,293 @@
 #include "core/su.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sdsp
 {
 
-SchedulingUnit::SchedulingUnit(unsigned num_blocks, unsigned block_size)
-    : capacityBlocks(num_blocks), blockSize(block_size)
+namespace
+{
+
+/** Smallest power of two >= @p n (and >= 2). */
+std::size_t
+nextPow2(std::size_t n)
+{
+    std::size_t p = 2;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+Operand &
+operandOf(SuEntry &entry, unsigned op)
+{
+    return op ? entry.src2 : entry.src1;
+}
+
+} // namespace
+
+SchedulingUnit::SchedulingUnit(unsigned num_blocks, unsigned block_size,
+                               unsigned num_threads,
+                               unsigned regs_per_thread)
+    : capacityBlocks(num_blocks),
+      blockSize(block_size),
+      numThreads(num_threads),
+      regsPerThread(regs_per_thread)
 {
     sdsp_assert(num_blocks >= 1, "SU needs at least one block");
     sdsp_assert(block_size >= 1, "block size must be positive");
+    sdsp_assert(num_threads >= 1, "SU needs at least one thread");
+    sdsp_assert(regs_per_thread >= 1,
+                "SU needs at least one register per thread");
+
+    blocks.reserve(capacityBlocks);
+    entryPool.reserve(capacityBlocks + 2);
+
+    // Load factor stays below 1/4 with all entries resident, so
+    // probe chains are short and the map never grows during a run.
+    std::size_t slots = nextPow2(
+        std::max<std::size_t>(64, 4ull * num_blocks * block_size));
+    tagSlots.resize(slots);
+    tagMask = slots - 1;
+
+    writers.resize(static_cast<std::size_t>(num_threads) *
+                   regs_per_thread);
+    // A single (thread, register) list is bounded by the window, so
+    // pre-reserving makes every later push_back allocation-free.
+    for (auto &list : writers)
+        list.reserve(static_cast<std::size_t>(num_blocks) * block_size);
+    unbufferedStores.resize(num_threads);
+    for (auto &list : unbufferedStores)
+        list.reserve(static_cast<std::size_t>(num_blocks) * block_size);
 }
 
-unsigned
-SchedulingUnit::occupancy() const
+// --------------------------------------------------------------------
+// Tag map
+// --------------------------------------------------------------------
+
+SchedulingUnit::TagSlot *
+SchedulingUnit::findSlot(Tag seq)
 {
-    unsigned count = 0;
-    for (const auto &block : blocks) {
-        for (const auto &entry : block.entries) {
-            if (entry.valid)
-                ++count;
+    std::size_t i = homeSlot(seq);
+    while (tagSlots[i].used) {
+        if (tagSlots[i].seq == seq)
+            return &tagSlots[i];
+        i = (i + 1) & tagMask;
+    }
+    return nullptr;
+}
+
+const SchedulingUnit::TagSlot *
+SchedulingUnit::findSlot(Tag seq) const
+{
+    return const_cast<SchedulingUnit *>(this)->findSlot(seq);
+}
+
+SchedulingUnit::TagSlot &
+SchedulingUnit::insertSlot(Tag seq)
+{
+    if ((tagCount + 1) * 4 > tagSlots.size())
+        growTagMap();
+    std::size_t i = homeSlot(seq);
+    while (tagSlots[i].used) {
+        if (tagSlots[i].seq == seq)
+            return tagSlots[i];
+        i = (i + 1) & tagMask;
+    }
+    tagSlots[i].used = true;
+    tagSlots[i].seq = seq;
+    tagSlots[i].entry = nullptr;
+    tagSlots[i].waitHead = {};
+    ++tagCount;
+    return tagSlots[i];
+}
+
+void
+SchedulingUnit::eraseSlot(Tag seq)
+{
+    std::size_t hole = homeSlot(seq);
+    for (;;) {
+        if (!tagSlots[hole].used)
+            return; // not present
+        if (tagSlots[hole].seq == seq)
+            break;
+        hole = (hole + 1) & tagMask;
+    }
+    --tagCount;
+    // Backward-shift deletion: pull displaced successors into the
+    // hole so lookups never need tombstones.
+    std::size_t j = hole;
+    for (;;) {
+        tagSlots[hole].used = false;
+        tagSlots[hole].entry = nullptr;
+        tagSlots[hole].waitHead = {};
+        for (;;) {
+            j = (j + 1) & tagMask;
+            if (!tagSlots[j].used)
+                return;
+            std::size_t home = homeSlot(tagSlots[j].seq);
+            // Slot j may fill the hole iff the hole lies on j's probe
+            // path, i.e. home .. j (cyclically) covers the hole.
+            if (((j - home) & tagMask) >= ((j - hole) & tagMask)) {
+                tagSlots[hole] = tagSlots[j];
+                hole = j;
+                break;
+            }
         }
     }
-    return count;
 }
+
+void
+SchedulingUnit::growTagMap()
+{
+    std::vector<TagSlot> old = std::move(tagSlots);
+    tagSlots.assign(old.size() * 2, TagSlot{});
+    tagMask = tagSlots.size() - 1;
+    tagCount = 0;
+    for (TagSlot &slot : old) {
+        if (!slot.used)
+            continue;
+        TagSlot &fresh = insertSlot(slot.seq);
+        fresh.entry = slot.entry;
+        fresh.waitHead = slot.waitHead;
+    }
+}
+
+// --------------------------------------------------------------------
+// Index maintenance
+// --------------------------------------------------------------------
+
+void
+SchedulingUnit::indexBlock(SuBlock &block)
+{
+    for (SuEntry &entry : block.entries) {
+        if (!entry.valid)
+            continue;
+        ++validCount;
+        sdsp_assert(entry.tid < numThreads,
+                    "entry thread beyond SU's thread count");
+
+        insertSlot(entry.seq).entry = &entry;
+
+        if (entry.inst.writesRd()) {
+            sdsp_assert(entry.inst.rd < regsPerThread,
+                        "entry register beyond SU's partition");
+            std::vector<WriterRec> &list =
+                writers[writerIndex(entry.tid, entry.inst.rd)];
+            sdsp_assert(list.empty() || list.back().seq < entry.seq,
+                        "dispatch out of tag order");
+            list.push_back({entry.seq, &entry});
+        }
+
+        if (entry.inst.isStore() && !entry.storeBuffered) {
+            std::vector<Tag> &list = unbufferedStores[entry.tid];
+            sdsp_assert(list.empty() || list.back() < entry.seq,
+                        "store dispatch out of tag order");
+            list.push_back(entry.seq);
+        }
+
+        for (unsigned op = 0; op < 2; ++op) {
+            Operand &operand = operandOf(entry, op);
+            entry.nextWaiter[op] = {};
+            if (operand.ready)
+                continue;
+            sdsp_assert(operand.tag != kNoTag,
+                        "waiting operand without a tag");
+            TagSlot &producer = insertSlot(operand.tag);
+            entry.nextWaiter[op] = producer.waitHead;
+            producer.waitHead = {&entry,
+                                 static_cast<std::uint8_t>(op)};
+        }
+    }
+}
+
+void
+SchedulingUnit::unlinkWaiter(Tag tag, const SuEntry &entry, unsigned op)
+{
+    TagSlot *slot = findSlot(tag);
+    if (!slot)
+        return; // producer already removed in the same squash pass
+    OperandRef *link = &slot->waitHead;
+    while (link->entry) {
+        if (link->entry == &entry && link->op == op) {
+            *link = entry.nextWaiter[op];
+            return;
+        }
+        link = &link->entry->nextWaiter[link->op];
+    }
+}
+
+void
+SchedulingUnit::unindexEntry(SuEntry &entry)
+{
+    --validCount;
+    eraseSlot(entry.seq);
+
+    if (entry.inst.writesRd()) {
+        std::vector<WriterRec> &list =
+            writers[writerIndex(entry.tid, entry.inst.rd)];
+        for (auto it = list.begin(); it != list.end(); ++it) {
+            if (it->seq == entry.seq) {
+                list.erase(it);
+                break;
+            }
+        }
+    }
+
+    if (entry.inst.isStore() && !entry.storeBuffered) {
+        std::vector<Tag> &list = unbufferedStores[entry.tid];
+        auto it = std::lower_bound(list.begin(), list.end(), entry.seq);
+        if (it != list.end() && *it == entry.seq)
+            list.erase(it);
+    }
+
+    // A removed entry may still be waiting (tests remove arbitrary
+    // blocks); detach it from its producers' chains.
+    for (unsigned op = 0; op < 2; ++op) {
+        Operand &operand = operandOf(entry, op);
+        if (!operand.ready)
+            unlinkWaiter(operand.tag, entry, op);
+        entry.nextWaiter[op] = {};
+    }
+}
+
+// --------------------------------------------------------------------
+// Block storage pool
+// --------------------------------------------------------------------
+
+SuBlock
+SchedulingUnit::acquireBlock()
+{
+    SuBlock block;
+    if (!entryPool.empty()) {
+        block.entries = std::move(entryPool.back());
+        entryPool.pop_back();
+        block.entries.clear();
+    }
+    block.entries.reserve(blockSize);
+    return block;
+}
+
+void
+SchedulingUnit::recycleBlock(SuBlock &&block)
+{
+    recycleEntries(std::move(block.entries));
+}
+
+void
+SchedulingUnit::recycleEntries(std::vector<SuEntry> &&entries)
+{
+    if (entryPool.size() < entryPool.capacity()) {
+        entries.clear();
+        entryPool.push_back(std::move(entries));
+    }
+}
+
+// --------------------------------------------------------------------
+// Architectural operations
+// --------------------------------------------------------------------
 
 void
 SchedulingUnit::dispatch(SuBlock block)
@@ -32,93 +296,146 @@ SchedulingUnit::dispatch(SuBlock block)
     sdsp_assert(block.entries.size() <= blockSize,
                 "oversized block dispatched");
     blocks.push_back(std::move(block));
+    // blocks was reserved to capacityBlocks, so entry addresses are
+    // stable from here until the entry leaves the window.
+    indexBlock(blocks.back());
 }
 
 const SuEntry *
 SchedulingUnit::findNewestWriter(ThreadId tid, RegIndex reg) const
 {
-    // Newest first: top block backwards, within a block backwards.
-    for (auto bit = blocks.rbegin(); bit != blocks.rend(); ++bit) {
-        if (bit->tid != tid)
-            continue;
-        for (auto eit = bit->entries.rbegin();
-             eit != bit->entries.rend(); ++eit) {
-            if (eit->valid && eit->inst.writesRd() &&
-                eit->inst.rd == reg) {
-                return &*eit;
-            }
-        }
-    }
-    return nullptr;
+    sdsp_assert(tid < numThreads && reg < regsPerThread,
+                "operand lookup outside the SU's partition");
+    const std::vector<WriterRec> &list =
+        writers[writerIndex(tid, reg)];
+    return list.empty() ? nullptr : list.back().entry;
 }
 
 SuEntry *
 SchedulingUnit::findBySeq(Tag seq)
 {
-    for (auto &block : blocks) {
-        if (!block.entries.empty() && block.blockSeq > seq)
-            continue;
-        for (auto &entry : block.entries) {
-            if (entry.valid && entry.seq == seq)
-                return &entry;
-        }
-    }
-    return nullptr;
+    TagSlot *slot = findSlot(seq);
+    return slot ? slot->entry : nullptr;
 }
 
 void
 SchedulingUnit::broadcast(Tag seq, RegVal value, Cycle now,
                           bool bypassing)
 {
+    TagSlot *slot = findSlot(seq);
+    if (!slot)
+        return;
+
     Cycle earliest = bypassing ? now : now + 1;
-    for (auto &block : blocks) {
-        for (auto &entry : block.entries) {
-            if (!entry.valid || entry.state != EntryState::Waiting)
-                continue;
-            bool woke = false;
-            if (!entry.src1.ready && entry.src1.tag == seq) {
-                entry.src1.ready = true;
-                entry.src1.value = value;
-                woke = true;
-            }
-            if (!entry.src2.ready && entry.src2.tag == seq) {
-                entry.src2.ready = true;
-                entry.src2.value = value;
-                woke = true;
-            }
-            if (woke && entry.operandsReady()) {
-                entry.state = EntryState::Ready;
-                entry.earliestIssue =
-                    std::max(entry.earliestIssue, earliest);
-            }
+    bool placeholder = slot->entry == nullptr;
+    OperandRef waiter = slot->waitHead;
+    slot->waitHead = {};
+
+    while (waiter.entry) {
+        SuEntry &entry = *waiter.entry;
+        Operand &operand = operandOf(entry, waiter.op);
+        OperandRef next = entry.nextWaiter[waiter.op];
+        entry.nextWaiter[waiter.op] = {};
+        waiter = next;
+
+        if (!entry.valid || entry.state != EntryState::Waiting ||
+            operand.ready || operand.tag != seq) {
+            continue;
+        }
+        operand.ready = true;
+        operand.value = value;
+        if (entry.operandsReady()) {
+            entry.state = EntryState::Ready;
+            entry.earliestIssue =
+                std::max(entry.earliestIssue, earliest);
         }
     }
+
+    // A placeholder slot (no resident producer) exists only to hold
+    // its chain; reclaim it once the chain drains.
+    if (placeholder)
+        eraseSlot(seq);
 }
 
 unsigned
 SchedulingUnit::squashThread(ThreadId tid, Tag after,
                              std::vector<Tag> *squashed_seqs)
 {
+    if (squashed_seqs)
+        squashed_seqs->reserve(squashed_seqs->size() + validCount);
+
     unsigned squashed = 0;
     for (auto &block : blocks) {
         if (block.tid != tid)
             continue;
         for (auto &entry : block.entries) {
-            if (entry.valid && entry.seq > after) {
-                entry.valid = false;
-                ++squashed;
-                if (squashed_seqs)
-                    squashed_seqs->push_back(entry.seq);
+            if (!entry.valid || entry.seq <= after)
+                continue;
+            entry.valid = false;
+            --validCount;
+            ++squashed;
+            if (squashed_seqs)
+                squashed_seqs->push_back(entry.seq);
+
+            // Purge the squashed tag from every index: the writer
+            // table (squash removes a per-register suffix, since all
+            // younger same-thread writers die with it), ...
+            if (entry.inst.writesRd()) {
+                std::vector<WriterRec> &list =
+                    writers[writerIndex(tid, entry.inst.rd)];
+                while (!list.empty() && list.back().seq > after)
+                    list.pop_back();
             }
+            // ... the unbuffered-store list (same suffix argument),
+            if (entry.inst.isStore() && !entry.storeBuffered) {
+                std::vector<Tag> &list = unbufferedStores[tid];
+                while (!list.empty() && list.back() > after)
+                    list.pop_back();
+            }
+            // ... the waiter chains it sits in, and the tag map.
+            for (unsigned op = 0; op < 2; ++op) {
+                Operand &operand = operandOf(entry, op);
+                if (!operand.ready)
+                    unlinkWaiter(operand.tag, entry, op);
+                entry.nextWaiter[op] = {};
+            }
+
+            // Retire the squashed entry's own tag slot. Its waiter
+            // chain can still hold consumers dying in this same pass
+            // (same-thread younger entries, visited later) — prune
+            // those now. Any survivor keeps the slot alive as a
+            // placeholder so a later broadcast of the (now stale) tag
+            // still reaches it, exactly as the scan-based SU would.
+            TagSlot *slot = findSlot(entry.seq);
+            sdsp_assert(slot && slot->entry == &entry,
+                        "squashed entry missing from the tag map");
+            OperandRef *link = &slot->waitHead;
+            while (link->entry) {
+                SuEntry &waiter = *link->entry;
+                if (!waiter.valid ||
+                    (waiter.tid == tid && waiter.seq > after)) {
+                    OperandRef next = waiter.nextWaiter[link->op];
+                    waiter.nextWaiter[link->op] = {};
+                    *link = next;
+                } else {
+                    link = &waiter.nextWaiter[link->op];
+                }
+            }
+            if (slot->waitHead.entry)
+                slot->entry = nullptr; // placeholder for survivors
+            else
+                eraseSlot(entry.seq);
         }
     }
-    // Drop fully squashed blocks from the top (younger blocks of this
-    // thread are contiguous at the top only logically, so scan all).
+
+    // Drop fully squashed blocks (recycling their entry storage).
     for (auto it = blocks.begin(); it != blocks.end();) {
-        if (it->tid == tid && !it->anyValid() && it->blockSeq > after)
+        if (it->tid == tid && it->blockSeq > after && !it->anyValid()) {
+            recycleEntries(std::move(it->entries));
             it = blocks.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
     return squashed;
 }
@@ -155,53 +472,26 @@ SchedulingUnit::removeBlock(std::size_t block_index)
     SuBlock block = std::move(blocks[block_index]);
     blocks.erase(blocks.begin() +
                  static_cast<std::ptrdiff_t>(block_index));
+    for (SuEntry &entry : block.entries) {
+        if (entry.valid)
+            unindexEntry(entry);
+    }
     return block;
 }
 
-bool
-SchedulingUnit::hasOlderUnbufferedStore(Tag seq) const
-{
-    for (const auto &block : blocks) {
-        if (block.blockSeq > seq)
-            continue;
-        for (const auto &entry : block.entries) {
-            if (entry.valid && entry.seq < seq &&
-                entry.inst.isStore() && !entry.storeBuffered) {
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
-bool
-SchedulingUnit::hasOlderUnresolvedStore(ThreadId tid, Tag load_seq) const
-{
-    for (const auto &block : blocks) {
-        if (block.tid != tid || block.blockSeq > load_seq)
-            continue;
-        for (const auto &entry : block.entries) {
-            if (entry.valid && entry.seq < load_seq &&
-                entry.inst.isStore() && !entry.storeBuffered) {
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
 void
-SchedulingUnit::forEachOldestFirst(
-    const std::function<bool(SuEntry &)> &visit)
+SchedulingUnit::markStoreBuffered(SuEntry &entry)
 {
-    for (auto &block : blocks) {
-        for (auto &entry : block.entries) {
-            if (!entry.valid)
-                continue;
-            if (!visit(entry))
-                return;
-        }
-    }
+    sdsp_assert(entry.inst.isStore(),
+                "markStoreBuffered on a non-store");
+    if (entry.storeBuffered)
+        return;
+    entry.storeBuffered = true;
+    std::vector<Tag> &list = unbufferedStores[entry.tid];
+    auto it = std::lower_bound(list.begin(), list.end(), entry.seq);
+    sdsp_assert(it != list.end() && *it == entry.seq,
+                "buffered store missing from the disambiguation list");
+    list.erase(it);
 }
 
 } // namespace sdsp

@@ -16,14 +16,28 @@
  *    mispredicted control transfer;
  *  - Flexible Result Commit may retire any of the bottom four blocks
  *    whose thread differs from every incomplete block below it.
+ *
+ * Implementation: the architectural model is a linear window, but the
+ * hot-path queries are served from incremental indices kept exactly in
+ * sync with it (DESIGN.md, "Simulator performance"):
+ *  - a tag -> entry open-addressing map (findBySeq, broadcast);
+ *  - a per-(thread, register) newest-writer table (findNewestWriter);
+ *  - intrusive per-tag waiter chains so broadcast touches only the
+ *    consumers of a result instead of every resident entry;
+ *  - per-thread sorted lists of unbuffered store tags for the two
+ *    O(1) memory-disambiguation queries.
+ * Entry storage is pooled: recycled fixed-capacity vectors back
+ * SuBlock::entries, so the steady-state cycle loop performs no heap
+ * allocation. All indices rely on entry addresses being stable, which
+ * holds because entry vectors never grow after dispatch and only the
+ * SuBlock headers (not their heap buffers) move inside the window.
  */
 
 #ifndef SDSP_CORE_SU_HH
 #define SDSP_CORE_SU_HH
 
-#include <deque>
-#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/stats_registry.hh"
@@ -49,6 +63,15 @@ struct Operand
     bool ready = true;
     RegVal value = 0;
     Tag tag = kNoTag;
+};
+
+struct SuEntry;
+
+/** Reference to one source operand of one entry (waiter-chain node). */
+struct OperandRef
+{
+    SuEntry *entry = nullptr;
+    std::uint8_t op = 0; //!< 0 = src1, 1 = src2
 };
 
 /** One instruction resident in the scheduling unit. */
@@ -77,6 +100,14 @@ struct SuEntry
 
     // ---- Memory bookkeeping ----
     bool storeBuffered = false; //!< store deposited in store buffer
+                                //!< (set via markStoreBuffered)
+
+    /**
+     * Waiter-chain links, managed by the SchedulingUnit: the next
+     * consumer operand waiting on the same producer tag as this
+     * entry's src1 (index 0) / src2 (index 1).
+     */
+    OperandRef nextWaiter[2];
 
     /** All sources present? */
     bool operandsReady() const { return src1.ready && src2.ready; }
@@ -116,7 +147,7 @@ struct SuBlock
 struct CommitSelection
 {
     bool found = false;
-    /** Index into the block deque (0 = bottom). */
+    /** Index into the block list (0 = bottom). */
     std::size_t blockIndex = 0;
 };
 
@@ -125,10 +156,16 @@ class SchedulingUnit
 {
   public:
     /**
-     * @param num_blocks Capacity in blocks (suEntries / blockSize).
-     * @param block_size Instructions per block.
+     * @param num_blocks      Capacity in blocks (suEntries /
+     *                        blockSize).
+     * @param block_size      Instructions per block.
+     * @param num_threads     Hardware threads (sizes the newest-writer
+     *                        table and the disambiguation lists).
+     * @param regs_per_thread Architectural registers per thread.
      */
-    SchedulingUnit(unsigned num_blocks, unsigned block_size);
+    SchedulingUnit(unsigned num_blocks, unsigned block_size,
+                   unsigned num_threads = 8,
+                   unsigned regs_per_thread = 64);
 
     /** Room for one more block? */
     bool hasSpace() const { return blocks.size() < capacityBlocks; }
@@ -137,11 +174,22 @@ class SchedulingUnit
     bool empty() const { return blocks.empty(); }
 
     /** Resident blocks, bottom (oldest) first. */
-    const std::deque<SuBlock> &contents() const { return blocks; }
-    std::deque<SuBlock> &contents() { return blocks; }
+    const std::vector<SuBlock> &contents() const { return blocks; }
 
     /** Occupied entries (valid only). */
-    unsigned occupancy() const;
+    unsigned occupancy() const { return validCount; }
+
+    /**
+     * Take a block with pooled (recycled) entry storage. Fill it and
+     * pass it to dispatch(); in steady state this allocates nothing.
+     */
+    SuBlock acquireBlock();
+
+    /**
+     * Return a committed block's entry storage to the pool (after
+     * removeBlock).
+     */
+    void recycleBlock(SuBlock &&block);
 
     /** Append a decoded block at the top. Caller checked hasSpace(). */
     void dispatch(SuBlock block);
@@ -201,12 +249,22 @@ class SchedulingUnit
     /** Remove the block at @p block_index (after committing it). */
     SuBlock removeBlock(std::size_t block_index);
 
+    /** Record that @p entry's store was deposited in the store
+     *  buffer. Keeps the disambiguation index in sync — callers must
+     *  not set entry.storeBuffered directly. */
+    void markStoreBuffered(SuEntry &entry);
+
     /**
      * Is there an older same-thread store, not yet executed into the
      * store buffer, below the given load? (Conservative memory
      * disambiguation: such a store has an unresolved address.)
      */
-    bool hasOlderUnresolvedStore(ThreadId tid, Tag load_seq) const;
+    bool
+    hasOlderUnresolvedStore(ThreadId tid, Tag load_seq) const
+    {
+        const std::vector<Tag> &list = unbufferedStores[tid];
+        return !list.empty() && list.front() < load_seq;
+    }
 
     /**
      * Is there an older store of ANY thread not yet in the store
@@ -217,20 +275,125 @@ class SchedulingUnit
      * load disambiguation — on an older store that can no longer
      * enter).
      */
-    bool hasOlderUnbufferedStore(Tag seq) const;
+    bool
+    hasOlderUnbufferedStore(Tag seq) const
+    {
+        for (const std::vector<Tag> &list : unbufferedStores) {
+            if (!list.empty() && list.front() < seq)
+                return true;
+        }
+        return false;
+    }
 
     /**
      * Iterate entries oldest-first (bottom block first, in-block
-     * program order); used by the issue stage. The callback returns
-     * false to stop early.
+     * program order); used by the issue stage. The visitor returns
+     * false to stop early. Templated so the per-entry call inlines
+     * into the issue loop.
      */
-    void forEachOldestFirst(
-        const std::function<bool(SuEntry &)> &visit);
+    template <typename Visitor>
+    void
+    forEachOldestFirst(Visitor &&visit)
+    {
+        for (auto &block : blocks) {
+            for (auto &entry : block.entries) {
+                if (!entry.valid)
+                    continue;
+                if (!visit(entry))
+                    return;
+            }
+        }
+    }
 
   private:
+    /**
+     * One slot of the tag map: open addressing with linear probing
+     * and backward-shift deletion. A slot holds the resident entry
+     * with that tag (if any) and the head of the chain of operands
+     * waiting on the tag. A slot with entry == nullptr is a
+     * placeholder created by a waiter whose producer is not resident
+     * (possible only via direct SU use in tests); it is reclaimed
+     * when its chain drains.
+     */
+    struct TagSlot
+    {
+        Tag seq = 0;
+        SuEntry *entry = nullptr;
+        OperandRef waitHead;
+        bool used = false;
+    };
+
+    /** Preferred (home) slot index of @p seq. */
+    std::size_t
+    homeSlot(Tag seq) const
+    {
+        // Fibonacci hashing: tags are sequential, this spreads them.
+        return static_cast<std::size_t>(
+                   (seq * 0x9E3779B97F4A7C15ull) >> 32) &
+               tagMask;
+    }
+
+    TagSlot *findSlot(Tag seq);
+    const TagSlot *findSlot(Tag seq) const;
+    /** Find-or-insert. May grow the map (invalidates slot refs). */
+    TagSlot &insertSlot(Tag seq);
+    /** Remove the slot for @p seq (backward-shift deletion). */
+    void eraseSlot(Tag seq);
+    void growTagMap();
+
+    /** Newest-writer table record (oldest first per (tid, reg)). */
+    struct WriterRec
+    {
+        Tag seq = 0;
+        SuEntry *entry = nullptr;
+    };
+
+    std::size_t
+    writerIndex(ThreadId tid, RegIndex reg) const
+    {
+        return static_cast<std::size_t>(tid) * regsPerThread + reg;
+    }
+
+    /** Insert a freshly dispatched block's entries into all indices. */
+    void indexBlock(SuBlock &block);
+
+    /** Unlink one waiting operand from its producer's chain. */
+    void unlinkWaiter(Tag tag, const SuEntry &entry, unsigned op);
+
+    /** Remove one entry (commit/removeBlock path) from all indices. */
+    void unindexEntry(SuEntry &entry);
+
+    /** Return entry storage to the pool. */
+    void recycleEntries(std::vector<SuEntry> &&entries);
+
     unsigned capacityBlocks;
     unsigned blockSize;
-    std::deque<SuBlock> blocks;
+    unsigned numThreads;
+    unsigned regsPerThread;
+
+    /** Resident blocks, bottom (oldest) first. Reserved to
+     *  capacityBlocks up front so SuBlock headers move but never
+     *  reallocate; entry buffers are stable throughout. */
+    std::vector<SuBlock> blocks;
+
+    /** Valid (non-squashed) resident entries. */
+    unsigned validCount = 0;
+
+    // ---- Indices (see file comment) ----
+    std::vector<TagSlot> tagSlots; //!< power-of-two open addressing
+    std::size_t tagMask = 0;
+    std::size_t tagCount = 0; //!< used slots
+
+    /** writers[tid * regsPerThread + reg]: resident writers of that
+     *  (thread, register), oldest first — back() is the newest. */
+    std::vector<std::vector<WriterRec>> writers;
+
+    /** Per-thread ascending tags of resident stores not yet in the
+     *  store buffer — front() is the oldest. */
+    std::vector<std::vector<Tag>> unbufferedStores;
+
+    /** Recycled entry storage for acquireBlock. */
+    std::vector<std::vector<SuEntry>> entryPool;
 };
 
 } // namespace sdsp

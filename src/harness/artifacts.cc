@@ -101,6 +101,9 @@ appendJson(JsonWriter &writer, const RunResult &result,
     writer.field("su_stalls", result.suStalls);
     writer.field("flex_commits", result.flexCommits);
     writer.field("wall_seconds", result.wallSeconds);
+    writer.field("sim_seconds", result.simSeconds);
+    writer.field("sim_cycles_per_second", result.simCyclesPerSecond);
+    writer.field("sim_insts_per_second", result.simInstsPerSecond);
     if (include_stats) {
         writer.key("stats");
         appendJson(writer, result.stats);

@@ -16,7 +16,9 @@ runWorkload(const Workload &workload, const MachineConfig &config,
     WorkloadImage image = workload.build(config.numThreads, scale);
 
     Processor cpu(config, image.program);
+    auto sim_start = std::chrono::steady_clock::now();
     SimResult sim = cpu.run();
+    auto sim_end = std::chrono::steady_clock::now();
 
     RunResult result;
     result.benchmark = image.name;
@@ -43,6 +45,14 @@ runWorkload(const Workload &workload, const MachineConfig &config,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    result.simSeconds =
+        std::chrono::duration<double>(sim_end - sim_start).count();
+    if (result.simSeconds > 0.0) {
+        result.simCyclesPerSecond =
+            static_cast<double>(result.cycles) / result.simSeconds;
+        result.simInstsPerSecond =
+            static_cast<double>(result.committed) / result.simSeconds;
+    }
     return result;
 }
 

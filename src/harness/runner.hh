@@ -37,6 +37,14 @@ struct RunResult
     std::uint64_t flexCommits = 0;
     /** Host wall-clock seconds spent building + simulating the run. */
     double wallSeconds = 0.0;
+    /** Host wall-clock seconds of the simulation loop alone (no
+     *  workload build, no verification). */
+    double simSeconds = 0.0;
+    /** Simulated cycles per host wall-second (simulation
+     *  throughput; uses simSeconds). */
+    double simCyclesPerSecond = 0.0;
+    /** Committed instructions per host wall-second. */
+    double simInstsPerSecond = 0.0;
     /** Full statistics dump. */
     StatsRegistry stats;
 };

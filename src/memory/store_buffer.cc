@@ -10,6 +10,7 @@ namespace sdsp
 StoreBuffer::StoreBuffer(unsigned capacity) : cap(capacity)
 {
     sdsp_assert(capacity >= 1, "store buffer needs capacity");
+    entries.reserve(capacity);
 }
 
 void

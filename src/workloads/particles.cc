@@ -57,15 +57,6 @@ jitteredPositions(Xorshift64 &rng, std::int64_t n, unsigned dims)
     return pos;
 }
 
-std::pair<std::int64_t, std::int64_t>
-chunkOf(std::int64_t n, unsigned nth, unsigned t)
-{
-    std::int64_t chunk = n / nth;
-    std::int64_t start = chunk * t;
-    std::int64_t end = (t + 1 == nth) ? n : start + chunk;
-    return {start, end};
-}
-
 } // namespace
 
 // --------------------------------------------------------------------

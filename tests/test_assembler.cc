@@ -184,8 +184,9 @@ TEST(Assembler, LayoutOptionApplies)
     )", 0, layout);
     for (std::size_t pc = 0; pc < result.program.code.size(); ++pc) {
         Instruction inst = Instruction::decode(result.program.code[pc]);
-        if (inst.isControl())
+        if (inst.isControl()) {
             EXPECT_EQ(pc % 4, 3u);
+        }
     }
 }
 

@@ -223,8 +223,9 @@ TEST(Layout, AlignsBranchesToBlockEnd)
     // Every control transfer sits in the last slot of its block.
     for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
         Instruction inst = Instruction::decode(prog.code[pc]);
-        if (inst.isControl())
+        if (inst.isControl()) {
             EXPECT_EQ(pc % 4, 3u) << "pc " << pc;
+        }
     }
 
     Interpreter interp(prog, 1);

@@ -47,8 +47,9 @@ TEST(OpcodeTable, FlagConsistency)
             EXPECT_TRUE(oi.flags & kReadsRs1) << oi.name;
         }
         // Stores write no register.
-        if (oi.flags & kIsStore)
+        if (oi.flags & kIsStore) {
             EXPECT_FALSE(oi.flags & kWritesRd) << oi.name;
+        }
         // Conditional branches read two sources, write none.
         if (oi.flags & kIsCondBr) {
             EXPECT_TRUE(oi.flags & kReadsRs1) << oi.name;

@@ -41,8 +41,9 @@ TEST(Rewrite, PreservesSemanticsOfLoop)
     // Control transfers sit at block ends.
     for (std::size_t pc = 0; pc < realigned.code.size(); ++pc) {
         Instruction inst = Instruction::decode(realigned.code[pc]);
-        if (inst.isControl())
+        if (inst.isControl()) {
             EXPECT_EQ(pc % 4, 3u) << "pc " << pc;
+        }
     }
 
     Interpreter plain(original, 1);

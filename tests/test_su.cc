@@ -140,6 +140,69 @@ TEST(Su, SquashRemovesOnlyYoungerSameThread)
     EXPECT_EQ(su.contents().size(), 2u);
 }
 
+TEST(Su, SquashThenBroadcastStaleTagDoesNotWakeTheDead)
+{
+    // Producer seq 2 (thread 0) feeds a same-thread consumer seq 3.
+    // Both are squashed; a result for tag 2 already in flight at
+    // squash time still arrives as a broadcast. It must find nobody:
+    // no crash, no wakeup, no stale index entry.
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1),
+                              makeEntry(2, 0, Opcode::ADD, 2)}));
+    SuEntry consumer = makeEntry(3, 0, Opcode::ADD, 3);
+    consumer.src1 = {false, 0, 2};
+    su.dispatch(makeBlock(0, {consumer}));
+
+    EXPECT_EQ(su.squashThread(0, /*after=*/1), 2u);
+    EXPECT_EQ(su.findBySeq(2), nullptr);
+    EXPECT_EQ(su.findBySeq(3), nullptr);
+
+    su.broadcast(2, 42, /*now=*/5, /*bypassing=*/true);
+    EXPECT_EQ(su.occupancy(), 1u);
+    EXPECT_NE(su.findBySeq(1), nullptr);
+
+    // The window and its indices stay usable: a fresh block can
+    // dispatch, wake and commit normally.
+    SuEntry fresh = makeEntry(4, 0, Opcode::ADD, 2);
+    fresh.src1 = {false, 0, 1};
+    su.dispatch(makeBlock(0, {fresh}));
+    su.broadcast(1, 7, 6, true);
+    ASSERT_NE(su.findBySeq(4), nullptr);
+    EXPECT_EQ(su.findBySeq(4)->state, EntryState::Ready);
+    EXPECT_EQ(su.findBySeq(4)->src1.value, 7u);
+}
+
+TEST(Su, SquashKeepsCrossThreadWaitersWakeable)
+{
+    // A consumer of another thread waiting on the squashed tag (only
+    // possible by driving the SU directly) must still be woken by the
+    // late broadcast, exactly as a scan over the window would.
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 1),
+                              makeEntry(2, 0, Opcode::ADD, 2)}));
+    SuEntry other = makeEntry(3, 1, Opcode::ADD, 3);
+    other.src1 = {false, 0, 2};
+    su.dispatch(makeBlock(1, {other}));
+
+    su.squashThread(0, /*after=*/1);
+    su.broadcast(2, 99, /*now=*/5, /*bypassing=*/true);
+
+    ASSERT_NE(su.findBySeq(3), nullptr);
+    EXPECT_EQ(su.findBySeq(3)->state, EntryState::Ready);
+    EXPECT_EQ(su.findBySeq(3)->src1.value, 99u);
+}
+
+TEST(Su, SquashPurgesWriterTable)
+{
+    SchedulingUnit su(8, 4);
+    su.dispatch(makeBlock(0, {makeEntry(1, 0, Opcode::ADD, 5)}));
+    su.dispatch(makeBlock(0, {makeEntry(2, 0, Opcode::ADD, 5)}));
+    su.squashThread(0, /*after=*/1);
+    const SuEntry *writer = su.findNewestWriter(0, 5);
+    ASSERT_NE(writer, nullptr);
+    EXPECT_EQ(writer->seq, 1u); // not the squashed seq 2
+}
+
 TEST(Su, CommitSelectsCompleteBottomBlock)
 {
     SchedulingUnit su(8, 4);
@@ -234,7 +297,7 @@ TEST(Su, OlderUnresolvedStoreQuery)
     EXPECT_FALSE(su.hasOlderUnresolvedStore(1, 5)); // other thread
     EXPECT_FALSE(su.hasOlderUnresolvedStore(0, 1)); // not older
 
-    su.findBySeq(1)->storeBuffered = true;
+    su.markStoreBuffered(*su.findBySeq(1));
     EXPECT_FALSE(su.hasOlderUnresolvedStore(0, 5)); // now resolved
 }
 
@@ -248,7 +311,7 @@ TEST(Su, OlderUnbufferedStoreIsThreadBlind)
     // Visible across threads (it gates the shared store buffer).
     EXPECT_TRUE(su.hasOlderUnbufferedStore(7));
     EXPECT_FALSE(su.hasOlderUnbufferedStore(3)); // not strictly older
-    su.findBySeq(3)->storeBuffered = true;
+    su.markStoreBuffered(*su.findBySeq(3));
     EXPECT_FALSE(su.hasOlderUnbufferedStore(7));
 }
 

@@ -259,15 +259,18 @@ TEST(WorkloadSuite, ProgramsRespectSuiteRegisterBudget)
         WorkloadImage image = workload->build(6, kTestScale);
         for (InstWord word : image.program.code) {
             Instruction inst = Instruction::decode(word);
-            if (inst.writesRd())
+            if (inst.writesRd()) {
                 EXPECT_LT(inst.rd, kSuiteRegisterBudget)
                     << workload->name();
-            if (inst.readsRs1())
+            }
+            if (inst.readsRs1()) {
                 EXPECT_LT(inst.rs1, kSuiteRegisterBudget)
                     << workload->name();
-            if (inst.readsRs2())
+            }
+            if (inst.readsRs2()) {
                 EXPECT_LT(inst.rs2, kSuiteRegisterBudget)
                     << workload->name();
+            }
         }
     }
 }
