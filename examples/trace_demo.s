@@ -1,0 +1,56 @@
+# Trace demo: each thread walks a slice of a shared table, folds the
+# elements into a running sum with a multiply in the loop body, and
+# stores its partial result to a per-thread output slot.  The mix of
+# loads, a long-latency MUL, stores, and a data-dependent branch makes
+# every stall reason show up in `--trace-json` / `--stats` output.
+#
+#   ./build/src/tools/sdsp-run -t 4 --trace-json trace.json \
+#       --stats examples/trace_demo.s
+#
+# Register budget stays within r0..r15, so the program runs at any
+# thread count from 1 to 8 under the default 128-register file.
+
+    .space table 512          # 64 dwords of shared input
+    .space out    64          # one output dword per thread (up to 8)
+
+        tid   r2              # r2 = my thread id
+        nth   r3              # r3 = number of threads
+        ldi   r4, 64          # table length in dwords
+        div   r5, r4, r3      # r5 = slice length
+        mul   r6, r5, r2      # r6 = my first index
+        la    r7, table
+        slli  r8, r6, 3
+        add   r7, r7, r8      # r7 = &table[first]
+        ldi   r9, 0           # r9 = accumulator
+        ldi   r10, 3          # odd multiplier, mixes the sum
+
+fill:                         # seed my slice: table[i] = i + tid
+        beq   r5, r0, reduce
+        add   r11, r6, r2
+        st    r11, 0(r7)
+        addi  r7, r7, 8
+        addi  r6, r6, 1
+        addi  r5, r5, -1
+        j     fill
+
+reduce:
+        div   r5, r4, r3      # reset slice length
+        mul   r6, r5, r2
+        la    r7, table
+        slli  r8, r6, 3
+        add   r7, r7, r8      # back to &table[first]
+loop:
+        beq   r5, r0, done
+        ld    r12, 0(r7)
+        mul   r12, r12, r10   # long-latency op inside the loop
+        add   r9, r9, r12
+        addi  r7, r7, 8
+        addi  r5, r5, -1
+        j     loop
+
+done:
+        la    r13, out
+        slli  r14, r2, 3
+        add   r13, r13, r14
+        st    r9, 0(r13)      # out[tid] = partial sum
+        halt

@@ -2,9 +2,35 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace sdsp
 {
+
+namespace
+{
+
+/**
+ * Emit one complete message line with a single fwrite under a global
+ * lock. Concurrent SweepRunner workers warn() from many threads; a
+ * prefix/body/newline emitted as separate stdio calls can interleave
+ * mid-line, so the whole line is assembled first and written once.
+ */
+void
+emitLine(std::FILE *to, const char *prefix, const std::string &msg)
+{
+    static std::mutex log_mutex;
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> guard(log_mutex);
+    std::fwrite(line.data(), 1, line.size(), to);
+    std::fflush(to);
+}
+
+} // namespace
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -59,7 +85,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(stderr, "warn: ", msg);
 }
 
 void
@@ -69,7 +95,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(stdout, "info: ", msg);
 }
 
 } // namespace sdsp

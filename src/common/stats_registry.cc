@@ -40,12 +40,59 @@ StatsRegistry::has(const std::string &name) const
     return false;
 }
 
+void
+StatsRegistry::addDistribution(const std::string &name,
+                               const Distribution &dist)
+{
+    dists_.push_back({name, dist});
+}
+
+const Distribution &
+StatsRegistry::getDistribution(const std::string &name) const
+{
+    for (const auto &d : dists_) {
+        if (d.name == name)
+            return d.dist;
+    }
+    fatal("no histogram named '%s'", name.c_str());
+}
+
+bool
+StatsRegistry::hasDistribution(const std::string &name) const
+{
+    for (const auto &d : dists_) {
+        if (d.name == name)
+            return true;
+    }
+    return false;
+}
+
 std::string
 StatsRegistry::toString() const
 {
     std::ostringstream os;
     for (const auto &e : entries_)
         os << e.name << " = " << e.value << "\n";
+    for (const auto &d : dists_) {
+        os << format("histogram %s: count=%llu mean=%.3f min=%llu "
+                     "max=%llu\n",
+                     d.name.c_str(),
+                     static_cast<unsigned long long>(d.dist.count()),
+                     d.dist.mean(),
+                     static_cast<unsigned long long>(d.dist.min()),
+                     static_cast<unsigned long long>(d.dist.max()));
+        for (unsigned b = 0; b < Distribution::kBuckets; ++b) {
+            if (!d.dist.bucketCount(b))
+                continue;
+            os << format(
+                "  [%llu, %llu] %llu\n",
+                static_cast<unsigned long long>(
+                    Distribution::bucketLo(b)),
+                static_cast<unsigned long long>(
+                    Distribution::bucketHi(b)),
+                static_cast<unsigned long long>(d.dist.bucketCount(b)));
+        }
+    }
     return os.str();
 }
 

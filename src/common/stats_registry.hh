@@ -6,11 +6,18 @@
  * StatsRegistry gathers name -> value pairs at reporting time so the
  * harness can print, diff, and CSV-dump any component's statistics
  * without knowing its concrete type.
+ *
+ * Besides scalars, the registry holds log2-bucketed Distribution
+ * entries (latency histograms): components sample values into a
+ * Distribution during simulation (fixed storage, allocation-free) and
+ * append it at reporting time next to their scalars.
  */
 
 #ifndef SDSP_COMMON_STATS_REGISTRY_HH
 #define SDSP_COMMON_STATS_REGISTRY_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,6 +30,92 @@ struct StatEntry
 {
     std::string name;
     double value;
+};
+
+/**
+ * A log2-bucketed histogram of non-negative integer samples.
+ *
+ * Bucket 0 holds exactly the value 0; bucket b >= 1 holds the values
+ * in [2^(b-1), 2^b - 1], so bucketOf(v) = bit_width(v). The full
+ * 64-bit range fits in 65 buckets and sampling is two increments and
+ * a bit-scan — cheap enough for once-per-committed-instruction use on
+ * the simulator hot path, with no heap storage at all.
+ */
+class Distribution
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t value)
+    {
+        ++buckets_[bucketOf(value)];
+        ++count_;
+        sum_ += value;
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    /** Bucket index of @p value (0 for 0, else bit_width). */
+    static unsigned
+    bucketOf(std::uint64_t value)
+    {
+        return static_cast<unsigned>(std::bit_width(value));
+    }
+
+    /** Smallest value bucket @p b holds. */
+    static std::uint64_t
+    bucketLo(unsigned b)
+    {
+        return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+    }
+
+    /** Largest value bucket @p b holds. */
+    static std::uint64_t
+    bucketHi(unsigned b)
+    {
+        if (b == 0)
+            return 0;
+        if (b >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << b) - 1;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    std::uint64_t
+    bucketCount(unsigned b) const
+    {
+        return b < kBuckets ? buckets_[b] : 0;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/** One reported histogram. */
+struct DistEntry
+{
+    std::string name;
+    Distribution dist;
 };
 
 /**
@@ -46,14 +139,32 @@ class StatsRegistry
     /** True if a statistic with this exact name exists. */
     bool has(const std::string &name) const;
 
+    /** Append a histogram. */
+    void addDistribution(const std::string &name,
+                         const Distribution &dist);
+
+    /** Look up a histogram by exact name. Fatal if absent. */
+    const Distribution &getDistribution(const std::string &name) const;
+
+    /** True if a histogram with this exact name exists. */
+    bool hasDistribution(const std::string &name) const;
+
     /** All entries in insertion order. */
     const std::vector<StatEntry> &entries() const { return entries_; }
 
-    /** Render as "name = value" lines. */
+    /** All histograms in insertion order. */
+    const std::vector<DistEntry> &distributions() const
+    {
+        return dists_;
+    }
+
+    /** Render as "name = value" lines, then one block per histogram
+     *  ("histogram <name>: ..." header and non-empty bucket lines). */
     std::string toString() const;
 
   private:
     std::vector<StatEntry> entries_;
+    std::vector<DistEntry> dists_;
 };
 
 } // namespace sdsp

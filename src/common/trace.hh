@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Structured pipeline tracing.
+ *
+ * The simulator's observability layer is built on typed pipeline
+ * events rather than printf calls: every stage of the cycle model
+ * describes what happened (fetch, dispatch, issue, writeback, commit,
+ * squash, cache miss, stall span, counter sample) as a TraceEvent,
+ * and a TraceSink decides what to do with it. Three backends ship:
+ *
+ *  - TextTraceSink reproduces the classic `--trace` line format
+ *    byte-for-byte (it prints the event kinds the old printf trace
+ *    printed and ignores the rest), so existing scripts keep working;
+ *  - JsonTraceSink writes Chrome-trace-event records, one JSON object
+ *    per line inside a strictly valid JSON array, so the file loads
+ *    directly in ui.perfetto.dev / chrome://tracing AND each line can
+ *    be parsed on its own (strip the trailing comma);
+ *  - NullTraceSink swallows everything (useful as a test double).
+ *
+ * Cost model: the processor holds a `TraceSink *` that is nullptr when
+ * tracing is off, so the disabled hot path pays one pointer test per
+ * event site and performs no allocation — test_allocfree and the
+ * simspeed gate enforce this.
+ */
+
+#ifndef SDSP_COMMON_TRACE_HH
+#define SDSP_COMMON_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sdsp
+{
+
+/** What happened. See TraceEvent for the per-kind payload layout. */
+enum class TraceEventKind : std::uint8_t
+{
+    Fetch,       //!< a block entered the fetch latch
+    Dispatch,    //!< a decoded block entered the scheduling unit
+    Issue,       //!< one instruction left for a functional unit
+    Writeback,   //!< one result returned to the scheduling unit
+    CommitInst,  //!< one instruction retired (carries its lifecycle)
+    CommitHalt,  //!< a HALT retired; the thread is done
+    CommitBlock, //!< a whole block left the scheduling unit
+    Squash,      //!< a mispredict squashed younger same-thread work
+    CacheMiss,   //!< an issued load missed in the data cache
+    Stall,       //!< a completed span of cycles charged to one reason
+    Counter,     //!< a sampled counter value (SU occupancy, IPC)
+};
+
+/** Number of event kinds (for per-kind tables in tests/sinks). */
+inline constexpr unsigned kNumTraceEventKinds = 11;
+
+/** Stable lowercase name of @p kind (JSON `name` field). */
+const char *traceEventName(TraceEventKind kind);
+
+/**
+ * One pipeline event. The fixed fields are meaningful for almost
+ * every kind; `args` carries the kind-specific payload:
+ *
+ *  kind        seq        pc          args[0..3]
+ *  ----        ---        --          ----------
+ *  Fetch       -          first pc    count
+ *  Dispatch    block seq  first pc    count
+ *  Issue       entry seq  pc          -
+ *  Writeback   entry seq  pc          -
+ *  CommitInst  entry seq  pc          fetched, dispatched, issued,
+ *                                     completed (commit = cycle)
+ *  CommitHalt  entry seq  pc          -
+ *  CommitBlock block seq  -           window slot committed from
+ *  Squash      entry seq  resolved pc resumed pc, squashed count
+ *  CacheMiss   entry seq  pc          byte address, ready cycle
+ *  Stall       -          -           reason index, span length
+ *                                     (cycle = span start)
+ *  Counter     -          -           integer value (or fval)
+ *
+ * `label` (when set) points at static storage: an opcode mnemonic,
+ * a stall-reason name, or a counter name.
+ */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::Fetch;
+    Cycle cycle = 0;
+    ThreadId tid = 0;
+    Tag seq = 0;
+    InstAddr pc = 0;
+    std::array<std::uint64_t, 4> args{};
+    const char *label = nullptr;
+    /** Counter kinds may carry a floating-point value instead. */
+    double fval = 0.0;
+    bool hasFval = false;
+};
+
+/** Consumer of pipeline events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Receive one event. Events of one cycle arrive in pipeline
+     *  stage order; Stall spans arrive when the span *ends*. */
+    virtual void emit(const TraceEvent &event) = 0;
+
+    /** Finish the output document (idempotent; JSON closer). */
+    virtual void finish() {}
+};
+
+/** Discards everything. */
+class NullTraceSink final : public TraceSink
+{
+  public:
+    void emit(const TraceEvent &) override {}
+};
+
+/**
+ * The classic text trace. Prints exactly the lines the original
+ * printf trace printed — Fetch, CommitHalt, CommitBlock, and Squash —
+ * in the original format, and ignores every other kind, so `--trace`
+ * output is unchanged by the structured-event rework.
+ */
+class TextTraceSink final : public TraceSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &out) : out_(out) {}
+
+    void emit(const TraceEvent &event) override;
+
+  private:
+    std::ostream &out_;
+};
+
+/**
+ * Chrome-trace-event writer (the format ui.perfetto.dev and
+ * chrome://tracing load natively).
+ *
+ * Layout: the whole file is one strict JSON array with one record per
+ * line (`[`, then `{...},` lines, then a final `{...}` and `]`), so
+ * a consumer may either parse the file wholesale or stream it
+ * line-wise after stripping the trailing comma.
+ *
+ * Track mapping:
+ *  - pid 1 "pipeline": one duration track per thread. Committed
+ *    instructions appear as complete ("X") slices spanning fetch to
+ *    commit with the full lifecycle in args; fetch/dispatch/issue/
+ *    writeback/squash/cache-miss appear as instant ("i") events.
+ *  - pid 2 "stall attribution": one track per thread of "X" slices,
+ *    one per attributed non-Active stall span.
+ *  - counter ("C") events on pid 1: su_occupancy, ipc.
+ */
+class JsonTraceSink final : public TraceSink
+{
+  public:
+    explicit JsonTraceSink(std::ostream &out);
+    ~JsonTraceSink() override;
+
+    void emit(const TraceEvent &event) override;
+    void finish() override;
+
+  private:
+    /** Write one raw record line (handles separators). */
+    void record(const std::string &json);
+    /** Emit thread_name metadata once per (pid, tid). */
+    void ensureThread(int pid, ThreadId tid);
+
+    std::ostream &out_;
+    bool opened_ = false;
+    bool finished_ = false;
+    bool processesNamed_ = false;
+    /** (pid - 1) * kMaxTracks + tid marks an announced track. */
+    std::vector<bool> announced_;
+};
+
+/** Forwards every event to each registered sink, in order. */
+class TeeTraceSink final : public TraceSink
+{
+  public:
+    void add(TraceSink *sink);
+
+    void emit(const TraceEvent &event) override;
+    void finish() override;
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_TRACE_HH

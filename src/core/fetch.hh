@@ -57,6 +57,9 @@ struct FetchedBlock
 {
     ThreadId tid = 0;
     std::vector<FetchedInst> insts;
+    /** Cycle the block entered the fetch latch (lifecycle stamp set
+     *  by the processor's fetch stage; observability only). */
+    Cycle fetchedAt = 0;
 };
 
 /** The instruction unit. */
@@ -131,6 +134,16 @@ class FetchUnit
 
     /** Is @p tid masked out (MaskedRR)? */
     bool masked(ThreadId tid) const { return threads[tid].maskedOut; }
+
+    /** Is @p tid's fetch stopped on a speculative dead end (HALT
+     *  fetched, ran past the code, or a bad predicted target) until a
+     *  squash restores its PC? Used by stall attribution to charge
+     *  such cycles to mispredict recovery. */
+    bool
+    stoppedFetch(ThreadId tid) const
+    {
+        return threads[tid].stopped && !threads[tid].finished;
+    }
 
     /** Report statistics under @p prefix. */
     void reportStats(StatsRegistry &registry,

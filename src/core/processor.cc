@@ -1,7 +1,5 @@
 #include "core/processor.hh"
 
-#include <cstdarg>
-
 #include "common/logging.hh"
 #include "isa/semantics.hh"
 
@@ -20,7 +18,46 @@ validated(const MachineConfig &config)
     return config;
 }
 
+// Per-thread per-cycle evidence bits feeding attributeCycle(). A
+// stage sets a bit when it observes the condition; the resolver turns
+// the bits into exactly one StallReason charge per thread.
+constexpr std::uint8_t kFlagProgress = 1 << 0;
+constexpr std::uint8_t kFlagSuFull = 1 << 1;
+constexpr std::uint8_t kFlagSbFull = 1 << 2;
+constexpr std::uint8_t kFlagFuBusy = 1 << 3;
+constexpr std::uint8_t kFlagMemOrder = 1 << 4;
+constexpr std::uint8_t kFlagCacheReject = 1 << 5;
+constexpr std::uint8_t kFlagSquashed = 1 << 6;
+
 } // namespace
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Active:
+        return "active";
+      case StallReason::SuFull:
+        return "suFull";
+      case StallReason::StoreBufferFull:
+        return "storeBufferFull";
+      case StallReason::CacheMiss:
+        return "cacheMiss";
+      case StallReason::FuBusy:
+        return "fuBusy";
+      case StallReason::OperandWait:
+        return "operandWait";
+      case StallReason::CommitBlocked:
+        return "commitBlocked";
+      case StallReason::MispredictRecovery:
+        return "mispredictRecovery";
+      case StallReason::FetchStarved:
+        return "fetchStarved";
+      case StallReason::Done:
+        return "done";
+    }
+    return "unknown";
+}
 
 Processor::Processor(const MachineConfig &config, const Program &program)
     : cfg(validated(config)),
@@ -38,7 +75,12 @@ Processor::Processor(const MachineConfig &config, const Program &program)
       fus(config.fu),
       fetch(cfg, decodedCode, btb, icache.get()),
       statCommittedPerThread(config.numThreads, 0),
-      statIssueHistogram(config.issueWidth + 1, 0)
+      statIssueHistogram(config.issueWidth + 1, 0),
+      statStallCycles(config.numThreads),
+      cycleFlags(config.numThreads, 0),
+      missPendingUntil(config.numThreads, 0),
+      spanReason(config.numThreads, StallReason::Active),
+      spanStart(config.numThreads, 0)
 {
     // Pre-decode the text once; fetch reads the decoded form.
     decodedCode.reserve(prog.code.size());
@@ -72,16 +114,16 @@ Processor::Processor(const MachineConfig &config, const Program &program)
 Processor::~Processor() = default;
 
 void
-Processor::tracef(const char *fmt, ...)
+Processor::setTrace(std::ostream *out)
 {
-    if (!trace)
+    if (!out) {
+        if (sink == ownedTextSink.get())
+            sink = nullptr;
+        ownedTextSink.reset();
         return;
-    std::va_list ap;
-    va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
-    va_end(ap);
-    *trace << format("[%8llu] ", static_cast<unsigned long long>(now))
-           << msg << "\n";
+    }
+    ownedTextSink = std::make_unique<TextTraceSink>(*out);
+    sink = ownedTextSink.get();
 }
 
 // --------------------------------------------------------------------
@@ -139,20 +181,57 @@ Processor::commitStage()
 
         if (entry.inst.isHalt()) {
             fetch.onHaltCommitted(entry.tid);
-            tracef("commit: thread %u HALT", unsigned{entry.tid});
+            if (sink) {
+                TraceEvent ev;
+                ev.kind = TraceEventKind::CommitHalt;
+                ev.cycle = now;
+                ev.tid = entry.tid;
+                ev.seq = entry.seq;
+                ev.pc = entry.pc;
+                sink->emit(ev);
+            }
         }
 
         ++statCommitted;
         ++statCommittedPerThread[entry.tid];
+
+        // Per-stage latency histograms, sampled once per retired
+        // instruction from its lifecycle stamps.
+        latencyDists[0].sample(entry.dispatchedAt - entry.fetchedAt);
+        latencyDists[1].sample(entry.issuedAt - entry.dispatchedAt);
+        latencyDists[2].sample(entry.completedAt - entry.issuedAt);
+        latencyDists[3].sample(now - entry.completedAt);
+        latencyDists[4].sample(now - entry.fetchedAt);
+
+        if (sink) {
+            TraceEvent ev;
+            ev.kind = TraceEventKind::CommitInst;
+            ev.cycle = now;
+            ev.tid = entry.tid;
+            ev.seq = entry.seq;
+            ev.pc = entry.pc;
+            ev.args = {entry.fetchedAt, entry.dispatchedAt,
+                       entry.issuedAt, entry.completedAt};
+            ev.label = opName(entry.inst.op);
+            sink->emit(ev);
+        }
     }
+
+    cycleFlags[block.tid] |= kFlagProgress;
 
     // Stores of this block may now drain to the cache.
     sb.commitUpTo(block.tid, max_seq);
     fetch.onCommitBlock(block.tid);
 
-    tracef("commit: block seq=%llu tid=%u from slot %zu",
-           static_cast<unsigned long long>(block.blockSeq),
-           unsigned{block.tid}, selection.blockIndex);
+    if (sink) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::CommitBlock;
+        ev.cycle = now;
+        ev.tid = block.tid;
+        ev.seq = block.blockSeq;
+        ev.args[0] = selection.blockIndex;
+        sink->emit(ev);
+    }
 
     su.recycleBlock(std::move(block));
 }
@@ -187,8 +266,18 @@ Processor::handleMispredict(SuEntry &entry)
 
     fetch.onSquash(tid, next_pc);
 
-    tracef("squash: tid=%u pc=%u -> %u (%u entries)", unsigned{tid},
-           pc, next_pc, count);
+    cycleFlags[tid] |= kFlagSquashed;
+
+    if (sink) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Squash;
+        ev.cycle = now;
+        ev.tid = tid;
+        ev.seq = seq;
+        ev.pc = pc;
+        ev.args = {next_pc, count, 0, 0};
+        sink->emit(ev);
+    }
 }
 
 void
@@ -202,7 +291,19 @@ Processor::writebackStage()
         if (!entry)
             continue; // Squashed between completion and writeback.
 
-        entry->state = EntryState::Done;
+        su.markDone(*entry);
+        entry->completedAt = now;
+
+        if (sink) {
+            TraceEvent ev;
+            ev.kind = TraceEventKind::Writeback;
+            ev.cycle = now;
+            ev.tid = entry->tid;
+            ev.seq = entry->seq;
+            ev.pc = entry->pc;
+            ev.label = opName(entry->inst.op);
+            sink->emit(ev);
+        }
 
         if (entry->inst.writesRd())
             su.broadcast(completion.seq, entry->result, now,
@@ -258,17 +359,21 @@ Processor::tryIssue(SuEntry &entry)
     const Instruction &inst = entry.inst;
     FuClass cls = inst.info().fuClass;
 
-    if (!fus.canIssue(cls, now))
+    if (!fus.canIssue(cls, now)) {
+        cycleFlags[entry.tid] |= kFlagFuBusy;
         return false;
+    }
 
     Cycle extra_latency = 0;
 
     if (inst.isLoad()) {
         // Conservative disambiguation: an older same-thread store
         // with an unresolved (not yet executed) address blocks the
-        // load (the paper's restricted load/store policy).
+        // load (the paper's restricted load/store policy). Charged
+        // to operand-wait: the load waits on the store's address.
         if (su.hasOlderUnresolvedStore(entry.tid, entry.seq)) {
             ++statLoadDisambStalls;
+            cycleFlags[entry.tid] |= kFlagMemOrder;
             return false;
         }
         Addr addr = evalEffectiveAddress(inst, entry.src1.value);
@@ -280,11 +385,29 @@ Processor::tryIssue(SuEntry &entry)
             if (!cache.canAccept(now)) {
                 ++statCacheBlockedLoads;
                 cache.noteRejection();
+                cycleFlags[entry.tid] |= kFlagCacheReject;
                 return false;
             }
             CacheAccessResult access =
                 cache.access(addr, now, false, entry.tid);
             extra_latency = access.readyCycle - now;
+            if (extra_latency > 0) {
+                // Open this thread's miss window: until the data is
+                // back, progress-free cycles read as cache-miss
+                // stalls.
+                missPendingUntil[entry.tid] = std::max(
+                    missPendingUntil[entry.tid], access.readyCycle);
+                if (sink) {
+                    TraceEvent ev;
+                    ev.kind = TraceEventKind::CacheMiss;
+                    ev.cycle = now;
+                    ev.tid = entry.tid;
+                    ev.seq = entry.seq;
+                    ev.pc = entry.pc;
+                    ev.args = {addr, access.readyCycle, 0, 0};
+                    sink->emit(ev);
+                }
+            }
             // Loads on a speculative wrong path can carry garbage
             // addresses; they read a dummy value and are squashed
             // before commit.
@@ -294,6 +417,7 @@ Processor::tryIssue(SuEntry &entry)
     } else if (inst.isStore()) {
         if (sb.full()) {
             sb.noteFullStall();
+            cycleFlags[entry.tid] |= kFlagSbFull;
             return false;
         }
         // The last buffer slot is reserved for the globally oldest
@@ -302,6 +426,7 @@ Processor::tryIssue(SuEntry &entry)
         if (sb.size() + 1 >= sb.capacity() &&
             su.hasOlderUnbufferedStore(entry.seq)) {
             sb.noteFullStall();
+            cycleFlags[entry.tid] |= kFlagSbFull;
             return false;
         }
         Addr addr = evalEffectiveAddress(inst, entry.src1.value);
@@ -312,7 +437,20 @@ Processor::tryIssue(SuEntry &entry)
     executeEntry(entry);
     fus.issue(cls, entry.seq, now, extra_latency);
     entry.state = EntryState::Issued;
+    entry.issuedAt = now;
     ++statIssued;
+    cycleFlags[entry.tid] |= kFlagProgress;
+
+    if (sink) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Issue;
+        ev.cycle = now;
+        ev.tid = entry.tid;
+        ev.seq = entry.seq;
+        ev.pc = entry.pc;
+        ev.label = opName(inst.op);
+        sink->emit(ev);
+    }
     return true;
 }
 
@@ -380,6 +518,7 @@ Processor::dispatchStage()
         // The paper's "scheduling unit stall": the bottom block
         // cannot shift out, so no new entries can be made.
         ++statSuFullStalls;
+        cycleFlags[fetchLatch.tid] |= kFlagSuFull;
         return;
     }
 
@@ -395,6 +534,8 @@ Processor::dispatchStage()
             if (slot.inst.writesRd() &&
                 su.hasInflightWriter(tid, slot.inst.rd)) {
                 ++statScoreboardStalls;
+                // WAW wait on an in-flight writer: operand-style.
+                cycleFlags[tid] |= kFlagMemOrder;
                 return;
             }
         }
@@ -413,6 +554,8 @@ Processor::dispatchStage()
         entry.inst = slot.inst;
         entry.predictedTaken = slot.predictedTaken;
         entry.predictedNextPc = slot.predictedNextPc;
+        entry.fetchedAt = fetched.fetchedAt;
+        entry.dispatchedAt = now;
 
         if (slot.inst.readsRs1())
             entry.src1 = renameOperand(tid, slot.inst.rs1,
@@ -436,6 +579,18 @@ Processor::dispatchStage()
 
     su.dispatch(std::move(block));
     fetchLatchFull = false;
+    cycleFlags[tid] |= kFlagProgress;
+
+    if (sink) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Dispatch;
+        ev.cycle = now;
+        ev.tid = tid;
+        ev.seq = nextSeq - fetched.insts.size();
+        ev.pc = fetched.insts.front().pc;
+        ev.args[0] = fetched.insts.size();
+        sink->emit(ev);
+    }
 }
 
 // --------------------------------------------------------------------
@@ -452,9 +607,19 @@ Processor::fetchStage()
     }
     if (fetch.fetchCycle(now, fetchLatch) &&
         !fetchLatch.insts.empty()) {
-        tracef("fetch: tid=%u pc=%u n=%zu", unsigned{fetchLatch.tid},
-               fetchLatch.insts.front().pc, fetchLatch.insts.size());
+        fetchLatch.fetchedAt = now;
         fetchLatchFull = true;
+        cycleFlags[fetchLatch.tid] |= kFlagProgress;
+
+        if (sink) {
+            TraceEvent ev;
+            ev.kind = TraceEventKind::Fetch;
+            ev.cycle = now;
+            ev.tid = fetchLatch.tid;
+            ev.pc = fetchLatch.insts.front().pc;
+            ev.args[0] = fetchLatch.insts.size();
+            sink->emit(ev);
+        }
     }
 }
 
@@ -467,6 +632,8 @@ Processor::step()
 {
     ++now;
     cache.beginCycle(now);
+    for (unsigned t = 0; t < cfg.numThreads; ++t)
+        cycleFlags[t] = 0;
 
     statOccupancySum += su.occupancy();
     commitStage();
@@ -475,6 +642,95 @@ Processor::step()
     issueStage();
     dispatchStage();
     fetchStage();
+
+    attributeCycle();
+}
+
+void
+Processor::flushStallSpan(ThreadId tid, Cycle end_excl)
+{
+    if (spanReason[tid] == StallReason::Active ||
+        end_excl <= spanStart[tid]) {
+        return;
+    }
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Stall;
+    ev.cycle = spanStart[tid];
+    ev.tid = tid;
+    ev.args[0] = static_cast<std::uint64_t>(spanReason[tid]);
+    ev.args[1] = end_excl - spanStart[tid];
+    ev.label = stallReasonName(spanReason[tid]);
+    sink->emit(ev);
+}
+
+void
+Processor::attributeCycle()
+{
+    for (unsigned t = 0; t < cfg.numThreads; ++t) {
+        ThreadId tid = static_cast<ThreadId>(t);
+        std::uint8_t flags = cycleFlags[t];
+
+        // Priority resolver: progress beats everything, then the
+        // most specific observed obstacle, then resident-work state,
+        // then fetch-side state. Exactly one charge per cycle.
+        StallReason reason;
+        if (flags & kFlagProgress)
+            reason = StallReason::Active;
+        else if (flags & kFlagSquashed)
+            reason = StallReason::MispredictRecovery;
+        else if (flags & kFlagSuFull)
+            reason = StallReason::SuFull;
+        else if (flags & kFlagSbFull)
+            reason = StallReason::StoreBufferFull;
+        else if ((flags & kFlagCacheReject) ||
+                 now < missPendingUntil[t])
+            reason = StallReason::CacheMiss;
+        else if (flags & kFlagFuBusy)
+            reason = StallReason::FuBusy;
+        else if (flags & kFlagMemOrder)
+            reason = StallReason::OperandWait;
+        else if (su.occupancy(tid) > 0)
+            reason = su.pendingOf(tid) > 0 ? StallReason::OperandWait
+                                           : StallReason::CommitBlocked;
+        else if (fetch.finished(tid))
+            reason = StallReason::Done;
+        else if (fetch.stoppedFetch(tid))
+            reason = StallReason::MispredictRecovery;
+        else
+            reason = StallReason::FetchStarved;
+
+        ++statStallCycles[t][static_cast<unsigned>(reason)];
+
+        if (sink && reason != spanReason[t]) {
+            flushStallSpan(tid, now);
+            spanReason[t] = reason;
+            spanStart[t] = now;
+        }
+    }
+
+    if (!sink)
+        return;
+
+    unsigned occ = su.occupancy();
+    if (occ != lastTracedOccupancy) {
+        lastTracedOccupancy = occ;
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Counter;
+        ev.cycle = now;
+        ev.label = "su_occupancy";
+        ev.args[0] = occ;
+        sink->emit(ev);
+    }
+    if ((now & 255) == 0) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::Counter;
+        ev.cycle = now;
+        ev.label = "ipc";
+        ev.fval = static_cast<double>(statCommitted) /
+                  static_cast<double>(now);
+        ev.hasFval = true;
+        sink->emit(ev);
+    }
 }
 
 bool
@@ -489,6 +745,14 @@ Processor::run()
 {
     while (!done() && now < cfg.maxCycles)
         step();
+
+    if (sink) {
+        // Close out any stall span still open at end of run.
+        for (unsigned t = 0; t < cfg.numThreads; ++t) {
+            flushStallSpan(static_cast<ThreadId>(t), now + 1);
+            spanStart[t] = now + 1;
+        }
+    }
 
     SimResult result;
     result.finished = done();
@@ -534,6 +798,32 @@ Processor::reportStats(StatsRegistry &registry) const
         registry.add(format("sim.issueWidth%u.cycles", w),
                      static_cast<double>(statIssueHistogram[w]));
     }
+
+    // Stall attribution: per-thread charges (each thread's row sums
+    // to sim.cycles) and the cross-thread totals.
+    for (unsigned r = 0; r < kNumStallReasons; ++r) {
+        const char *rn = stallReasonName(static_cast<StallReason>(r));
+        std::uint64_t total = 0;
+        for (unsigned t = 0; t < cfg.numThreads; ++t)
+            total += statStallCycles[t][r];
+        registry.add(format("stall.total.%s", rn),
+                     static_cast<double>(total));
+    }
+    for (unsigned t = 0; t < cfg.numThreads; ++t) {
+        for (unsigned r = 0; r < kNumStallReasons; ++r) {
+            registry.add(
+                format("stall.thread%u.%s", t,
+                       stallReasonName(static_cast<StallReason>(r))),
+                static_cast<double>(statStallCycles[t][r]));
+        }
+    }
+
+    static const char *const kLatencyNames[5] = {
+        "latency.fetchToDispatch", "latency.dispatchToIssue",
+        "latency.issueToComplete", "latency.completeToCommit",
+        "latency.fetchToCommit"};
+    for (unsigned i = 0; i < 5; ++i)
+        registry.addDistribution(kLatencyNames[i], latencyDists[i]);
 
     fetch.reportStats(registry, "fetch");
     btb.reportStats(registry, "btb");

@@ -24,6 +24,7 @@
 #ifndef SDSP_CORE_PROCESSOR_HH
 #define SDSP_CORE_PROCESSOR_HH
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -31,6 +32,7 @@
 
 #include "branch/predictor_bank.hh"
 #include "common/stats_registry.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "core/config.hh"
 #include "core/exec.hh"
@@ -44,6 +46,40 @@
 
 namespace sdsp
 {
+
+/**
+ * Top-down-style stall attribution: every simulated cycle, every
+ * thread is charged exactly one reason, so each thread's attributed
+ * cycles always sum to the total cycle count (the accounting
+ * invariant the tests enforce). A thread that fetched, dispatched,
+ * issued, or committed anything in a cycle is Active; otherwise the
+ * charge describes why it could not make progress, most specific
+ * cause first (see Processor::attributeCycle for the priority order).
+ */
+enum class StallReason : std::uint8_t
+{
+    Active,             //!< fetched/dispatched/issued/committed work
+    SuFull,             //!< dispatch blocked: scheduling unit full
+    StoreBufferFull,    //!< a store could not enter the store buffer
+    CacheMiss,          //!< waiting on an outstanding data-cache miss
+                        //!< (or a cache port rejection this cycle)
+    FuBusy,             //!< a ready instruction found no free FU
+    OperandWait,        //!< resident work waiting on operands (incl.
+                        //!< conservative load/store disambiguation)
+    CommitBlocked,      //!< all resident work complete but not yet
+                        //!< allowed to commit (flexible-commit order)
+    MispredictRecovery, //!< squash resolved this cycle, or fetch is
+                        //!< parked on a speculative dead end
+    FetchStarved,       //!< no resident work and no fetch slot (lost
+                        //!< the rotation, masked, or latch busy)
+    Done,               //!< the thread has committed HALT
+};
+
+/** Number of StallReason values (matrix row width). */
+inline constexpr unsigned kNumStallReasons = 10;
+
+/** Stable kebab-free name of @p reason (stats / JSON key). */
+const char *stallReasonName(StallReason reason);
 
 /** Aggregate outcome of a simulation run. */
 struct SimResult
@@ -150,8 +186,32 @@ class Processor
     /** Dump all statistics into @p registry. */
     void reportStats(StatsRegistry &registry) const;
 
-    /** Attach a per-cycle event trace (nullptr disables). */
-    void setTrace(std::ostream *sink) { trace = sink; }
+    /** Attach a structured event sink (nullptr disables tracing).
+     *  The sink must outlive the processor or be detached first. */
+    void setTraceSink(TraceSink *s) { sink = s; }
+
+    /** Attach the classic text trace (nullptr disables): wraps
+     *  @p out in an owned TextTraceSink, preserving the historical
+     *  `--trace` line format byte-for-byte. */
+    void setTrace(std::ostream *out);
+
+    /** Cycles of @p tid charged to @p reason. For every thread the
+     *  kNumStallReasons charges sum to cycle() — each cycle is
+     *  attributed to exactly one reason. */
+    std::uint64_t
+    stallCycles(ThreadId tid, StallReason reason) const
+    {
+        return statStallCycles[tid][static_cast<unsigned>(reason)];
+    }
+
+    /** Per-stage latency histogram of committed instructions:
+     *  0 fetch->dispatch, 1 dispatch->issue, 2 issue->complete,
+     *  3 complete->commit, 4 fetch->commit. */
+    const Distribution &
+    latencyDistribution(unsigned stage) const
+    {
+        return latencyDists[stage];
+    }
 
   private:
     void commitStage();
@@ -173,8 +233,14 @@ class Processor
     Operand renameOperand(ThreadId tid, RegIndex reg,
                           const std::vector<SuEntry> &partial_block);
 
-    void tracef(const char *fmt, ...)
-        __attribute__((format(printf, 2, 3)));
+    /** End of step(): charge every thread's cycle to exactly one
+     *  StallReason and maintain the trace span/counter state. */
+    void attributeCycle();
+
+    /** Emit the open stall span of @p tid ending (exclusive) at
+     *  @p end_excl, if it is non-Active and non-empty. Requires a
+     *  sink. */
+    void flushStallSpan(ThreadId tid, Cycle end_excl);
 
     MachineConfig cfg;
     Program prog;
@@ -198,7 +264,10 @@ class Processor
     Tag nextSeq = 1;
     Cycle now = 0;
 
-    std::ostream *trace = nullptr;
+    /** Event consumer; nullptr = tracing off (the zero-cost case). */
+    TraceSink *sink = nullptr;
+    /** Owned wrapper backing setTrace(std::ostream *). */
+    std::unique_ptr<TextTraceSink> ownedTextSink;
 
     // ---- Statistics ----
     std::uint64_t statCommitted = 0;
@@ -219,6 +288,27 @@ class Processor
     /** statIssueHistogram[k] = cycles in which k instructions
      *  issued. */
     std::vector<std::uint64_t> statIssueHistogram;
+
+    // ---- Observability: stall attribution + latency histograms ----
+    /** statStallCycles[tid][reason]: cycles charged. Every row sums
+     *  to `now` — the attribution invariant. */
+    std::vector<std::array<std::uint64_t, kNumStallReasons>>
+        statStallCycles;
+    /** Per-thread evidence bits gathered during the current cycle
+     *  (kFlag* constants in processor.cc); reset every step(). */
+    std::vector<std::uint8_t> cycleFlags;
+    /** Outstanding load-miss window: cycles before this are charged
+     *  to CacheMiss absent stronger evidence. */
+    std::vector<Cycle> missPendingUntil;
+    /** Open stall-span state (used only while a sink is attached). */
+    std::vector<StallReason> spanReason;
+    std::vector<Cycle> spanStart;
+    /** Last su_occupancy counter value emitted to the sink. */
+    unsigned lastTracedOccupancy = ~0u;
+
+    /** Committed-instruction per-stage latencies; see
+     *  latencyDistribution() for the index meaning. */
+    std::array<Distribution, 5> latencyDists;
 
     /** Scratch buffer reused by the writeback stage. */
     std::vector<FuCompletion> completions;

@@ -61,6 +61,9 @@ SchedulingUnit::SchedulingUnit(unsigned num_blocks, unsigned block_size,
     unbufferedStores.resize(num_threads);
     for (auto &list : unbufferedStores)
         list.reserve(static_cast<std::size_t>(num_blocks) * block_size);
+
+    validPerThread.assign(num_threads, 0);
+    pendingPerThread.assign(num_threads, 0);
 }
 
 // --------------------------------------------------------------------
@@ -168,6 +171,9 @@ SchedulingUnit::indexBlock(SuBlock &block)
         ++validCount;
         sdsp_assert(entry.tid < numThreads,
                     "entry thread beyond SU's thread count");
+        ++validPerThread[entry.tid];
+        if (entry.state != EntryState::Done)
+            ++pendingPerThread[entry.tid];
 
         insertSlot(entry.seq).entry = &entry;
 
@@ -223,6 +229,9 @@ void
 SchedulingUnit::unindexEntry(SuEntry &entry)
 {
     --validCount;
+    --validPerThread[entry.tid];
+    if (entry.state != EntryState::Done)
+        --pendingPerThread[entry.tid];
     eraseSlot(entry.seq);
 
     if (entry.inst.writesRd()) {
@@ -373,6 +382,9 @@ SchedulingUnit::squashThread(ThreadId tid, Tag after,
                 continue;
             entry.valid = false;
             --validCount;
+            --validPerThread[tid];
+            if (entry.state != EntryState::Done)
+                --pendingPerThread[tid];
             ++squashed;
             if (squashed_seqs)
                 squashed_seqs->push_back(entry.seq);

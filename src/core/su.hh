@@ -91,6 +91,12 @@ struct SuEntry
     /** Earliest cycle this entry may issue (bypassing control). */
     Cycle earliestIssue = 0;
 
+    // ---- Lifecycle timestamps (observability) ----
+    Cycle fetchedAt = 0;   //!< cycle the block entered the fetch latch
+    Cycle dispatchedAt = 0; //!< cycle the entry entered the SU
+    Cycle issuedAt = 0;     //!< cycle the entry left for its FU
+    Cycle completedAt = 0;  //!< cycle the result wrote back
+
     // ---- Control transfer bookkeeping ----
     bool predictedTaken = false;
     InstAddr predictedNextPc = 0; //!< PC fetch continued from
@@ -178,6 +184,33 @@ class SchedulingUnit
 
     /** Occupied entries (valid only). */
     unsigned occupancy() const { return validCount; }
+
+    /** Occupied entries of one thread. */
+    unsigned
+    occupancy(ThreadId tid) const
+    {
+        return validPerThread[tid];
+    }
+
+    /** Valid entries of @p tid not yet in the Done state (still
+     *  waiting, ready, or executing). Zero with occupancy(tid) > 0
+     *  means the thread is purely commit-blocked. */
+    unsigned
+    pendingOf(ThreadId tid) const
+    {
+        return pendingPerThread[tid];
+    }
+
+    /** Transition @p entry to Done, keeping the per-thread pending
+     *  count in sync. The writeback stage must use this instead of
+     *  writing entry.state directly. */
+    void
+    markDone(SuEntry &entry)
+    {
+        if (entry.state != EntryState::Done && entry.valid)
+            --pendingPerThread[entry.tid];
+        entry.state = EntryState::Done;
+    }
 
     /**
      * Take a block with pooled (recycled) entry storage. Fill it and
@@ -378,6 +411,11 @@ class SchedulingUnit
 
     /** Valid (non-squashed) resident entries. */
     unsigned validCount = 0;
+
+    /** Valid resident entries per thread. */
+    std::vector<unsigned> validPerThread;
+    /** Valid entries per thread not yet Done (see pendingOf). */
+    std::vector<unsigned> pendingPerThread;
 
     // ---- Indices (see file comment) ----
     std::vector<TagSlot> tagSlots; //!< power-of-two open addressing

@@ -16,6 +16,32 @@ appendJson(JsonWriter &writer, const StatsRegistry &stats)
     writer.beginObject();
     for (const StatEntry &entry : stats.entries())
         writer.field(entry.name, entry.value);
+    if (!stats.distributions().empty()) {
+        // Histograms ride along under one key so scalar consumers
+        // keep working unchanged.
+        writer.key("histograms").beginObject();
+        for (const DistEntry &entry : stats.distributions()) {
+            const Distribution &dist = entry.dist;
+            writer.key(entry.name).beginObject();
+            writer.field("count", dist.count());
+            writer.field("sum", dist.sum());
+            writer.field("min", dist.min());
+            writer.field("max", dist.max());
+            writer.field("mean", dist.mean());
+            writer.key("buckets").beginArray();
+            for (unsigned b = 0; b < Distribution::kBuckets; ++b) {
+                if (dist.bucketCount(b) == 0)
+                    continue;
+                writer.beginObject()
+                    .field("lo", Distribution::bucketLo(b))
+                    .field("hi", Distribution::bucketHi(b))
+                    .field("count", dist.bucketCount(b))
+                    .endObject();
+            }
+            writer.endArray().endObject();
+        }
+        writer.endObject();
+    }
     writer.endObject();
 }
 
@@ -100,6 +126,19 @@ appendJson(JsonWriter &writer, const RunResult &result,
     writer.field("branch_accuracy", result.branchAccuracy);
     writer.field("su_stalls", result.suStalls);
     writer.field("flex_commits", result.flexCommits);
+    if (!result.stallCycles.empty()) {
+        writer.key("stall_attribution").beginObject();
+        for (std::size_t t = 0; t < result.stallCycles.size(); ++t) {
+            writer.key(format("thread%zu", t)).beginObject();
+            for (unsigned r = 0; r < kNumStallReasons; ++r) {
+                writer.field(
+                    stallReasonName(static_cast<StallReason>(r)),
+                    result.stallCycles[t][r]);
+            }
+            writer.endObject();
+        }
+        writer.endObject();
+    }
     writer.field("wall_seconds", result.wallSeconds);
     writer.field("sim_seconds", result.simSeconds);
     writer.field("sim_cycles_per_second", result.simCyclesPerSecond);

@@ -31,6 +31,13 @@ runWorkload(const Workload &workload, const MachineConfig &config,
     result.branchAccuracy = cpu.predictor().accuracy();
     result.suStalls = cpu.suStalls();
     result.flexCommits = cpu.flexibleCommits();
+    result.stallCycles.resize(config.numThreads);
+    for (unsigned t = 0; t < config.numThreads; ++t) {
+        for (unsigned r = 0; r < kNumStallReasons; ++r) {
+            result.stallCycles[t][r] = cpu.stallCycles(
+                static_cast<ThreadId>(t), static_cast<StallReason>(r));
+        }
+    }
     cpu.reportStats(result.stats);
 
     if (sim.finished) {

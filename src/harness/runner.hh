@@ -35,6 +35,10 @@ struct RunResult
     double branchAccuracy = 1.0;
     std::uint64_t suStalls = 0;
     std::uint64_t flexCommits = 0;
+    /** stallCycles[tid][reason]: top-down attribution matrix. Each
+     *  thread's row sums to `cycles` (one charge per cycle). */
+    std::vector<std::array<std::uint64_t, kNumStallReasons>>
+        stallCycles;
     /** Host wall-clock seconds spent building + simulating the run. */
     double wallSeconds = 0.0;
     /** Host wall-clock seconds of the simulation loop alone (no

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "asm/assembler.hh"
 #include "asm/rewrite.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/processor.hh"
 
 namespace sdsp
@@ -67,7 +69,10 @@ cliUsage()
            "  --max-cycles N       simulation cap\n"
            "  --align              section-6.1 code layout pass\n"
            "  --trace              per-cycle event trace\n"
-           "  --stats              dump statistics\n"
+           "  --trace-file PATH    write the text trace to PATH\n"
+           "  --trace-json PATH    write a Perfetto/Chrome trace\n"
+           "  --stats              dump statistics (scalars,\n"
+           "                       histograms, stall attribution)\n"
            "  --disasm             print disassembly and exit\n";
 }
 
@@ -94,7 +99,8 @@ parseCliOptions(const std::vector<std::string> &args)
             arg == "--commit" || arg == "--rename" ||
             arg == "--cache-ways" || arg == "--cache-size" ||
             arg == "--cache-partitions" || arg == "--btb-banks" ||
-            arg == "--max-cycles") {
+            arg == "--max-cycles" || arg == "--trace-file" ||
+            arg == "--trace-json") {
             auto value = next_value();
             if (!value)
                 return fail(arg + " needs a value");
@@ -169,6 +175,10 @@ parseCliOptions(const std::vector<std::string> &args)
                 if (!n || *n < 1)
                     return fail("bad bank count: " + *value);
                 options.config.btbBanks = static_cast<unsigned>(*n);
+            } else if (arg == "--trace-file") {
+                options.traceFile = *value;
+            } else if (arg == "--trace-json") {
+                options.traceJson = *value;
             } else { // --max-cycles
                 auto n = parseNumber(*value);
                 if (!n || *n < 1)
@@ -237,10 +247,46 @@ runCli(const CliOptions &options, std::ostream &out,
     }
 
     Processor cpu(options.config, program);
+
+    // Assemble the requested sinks behind one tee. The processor
+    // sees a single TraceSink*; nullptr keeps tracing zero-cost.
+    TeeTraceSink tee;
+    TextTraceSink streamSink(trace_out);
+    std::ofstream textFile;
+    std::unique_ptr<TextTraceSink> fileSink;
+    std::ofstream jsonFile;
+    std::unique_ptr<JsonTraceSink> jsonSink;
+
     if (options.trace)
-        cpu.setTrace(&trace_out);
+        tee.add(&streamSink);
+    if (!options.traceFile.empty()) {
+        textFile.open(options.traceFile);
+        if (!textFile) {
+            out << "sdsp-run: cannot open " << options.traceFile
+                << "\n";
+            return 1;
+        }
+        fileSink = std::make_unique<TextTraceSink>(textFile);
+        tee.add(fileSink.get());
+    }
+    if (!options.traceJson.empty()) {
+        jsonFile.open(options.traceJson);
+        if (!jsonFile) {
+            out << "sdsp-run: cannot open " << options.traceJson
+                << "\n";
+            return 1;
+        }
+        jsonSink = std::make_unique<JsonTraceSink>(jsonFile);
+        tee.add(jsonSink.get());
+    }
+
+    bool tracing = options.trace || fileSink || jsonSink;
+    if (tracing)
+        cpu.setTraceSink(&tee);
 
     SimResult sim = cpu.run();
+    if (tracing)
+        tee.finish();
     out << "machine   : " << options.config.toString() << "\n";
     out << "finished  : " << (sim.finished ? "yes" : "NO (cycle cap)")
         << "\n";

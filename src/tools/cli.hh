@@ -24,7 +24,12 @@
  *     --max-cycles N       simulation cap
  *     --align              apply the section-6.1 layout optimization
  *     --trace              per-cycle pipeline event trace
+ *     --trace-file PATH    write the text trace to PATH
+ *     --trace-json PATH    write a Chrome-trace-event (Perfetto)
+ *                          trace to PATH
  *     --stats              dump all statistics after the run
+ *                          (scalars, latency histograms, and the
+ *                          per-thread stall attribution)
  *     --disasm             print the disassembly and exit
  *
  * Parsing and execution live behind a testable interface; main() is
@@ -49,6 +54,10 @@ struct CliOptions
     MachineConfig config;
     std::string programPath;
     bool trace = false;
+    /** Write the text trace here (empty = off). */
+    std::string traceFile;
+    /** Write the Chrome-trace-event (Perfetto) trace here. */
+    std::string traceJson;
     bool stats = false;
     bool disasmOnly = false;
     bool align = false;

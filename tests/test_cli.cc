@@ -125,9 +125,22 @@ TEST(CliParse, UsageMentionsEveryOption)
          {"-t", "-f", "-s", "-w", "--commit", "--rename",
           "--no-bypass", "--cache-ways", "--cache-partitions",
           "--btb-banks", "--finite-icache", "--max-cycles", "--align",
-          "--trace", "--stats", "--disasm"}) {
+          "--trace", "--trace-file", "--trace-json", "--stats",
+          "--disasm"}) {
         EXPECT_NE(usage.find(token), std::string::npos) << token;
     }
+}
+
+TEST(CliParse, TracePaths)
+{
+    CliOptions options = parse({"--trace-file", "t.txt",
+                                "--trace-json", "t.json", "prog.s"});
+    ASSERT_TRUE(options.ok) << options.error;
+    EXPECT_EQ(options.traceFile, "t.txt");
+    EXPECT_EQ(options.traceJson, "t.json");
+    EXPECT_FALSE(options.trace);
+    EXPECT_FALSE(parse({"--trace-file"}).ok);
+    EXPECT_FALSE(parse({"--trace-json"}).ok);
 }
 
 TEST_F(CliFile, RunsProgramAndReports)
@@ -152,6 +165,79 @@ TEST_F(CliFile, StatsAndTrace)
     EXPECT_EQ(runCli(options, out, trace), 0);
     EXPECT_NE(out.str().find("sim.cycles"), std::string::npos);
     EXPECT_NE(trace.str().find("fetch:"), std::string::npos);
+}
+
+TEST_F(CliFile, StatsIncludeAttributionAndHistograms)
+{
+    CliOptions options = parse({"--stats", path.c_str()});
+    ASSERT_TRUE(options.ok);
+    options.config.numThreads = 2;
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 0);
+    std::string text = out.str();
+    EXPECT_NE(text.find("stall.total.active"), std::string::npos);
+    EXPECT_NE(text.find("stall.thread1.done"), std::string::npos);
+    EXPECT_NE(text.find("histogram latency.fetchToCommit"),
+              std::string::npos);
+}
+
+TEST_F(CliFile, TraceFileMatchesTraceStream)
+{
+    std::string trace_path = ::testing::TempDir() + "cli_trace.txt";
+    CliOptions options =
+        parse({"--trace", "--trace-file", trace_path.c_str(),
+               path.c_str()});
+    ASSERT_TRUE(options.ok) << options.error;
+    options.config.numThreads = 2;
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 0);
+
+    std::ifstream file(trace_path);
+    ASSERT_TRUE(file.is_open());
+    std::ostringstream from_file;
+    from_file << file.rdbuf();
+    EXPECT_EQ(from_file.str(), trace.str());
+    EXPECT_NE(from_file.str().find("fetch: tid="), std::string::npos);
+    std::remove(trace_path.c_str());
+}
+
+TEST_F(CliFile, TraceJsonIsWellFormed)
+{
+    std::string json_path = ::testing::TempDir() + "cli_trace.json";
+    CliOptions options =
+        parse({"--trace-json", json_path.c_str(), path.c_str()});
+    ASSERT_TRUE(options.ok) << options.error;
+    options.config.numThreads = 2;
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 0);
+    // The JSON path must not leak anything onto the text stream.
+    EXPECT_EQ(trace.str(), "");
+
+    std::ifstream file(json_path);
+    ASSERT_TRUE(file.is_open());
+    std::string first, line, last_nonempty;
+    ASSERT_TRUE(std::getline(file, first));
+    EXPECT_EQ(first, "[");
+    unsigned records = 0;
+    while (std::getline(file, line)) {
+        if (!line.empty())
+            last_nonempty = line;
+        if (line.find("\"ph\":") != std::string::npos)
+            ++records;
+    }
+    EXPECT_EQ(last_nonempty, "]");
+    EXPECT_GT(records, 4u);
+    std::remove(json_path.c_str());
+}
+
+TEST_F(CliFile, UnwritableTracePathFails)
+{
+    CliOptions options = parse(
+        {"--trace-json", "/nonexistent/dir/t.json", path.c_str()});
+    ASSERT_TRUE(options.ok);
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 1);
+    EXPECT_NE(out.str().find("cannot open"), std::string::npos);
 }
 
 TEST_F(CliFile, DisasmOnly)

@@ -91,6 +91,101 @@ TEST(StatsRegistry, GetMissingIsFatal)
                 ::testing::ExitedWithCode(1), "no statistic");
 }
 
+TEST(Distribution, BucketBoundaries)
+{
+    // Bucket 0 holds exactly 0; bucket b >= 1 holds
+    // [2^(b-1), 2^b - 1].
+    EXPECT_EQ(Distribution::bucketOf(0), 0u);
+    EXPECT_EQ(Distribution::bucketOf(1), 1u);
+    EXPECT_EQ(Distribution::bucketOf(2), 2u);
+    EXPECT_EQ(Distribution::bucketOf(3), 2u);
+    EXPECT_EQ(Distribution::bucketOf(4), 3u);
+    EXPECT_EQ(Distribution::bucketOf(7), 3u);
+    EXPECT_EQ(Distribution::bucketOf(8), 4u);
+    EXPECT_EQ(Distribution::bucketOf(~std::uint64_t{0}), 64u);
+
+    for (unsigned b = 0; b < Distribution::kBuckets; ++b) {
+        EXPECT_EQ(Distribution::bucketOf(Distribution::bucketLo(b)),
+                  b);
+        EXPECT_EQ(Distribution::bucketOf(Distribution::bucketHi(b)),
+                  b);
+    }
+    EXPECT_EQ(Distribution::bucketLo(0), 0u);
+    EXPECT_EQ(Distribution::bucketHi(0), 0u);
+    EXPECT_EQ(Distribution::bucketLo(1), 1u);
+    EXPECT_EQ(Distribution::bucketHi(1), 1u);
+    EXPECT_EQ(Distribution::bucketHi(64), ~std::uint64_t{0});
+}
+
+TEST(Distribution, EmptyIsAllZero)
+{
+    Distribution dist;
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_EQ(dist.sum(), 0u);
+    EXPECT_EQ(dist.min(), 0u);
+    EXPECT_EQ(dist.max(), 0u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+    for (unsigned b = 0; b < Distribution::kBuckets; ++b)
+        EXPECT_EQ(dist.bucketCount(b), 0u);
+}
+
+TEST(Distribution, SamplesLandInTheirBuckets)
+{
+    Distribution dist;
+    dist.sample(0);
+    dist.sample(1);
+    dist.sample(3);
+    dist.sample(3);
+    dist.sample(1024);
+    EXPECT_EQ(dist.count(), 5u);
+    EXPECT_EQ(dist.sum(), 1031u);
+    EXPECT_EQ(dist.min(), 0u);
+    EXPECT_EQ(dist.max(), 1024u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1031.0 / 5.0);
+    EXPECT_EQ(dist.bucketCount(0), 1u); // {0}
+    EXPECT_EQ(dist.bucketCount(1), 1u); // {1}
+    EXPECT_EQ(dist.bucketCount(2), 2u); // [2, 3]
+    EXPECT_EQ(dist.bucketCount(11), 1u); // [1024, 2047]
+    EXPECT_EQ(dist.bucketCount(12), 0u);
+    EXPECT_EQ(dist.bucketCount(Distribution::kBuckets + 5), 0u);
+}
+
+TEST(Distribution, ExtremeValues)
+{
+    Distribution dist;
+    dist.sample(~std::uint64_t{0});
+    EXPECT_EQ(dist.bucketCount(64), 1u);
+    EXPECT_EQ(dist.min(), ~std::uint64_t{0});
+    EXPECT_EQ(dist.max(), ~std::uint64_t{0});
+}
+
+TEST(StatsRegistry, Distributions)
+{
+    StatsRegistry registry;
+    EXPECT_FALSE(registry.hasDistribution("lat"));
+
+    Distribution dist;
+    dist.sample(4);
+    dist.sample(9);
+    registry.addDistribution("lat", dist);
+
+    ASSERT_TRUE(registry.hasDistribution("lat"));
+    EXPECT_EQ(registry.getDistribution("lat").count(), 2u);
+    ASSERT_EQ(registry.distributions().size(), 1u);
+    EXPECT_EQ(registry.distributions()[0].name, "lat");
+
+    std::string text = registry.toString();
+    EXPECT_NE(text.find("histogram lat:"), std::string::npos);
+    EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
+TEST(StatsRegistry, GetMissingDistributionIsFatal)
+{
+    StatsRegistry registry;
+    EXPECT_EXIT(registry.getDistribution("nope"),
+                ::testing::ExitedWithCode(1), "no histogram");
+}
+
 TEST(Table, AsciiAlignsColumns)
 {
     Table table({"name", "value"});
