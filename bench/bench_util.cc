@@ -169,19 +169,40 @@ runGrid(const std::vector<const Workload *> &workloads,
             runner.add(*workload, variant.config, benchScale(),
                        variant.name);
     }
-    std::vector<RunResult> flat = runner.run();
+    std::vector<JobOutcome> outcomes = runner.runAll();
+
+    // Report every bad point before dying, not just the first: a
+    // broken variant usually breaks many benchmarks at once and the
+    // full list is what identifies it.
+    std::size_t failures = 0;
+    for (const JobOutcome &outcome : outcomes) {
+        if (outcome.ok())
+            continue;
+        ++failures;
+        std::fprintf(stderr, "FAIL [%s] %s (%s): %s\n",
+                     jobStatusName(outcome.status),
+                     outcome.result.benchmark.c_str(),
+                     outcome.result.config.toString().c_str(),
+                     outcome.error.c_str());
+    }
+    if (failures) {
+        fatal("%zu of %zu grid points failed", failures,
+              outcomes.size());
+    }
 
     std::vector<std::vector<RunResult>> grid;
     grid.reserve(workloads.size());
     for (std::size_t w = 0; w < workloads.size(); ++w) {
-        auto first = flat.begin() +
-                     static_cast<std::ptrdiff_t>(w * variants.size());
-        grid.emplace_back(
-            std::make_move_iterator(first),
-            std::make_move_iterator(first + static_cast<std::ptrdiff_t>(
-                                                variants.size())));
-        for (const RunResult &result : grid.back())
-            requireGood(result);
+        auto first =
+            outcomes.begin() +
+            static_cast<std::ptrdiff_t>(w * variants.size());
+        auto last =
+            first + static_cast<std::ptrdiff_t>(variants.size());
+        std::vector<RunResult> row;
+        row.reserve(variants.size());
+        for (auto it = first; it != last; ++it)
+            row.push_back(std::move(it->result));
+        grid.push_back(std::move(row));
     }
     return grid;
 }

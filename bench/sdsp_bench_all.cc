@@ -7,32 +7,53 @@
  * functional-unit complements, commit policies — figures 3-14 and
  * tables 3/5.2), deduplicates the points shared between experiments,
  * executes them all concurrently on the sweep engine, and writes one
- * machine-checkable bench_results.json (per-run cycles, IPC, hit
- * rates, verify status, wall-clock, host metadata).
+ * machine-checkable bench_results.json (per-run status, cycles, IPC,
+ * hit rates, verify status, wall-clock, host metadata).
+ *
+ * The sweep is fault tolerant and resumable: a grid point that
+ * throws, times out, or fails verification is recorded with its
+ * error and the rest of the grid still runs; every completed point
+ * is appended to a JSONL checkpoint as it finishes, and --resume
+ * reloads that checkpoint, verifies each line's identity key against
+ * the current grid, and re-runs only the missing or failed points.
+ * A resumed artifact is byte-identical to an uninterrupted one in
+ * every deterministic field.
  *
  * Exit status is non-zero if any run fails to finish or verify, so
  * CI can gate on this binary alone.
  *
  *     sdsp_bench_all [--jobs N] [--scale PCT] [--out FILE]
  *                    [--only SUBSTR] [--list]
+ *                    [--timeout SECS] [--max-cycles N] [--retries N]
+ *                    [--resume PATH] [--checkpoint PATH]
+ *                    [--no-checkpoint]
  *
  * --jobs defaults to SDSP_BENCH_JOBS / hardware_concurrency, --scale
- * to SDSP_BENCH_SCALE / 100. The output goes to --out, else to
- * $SDSP_BENCH_JSON/bench_results.json, else ./bench_results.json.
+ * to SDSP_BENCH_SCALE / 100; --timeout/--max-cycles/--retries
+ * default to SDSP_BENCH_TIMEOUT / SDSP_BENCH_MAX_CYCLES /
+ * SDSP_BENCH_RETRIES (fault injection: SDSP_BENCH_FAULT, see
+ * fault.hh). The output goes to --out, else to
+ * $SDSP_BENCH_JSON/bench_results.json, else ./bench_results.json;
+ * the checkpoint defaults to <out>.checkpoint.jsonl and is removed
+ * after a fully verified sweep.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <charconv>
 #include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "harness/artifacts.hh"
+#include "harness/checkpoint.hh"
 
 using namespace sdsp;
 using namespace sdsp::bench;
@@ -169,9 +190,12 @@ matchesFilter(const GridPoint &point, const std::string &filter)
 int
 usage(const char *argv0, int code)
 {
-    std::printf("usage: %s [--jobs N] [--scale PCT] [--out FILE] "
-                "[--only SUBSTR] [--list]\n",
-                argv0);
+    std::printf(
+        "usage: %s [--jobs N] [--scale PCT] [--out FILE]\n"
+        "       [--only SUBSTR] [--list] [--timeout SECS]\n"
+        "       [--max-cycles N] [--retries N] [--resume PATH]\n"
+        "       [--checkpoint PATH] [--no-checkpoint]\n",
+        argv0);
     return code;
 }
 
@@ -184,37 +208,68 @@ main(int argc, char **argv)
     unsigned scale = benchScale();
     std::string out_path;
     std::string filter;
+    std::string resume_path;
+    std::string checkpoint_path;
+    bool checkpointing = true;
     bool list_only = false;
+    SweepOptions options = SweepOptions::fromEnvironment();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        auto intArg = [&](const char *name) -> long {
+        auto strArg = [&](const char *name) -> const char * {
             if (++i >= argc)
                 fatal("%s needs a value", name);
+            return argv[i];
+        };
+        auto intArg = [&](const char *name, long min_value) -> long {
+            const char *text = strArg(name);
             char *end = nullptr;
-            long value = std::strtol(argv[i], &end, 10);
-            if (*end || value < 1)
-                fatal("bad %s value: %s", name, argv[i]);
+            long value = std::strtol(text, &end, 10);
+            if (*end || value < min_value)
+                fatal("bad %s value: %s", name, text);
             return value;
         };
         if (arg == "--jobs" || arg == "-j") {
-            long value = intArg("--jobs");
+            long value = intArg("--jobs", 1);
             if (value > 256)
                 fatal("--jobs out of range: %ld", value);
             jobs = static_cast<unsigned>(value);
         } else if (arg == "--scale") {
-            long value = intArg("--scale");
+            long value = intArg("--scale", 1);
             if (value > 1000)
                 fatal("--scale out of range: %ld", value);
             scale = static_cast<unsigned>(value);
         } else if (arg == "--out") {
-            if (++i >= argc)
-                fatal("--out needs a value");
-            out_path = argv[i];
+            out_path = strArg("--out");
         } else if (arg == "--only") {
-            if (++i >= argc)
-                fatal("--only needs a value");
-            filter = argv[i];
+            filter = strArg("--only");
+        } else if (arg == "--timeout") {
+            const char *text = strArg("--timeout");
+            const char *end = text + std::strlen(text);
+            double value = 0.0;
+            auto [ptr, ec] = std::from_chars(text, end, value);
+            if (ec != std::errc() || ptr != end || value < 0.0)
+                fatal("bad --timeout value: %s", text);
+            options.timeoutSeconds = value;
+        } else if (arg == "--max-cycles") {
+            const char *text = strArg("--max-cycles");
+            const char *end = text + std::strlen(text);
+            std::uint64_t value = 0;
+            auto [ptr, ec] = std::from_chars(text, end, value);
+            if (ec != std::errc() || ptr != end)
+                fatal("bad --max-cycles value: %s", text);
+            options.maxCycles = value;
+        } else if (arg == "--retries") {
+            long value = intArg("--retries", 0);
+            if (value > 100)
+                fatal("--retries out of range: %ld", value);
+            options.retries = static_cast<unsigned>(value);
+        } else if (arg == "--resume") {
+            resume_path = strArg("--resume");
+        } else if (arg == "--checkpoint") {
+            checkpoint_path = strArg("--checkpoint");
+        } else if (arg == "--no-checkpoint") {
+            checkpointing = false;
         } else if (arg == "--list") {
             list_only = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -248,52 +303,146 @@ main(int argc, char **argv)
     if (points.empty())
         fatal("no grid points match --only %s", filter.c_str());
 
-    SweepRunner runner(jobs);
-    for (const GridPoint &point : points)
-        runner.add(*point.workload, point.config, scale,
-                   point.experiments.front());
+    if (out_path.empty()) {
+        const char *dir = std::getenv("SDSP_BENCH_JSON");
+        if (dir && *dir && ensureOutputDir(dir))
+            out_path = std::string(dir) + "/bench_results.json";
+        else
+            out_path = "bench_results.json";
+    }
+    if (checkpoint_path.empty()) {
+        checkpoint_path = resume_path.empty()
+                              ? out_path + ".checkpoint.jsonl"
+                              : resume_path;
+    }
+
+    const std::string suite_name = "sdsp_bench_all";
+
+    // Resume: reload verified results and mark their points skipped,
+    // keyed by the full (benchmark, configKey) identity so a stale
+    // checkpoint from a different grid can never be replayed.
+    std::vector<const CheckpointEntry *> restored(points.size(),
+                                                  nullptr);
+    CheckpointLog resumed;
+    std::size_t restored_count = 0;
+    std::size_t stale_entries = 0;
+    if (!resume_path.empty()) {
+        resumed = loadCheckpoint(resume_path, suite_name, scale);
+        std::map<std::string, const CheckpointEntry *> verified;
+        for (const CheckpointEntry &entry : resumed.entries) {
+            // Last ok wins: a point retried across sweeps keeps its
+            // most recent verified result; failed lines never skip.
+            if (entry.ok())
+                verified[entry.benchmark + "\n" + entry.configKey] =
+                    &entry;
+        }
+        std::size_t matched = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::string key = points[i].workload->name() + "\n" +
+                              configKey(points[i].config);
+            auto it = verified.find(key);
+            if (it == verified.end())
+                continue;
+            restored[i] = it->second;
+            ++matched;
+        }
+        restored_count = matched;
+        stale_entries = verified.size() - matched;
+        if (stale_entries) {
+            warn("checkpoint %s: %zu verified entries do not match "
+                 "any current grid point (different --only filter?)",
+                 resume_path.c_str(), stale_entries);
+        }
+    }
+
+    std::vector<SweepJob> grid_jobs;
+    grid_jobs.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepJob job;
+        job.workload = points[i].workload;
+        job.config = points[i].config;
+        job.scale = scale;
+        job.label = points[i].experiments.front();
+        job.skip = restored[i] != nullptr;
+        grid_jobs.push_back(std::move(job));
+    }
+
+    SweepRunner runner(jobs, options);
+    for (const SweepJob &job : grid_jobs)
+        runner.add(job);
 
     std::printf("sdsp_bench_all: %zu grid points (%zu before "
                 "deduplication), scale %u%%, %u jobs\n",
                 points.size(), suite.submitted, scale, runner.jobs());
+    if (!resume_path.empty()) {
+        std::printf("resuming from %s: %zu points restored, "
+                    "%zu to run\n",
+                    resume_path.c_str(), restored_count,
+                    points.size() - restored_count);
+    }
+
+    std::unique_ptr<CheckpointWriter> checkpoint;
+    if (checkpointing) {
+        checkpoint = std::make_unique<CheckpointWriter>(
+            checkpoint_path, suite_name, scale,
+            /*append=*/!resume_path.empty());
+    }
+
+    // As each point completes, persist it (so a crash loses at most
+    // the in-flight points) and surface failures immediately.
+    auto on_complete = [&](std::size_t index,
+                           const JobOutcome &outcome) {
+        if (outcome.status == JobStatus::Skipped)
+            return;
+        if (checkpoint)
+            checkpoint->record(grid_jobs[index], outcome);
+        if (!outcome.ok()) {
+            std::fprintf(stderr, "FAIL [%s] %s (%s): %s\n",
+                         jobStatusName(outcome.status),
+                         grid_jobs[index].workload->name().c_str(),
+                         grid_jobs[index].config.toString().c_str(),
+                         outcome.error.c_str());
+        }
+    };
 
     auto start = std::chrono::steady_clock::now();
-    std::vector<RunResult> results = runner.run();
+    std::vector<JobOutcome> outcomes = runner.runAll(on_complete);
     double elapsed = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
 
-    // Summarize; collect failures instead of dying on the first one
-    // so the JSON artifact records every verdict.
+    // Aggregate. Restored points contribute their checkpointed
+    // deterministic numbers so a resumed sweep's totals match an
+    // uninterrupted one exactly.
     std::size_t failures = 0;
     double sim_seconds = 0.0;
     double sim_loop_seconds = 0.0;
     std::uint64_t sim_cycles = 0;
     std::uint64_t sim_insts = 0;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const RunResult &result = results[i];
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (restored[i]) {
+            sim_cycles += restored[i]->cycles;
+            sim_insts += restored[i]->committed;
+            continue;
+        }
+        const RunResult &result = outcomes[i].result;
         sim_seconds += result.wallSeconds;
         sim_loop_seconds += result.simSeconds;
         sim_cycles += result.cycles;
         sim_insts += result.committed;
-        if (!result.finished || !result.verified) {
+        if (!outcomes[i].ok())
             ++failures;
-            std::fprintf(stderr, "FAIL %s (%s): %s\n",
-                         result.benchmark.c_str(),
-                         result.config.toString().c_str(),
-                         result.verifyMessage.c_str());
-        }
     }
 
     JsonWriter writer;
     writer.beginObject();
     writer.field("schema_version", 1);
-    writer.field("suite", "sdsp_bench_all");
+    writer.field("suite", suite_name);
     writer.key("host");
     appendHostJson(writer);
     writer.field("scale", scale);
     writer.field("jobs", runner.jobs());
-    writer.field("grid_points", std::uint64_t{results.size()});
+    writer.field("grid_points", std::uint64_t{outcomes.size()});
     writer.field("failures", std::uint64_t{failures});
     writer.field("wall_seconds", elapsed);
     writer.field("serial_seconds", sim_seconds);
@@ -308,36 +457,68 @@ main(int argc, char **argv)
                      ? static_cast<double>(sim_insts) / sim_loop_seconds
                      : 0.0);
     writer.key("runs").beginArray();
-    for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
         writer.beginObject();
         writer.key("experiments").beginArray();
         for (const std::string &experiment : points[i].experiments)
             writer.value(experiment);
         writer.endArray();
-        writer.key("result");
-        appendJson(writer, results[i], /*include_stats=*/false);
+        if (restored[i]) {
+            // Splice the checkpointed result verbatim: the resumed
+            // artifact stays byte-identical to an uninterrupted one.
+            writer.field("status", restored[i]->status);
+            writer.key("result").rawValue(restored[i]->resultRaw);
+        } else {
+            const JobOutcome &outcome = outcomes[i];
+            writer.field("status", jobStatusName(outcome.status));
+            if (!outcome.error.empty())
+                writer.field("error", outcome.error);
+            writer.key("result");
+            appendJson(writer, outcome.result, /*include_stats=*/false);
+        }
         writer.endObject();
     }
     writer.endArray();
     writer.endObject();
 
-    if (out_path.empty()) {
-        const char *dir = std::getenv("SDSP_BENCH_JSON");
-        if (dir && *dir && ensureOutputDir(dir))
-            out_path = std::string(dir) + "/bench_results.json";
-        else
-            out_path = "bench_results.json";
-    }
     std::ofstream file(out_path);
     if (!file)
         fatal("cannot write %s", out_path.c_str());
     file << writer.str() << '\n';
+    file.close();
+
+    // Aggregate failure report: every failed point by name, so a
+    // 253-point sweep with three bad points names all three.
+    if (failures) {
+        std::fprintf(stderr,
+                     "sdsp_bench_all: %zu of %zu points failed:\n",
+                     failures, outcomes.size());
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (restored[i] || outcomes[i].ok())
+                continue;
+            std::fprintf(stderr, "  [%s] %s (%s): %s\n",
+                         jobStatusName(outcomes[i].status),
+                         points[i].workload->name().c_str(),
+                         points[i].config.toString().c_str(),
+                         outcomes[i].error.c_str());
+        }
+        if (checkpoint && checkpoint->ok()) {
+            std::fprintf(stderr,
+                         "rerun with --resume %s to retry only the "
+                         "failed points\n",
+                         checkpoint_path.c_str());
+        }
+    } else if (checkpoint && checkpoint->ok()) {
+        // Fully verified: the checkpoint has served its purpose.
+        std::remove(checkpoint_path.c_str());
+    }
 
     std::printf("wall %.2fs, serial-equivalent %.2fs (%.1fx), "
-                "%zu/%zu verified\n",
+                "%zu/%zu verified (%zu restored from checkpoint)\n",
                 elapsed, sim_seconds,
                 elapsed > 0 ? sim_seconds / elapsed : 0.0,
-                results.size() - failures, results.size());
+                outcomes.size() - failures, outcomes.size(),
+                restored_count);
     std::printf("(json written to %s)\n", out_path.c_str());
     return failures == 0 ? 0 : 1;
 }

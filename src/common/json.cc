@@ -1,6 +1,8 @@
 #include "common/json.hh"
 
+#include <charconv>
 #include <cmath>
+#include <system_error>
 
 #include "common/logging.hh"
 
@@ -107,16 +109,14 @@ JsonWriter::value(double number)
     if (!std::isfinite(number))
         return null();
     beforeValue();
-    // Shortest representation that round-trips a double.
-    std::string text = format("%.17g", number);
-    for (int precision = 1; precision < 17; ++precision) {
-        std::string candidate = format("%.*g", precision, number);
-        if (std::stod(candidate) == number) {
-            text = candidate;
-            break;
-        }
-    }
-    out_ += text;
+    // std::to_chars emits the shortest decimal form that round-trips
+    // the double, and — unlike the printf family — is locale
+    // independent, so artifacts stay valid JSON under comma-decimal
+    // locales (RFC 8259 mandates '.' as the decimal separator).
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+    sdsp_assert(ec == std::errc(), "JsonWriter: double format failed");
+    out_.append(buf, end);
     return *this;
 }
 
@@ -161,6 +161,15 @@ JsonWriter::null()
 {
     beforeValue();
     out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &raw)
+{
+    sdsp_assert(!raw.empty(), "JsonWriter: empty raw value");
+    beforeValue();
+    out_ += raw;
     return *this;
 }
 

@@ -51,6 +51,14 @@ class JsonWriter
     JsonWriter &value(bool flag);
     JsonWriter &null();
 
+    /**
+     * Splice @p raw — one complete, already-serialized JSON value —
+     * into the document verbatim. The caller vouches for its
+     * validity; the writer only places separators around it. Used to
+     * re-emit checkpointed results byte-identically on resume.
+     */
+    JsonWriter &rawValue(const std::string &raw);
+
     /** key() + value() in one call. */
     template <typename T>
     JsonWriter &

@@ -1,0 +1,450 @@
+#include "common/json_reader.hh"
+
+#include <charconv>
+#include <cctype>
+#include <cmath>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace sdsp
+{
+
+bool
+JsonValue::asBool() const
+{
+    sdsp_assert(kind_ == Kind::Bool, "JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    sdsp_assert(kind_ == Kind::Number, "JsonValue: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    sdsp_assert(kind_ == Kind::String, "JsonValue: not a string");
+    return text_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    sdsp_assert(kind_ == Kind::Array, "JsonValue: not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    sdsp_assert(kind_ == Kind::Object, "JsonValue: not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    sdsp_assert(kind_ == Kind::Object, "JsonValue: not an object");
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::optional<std::uint64_t>
+JsonValue::toUint64() const
+{
+    if (kind_ != Kind::Number)
+        return std::nullopt;
+    std::uint64_t value = 0;
+    auto [end, ec] = std::from_chars(
+        text_.data(), text_.data() + text_.size(), value);
+    if (ec != std::errc() || end != text_.data() + text_.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<std::string>
+JsonValue::toString() const
+{
+    if (kind_ != Kind::String)
+        return std::nullopt;
+    return text_;
+}
+
+std::optional<double>
+JsonValue::toDouble() const
+{
+    if (kind_ != Kind::Number)
+        return std::nullopt;
+    return number_;
+}
+
+/** Recursive-descent parser over one string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parse(std::string *error)
+    {
+        JsonValue root;
+        if (!parseValue(root, 0)) {
+            if (error)
+                *error = error_;
+            return std::nullopt;
+        }
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            if (error)
+                *error = fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return root;
+    }
+
+  private:
+    /** Containers may nest at most this deep (stack safety). */
+    static constexpr unsigned kMaxDepth = 256;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+
+    std::string
+    fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = format("JSON error at byte %zu: %s", pos_,
+                            why.c_str());
+        return error_;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expect)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expect) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("too deeply nested");
+            return false;
+        }
+        skipWhitespace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        std::size_t start = pos_;
+        bool ok = false;
+        switch (text_[pos_]) {
+        case '{': ok = parseObject(out, depth); break;
+        case '[': ok = parseArray(out, depth); break;
+        case '"':
+            out.kind_ = JsonValue::Kind::String;
+            ok = parseString(out.text_);
+            break;
+        case 't':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            ok = consumeWord("true");
+            if (!ok)
+                fail("bad literal");
+            break;
+        case 'f':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            ok = consumeWord("false");
+            if (!ok)
+                fail("bad literal");
+            break;
+        case 'n':
+            out.kind_ = JsonValue::Kind::Null;
+            ok = consumeWord("null");
+            if (!ok)
+                fail("bad literal");
+            break;
+        default: ok = parseNumber(out); break;
+        }
+        if (ok)
+            out.raw_.assign(text_.substr(start, pos_ - start));
+        return ok;
+    }
+
+    bool
+    parseObject(JsonValue &out, unsigned depth)
+    {
+        out.kind_ = JsonValue::Kind::Object;
+        consume('{');
+        skipWhitespace();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return false;
+            }
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.members_.emplace_back(std::move(key),
+                                      std::move(value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, unsigned depth)
+    {
+        out.kind_ = JsonValue::Kind::Array;
+        consume('[');
+        skipWhitespace();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.items_.push_back(std::move(value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    /** Append @p code as UTF-8 to @p out. */
+    static void
+    appendUtf8(std::string &out, std::uint32_t code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    bool
+    parseHex4(std::uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else {
+                fail("bad \\u escape digit");
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        consume('"');
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                std::uint32_t code = 0;
+                if (!parseHex4(code))
+                    return false;
+                // Combine UTF-16 surrogate pairs.
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    if (!consumeWord("\\u")) {
+                        fail("lone high surrogate");
+                        return false;
+                    }
+                    std::uint32_t low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff) {
+                        fail("bad low surrogate");
+                        return false;
+                    }
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
+                } else if (code >= 0xdc00 && code <= 0xdfff) {
+                    fail("lone low surrogate");
+                    return false;
+                }
+                appendUtf8(out, code);
+                break;
+            }
+            default: fail("bad string escape"); return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        // JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        consume('-');
+        if (consume('0')) {
+            // no further integer digits allowed
+        } else if (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        } else {
+            fail("bad number");
+            return false;
+        }
+        if (consume('.')) {
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("bad number fraction");
+                return false;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("bad number exponent");
+                return false;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        out.kind_ = JsonValue::Kind::Number;
+        out.text_.assign(text_.substr(start, pos_ - start));
+        // from_chars is locale independent, matching the writer.
+        auto [end, ec] =
+            std::from_chars(out.text_.data(),
+                            out.text_.data() + out.text_.size(),
+                            out.number_);
+        if (ec == std::errc::result_out_of_range) {
+            // Grammar-valid but beyond double range; keep the token,
+            // clamp the double (toUint64 still sees the exact text).
+            out.number_ = out.text_[0] == '-' ? -HUGE_VAL : HUGE_VAL;
+        } else if (ec != std::errc() ||
+                   end != out.text_.data() + out.text_.size()) {
+            fail("unparseable number");
+            return false;
+        }
+        return true;
+    }
+};
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return JsonParser(text).parse(error);
+}
+
+} // namespace sdsp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A minimal JSON reader, the read-side counterpart of JsonWriter.
+ *
+ * The harness originally never read JSON back; the resumable sweep
+ * changed that: checkpoint lines (JSONL) must be reloaded, their
+ * identity keys verified, and the stored result objects re-emitted
+ * byte-identically. The reader therefore keeps, for every value, the
+ * exact input span it was parsed from (raw()), so a checkpointed
+ * result can be spliced into a new document without a lossy
+ * parse/re-serialize round trip.
+ *
+ * Numbers are parsed with std::from_chars — locale independent, like
+ * the writer — and the original token is preserved so integers up to
+ * uint64 range can be recovered exactly via toUint64().
+ */
+
+#ifndef SDSP_COMMON_JSON_READER_HH
+#define SDSP_COMMON_JSON_READER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdsp
+{
+
+/**
+ * One parsed JSON value. Accessors of the wrong kind panic (the
+ * caller is expected to check the kind first, or use the checked
+ * to*() helpers which return nullopt instead).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asDouble() const;
+    /** Decoded string contents (escapes resolved). */
+    const std::string &asString() const;
+    /** Array elements in document order. */
+    const std::vector<JsonValue> &items() const;
+    /** Object members in document order (duplicates preserved). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** First member named @p key, or nullptr. Panics unless object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** The exact input text this value was parsed from. */
+    const std::string &raw() const { return raw_; }
+
+    /** The number's original token as an exact uint64, if it is one
+     *  (non-negative, integral, in range); nullopt otherwise or when
+     *  this is not a number. */
+    std::optional<std::uint64_t> toUint64() const;
+
+    /** String contents if this is a string, else nullopt. */
+    std::optional<std::string> toString() const;
+
+    /** Numeric value if this is a number, else nullopt. */
+    std::optional<double> toDouble() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    /** String contents, or the raw number token. */
+    std::string text_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+    std::string raw_;
+};
+
+/**
+ * Parse one complete JSON document (leading/trailing whitespace
+ * allowed, nothing else may follow). On failure returns nullopt and,
+ * when @p error is non-null, stores a message with the byte offset.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+} // namespace sdsp
+
+#endif // SDSP_COMMON_JSON_READER_HH

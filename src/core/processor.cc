@@ -746,19 +746,25 @@ Processor::run()
     while (!done() && now < cfg.maxCycles)
         step();
 
-    if (sink) {
-        // Close out any stall span still open at end of run.
-        for (unsigned t = 0; t < cfg.numThreads; ++t) {
-            flushStallSpan(static_cast<ThreadId>(t), now + 1);
-            spanStart[t] = now + 1;
-        }
-    }
+    finishTrace();
 
     SimResult result;
     result.finished = done();
     result.cycles = now;
     result.committedInstructions = statCommitted;
     return result;
+}
+
+void
+Processor::finishTrace()
+{
+    if (!sink)
+        return;
+    // Close out any stall span still open at end of run.
+    for (unsigned t = 0; t < cfg.numThreads; ++t) {
+        flushStallSpan(static_cast<ThreadId>(t), now + 1);
+        spanStart[t] = now + 1;
+    }
 }
 
 void

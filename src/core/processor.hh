@@ -120,6 +120,14 @@ class Processor
      *  @return The aggregate result; finished=false on cycle-cap. */
     SimResult run();
 
+    /**
+     * Close out any stall spans still open on the trace sink. run()
+     * calls this itself; callers that drive the simulation through
+     * step() (e.g. the harness's deadline watchdog) must call it once
+     * when they stop stepping, before reading the trace.
+     */
+    void finishTrace();
+
     /** All threads halted and the machine fully drained? */
     bool done() const;
 

@@ -1,0 +1,163 @@
+#include "harness/checkpoint.hh"
+
+#include <utility>
+
+#include "common/json.hh"
+#include "common/json_reader.hh"
+#include "common/logging.hh"
+#include "harness/artifacts.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+constexpr int kSchemaVersion = 1;
+
+} // namespace
+
+CheckpointWriter::CheckpointWriter(const std::string &path,
+                                   const std::string &suite,
+                                   unsigned scale, bool append)
+    : path_(path), suite_(suite), scale_(scale)
+{
+    std::ios_base::openmode mode = std::ios::out;
+    mode |= append ? std::ios::app : std::ios::trunc;
+    out_.open(path, mode);
+    if (!out_)
+        warn("checkpoint: cannot open %s; progress will not be saved",
+             path.c_str());
+}
+
+void
+CheckpointWriter::record(const SweepJob &job, const JobOutcome &outcome)
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    if (!out_)
+        return;
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("v").value(static_cast<std::uint64_t>(kSchemaVersion));
+    json.key("suite").value(suite_);
+    json.key("scale").value(static_cast<std::uint64_t>(scale_));
+    json.key("benchmark").value(job.workload->name());
+    json.key("label").value(job.label);
+    json.key("config_key").value(configKey(job.config));
+    json.key("status").value(jobStatusName(outcome.status));
+    json.key("attempts").value(
+        static_cast<std::uint64_t>(outcome.attempts));
+    json.key("error").value(outcome.error);
+    json.key("result");
+    appendJson(json, outcome.result, /*include_stats=*/false);
+    json.endObject();
+
+    out_ << json.str() << '\n';
+    // Flush per line: a hard kill must lose at most the in-flight
+    // jobs, never the lines already recorded.
+    out_.flush();
+}
+
+CheckpointLog
+loadCheckpoint(const std::string &path, const std::string &suite,
+               unsigned scale)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("checkpoint: cannot open %s", path.c_str());
+
+    CheckpointLog log;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        ++log.linesTotal;
+
+        std::string error;
+        std::optional<JsonValue> doc = parseJson(line, &error);
+        if (!doc || !doc->isObject()) {
+            // A hard kill can tear the final line mid-write; that is
+            // exactly the situation resume exists for, so skip it.
+            warn("checkpoint %s:%zu: unreadable line ignored (%s)",
+                 path.c_str(), line_no,
+                 doc ? "not an object" : error.c_str());
+            ++log.linesIgnored;
+            continue;
+        }
+
+        const JsonValue *version = doc->find("v");
+        std::optional<std::uint64_t> v =
+            version ? version->toUint64() : std::nullopt;
+        if (!v || *v != kSchemaVersion) {
+            fatal("checkpoint %s:%zu: schema version %s (want %d)",
+                  path.c_str(), line_no,
+                  version ? version->raw().c_str() : "missing",
+                  kSchemaVersion);
+        }
+
+        const JsonValue *line_suite = doc->find("suite");
+        std::optional<std::string> suite_name =
+            line_suite ? line_suite->toString() : std::nullopt;
+        if (!suite_name || *suite_name != suite) {
+            fatal("checkpoint %s:%zu: suite \"%s\" does not match "
+                  "this run (\"%s\") — wrong checkpoint file?",
+                  path.c_str(), line_no,
+                  suite_name ? suite_name->c_str() : "?",
+                  suite.c_str());
+        }
+
+        const JsonValue *line_scale = doc->find("scale");
+        std::optional<std::uint64_t> scale_value =
+            line_scale ? line_scale->toUint64() : std::nullopt;
+        if (!scale_value || *scale_value != scale) {
+            fatal("checkpoint %s:%zu: scale %s does not match this "
+                  "run (%u) — results would not be comparable",
+                  path.c_str(), line_no,
+                  line_scale ? line_scale->raw().c_str() : "missing",
+                  scale);
+        }
+
+        const JsonValue *benchmark = doc->find("benchmark");
+        const JsonValue *label = doc->find("label");
+        const JsonValue *config_key = doc->find("config_key");
+        const JsonValue *status = doc->find("status");
+        const JsonValue *err = doc->find("error");
+        const JsonValue *attempts = doc->find("attempts");
+        const JsonValue *result = doc->find("result");
+        if (!benchmark || !benchmark->isString() || !label ||
+            !label->isString() || !config_key ||
+            !config_key->isString() || !status || !status->isString() ||
+            !result || !result->isObject()) {
+            warn("checkpoint %s:%zu: incomplete line ignored",
+                 path.c_str(), line_no);
+            ++log.linesIgnored;
+            continue;
+        }
+
+        CheckpointEntry entry;
+        entry.benchmark = benchmark->asString();
+        entry.label = label->asString();
+        entry.configKey = config_key->asString();
+        entry.status = status->asString();
+        if (err && err->isString())
+            entry.error = err->asString();
+        if (attempts) {
+            entry.attempts = static_cast<unsigned>(
+                attempts->toUint64().value_or(1));
+        }
+        const JsonValue *cycles = result->find("cycles");
+        const JsonValue *committed = result->find("committed");
+        if (cycles)
+            entry.cycles = cycles->toUint64().value_or(0);
+        if (committed)
+            entry.committed = committed->toUint64().value_or(0);
+        entry.resultRaw = result->raw();
+        log.entries.push_back(std::move(entry));
+    }
+    return log;
+}
+
+} // namespace sdsp

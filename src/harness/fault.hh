@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic fault injection for the sweep engine.
+ *
+ * The fault-tolerant harness (per-job isolation, retry, checkpoint
+ * resume) is only trustworthy if its failure paths are exercised in
+ * CI, and real grid points essentially never fail. A FaultPlan —
+ * normally parsed from the SDSP_BENCH_FAULT environment variable —
+ * injects failures into chosen grid points by name, before the
+ * simulation starts, so the outcome/retry/resume machinery can be
+ * tested end to end with real binaries.
+ *
+ * Spec grammar (rules separated by ';'):
+ *
+ *     SDSP_BENCH_FAULT = rule[;rule...]
+ *     rule   = match '=' action
+ *     match  = substring of "<benchmark>/<label>", or '*' for all
+ *     action = 'throw'        throw std::runtime_error
+ *            | 'delay:<ms>'   sleep that many milliseconds
+ *            | 'exit:<code>'  _Exit(code) — simulates a hard kill
+ *     Any action may carry a '*N' suffix: inject only on the job's
+ *     first N attempts (so 'throw*1' fails once, then the retry
+ *     succeeds). Without a suffix the rule applies to every attempt.
+ *
+ * Examples:
+ *     LL1/fig05=throw             that point always fails
+ *     Matrix=throw*1;Water=throw  Matrix fails once, Water always
+ *     Sieve=delay:300             Sieve sleeps 300 ms (trips a
+ *                                 --timeout watchdog deterministically)
+ *     LL3=exit:9                  process dies mid-grid (resume test)
+ *
+ * Matching is attempt-scoped and stateless, so injection is
+ * deterministic regardless of the worker schedule.
+ */
+
+#ifndef SDSP_HARNESS_FAULT_HH
+#define SDSP_HARNESS_FAULT_HH
+
+#include <string>
+#include <vector>
+
+namespace sdsp
+{
+
+/** What an injected fault does to the matched attempt. */
+enum class FaultAction : unsigned char
+{
+    Throw, //!< throw std::runtime_error from the job
+    Delay, //!< sleep before the simulation starts
+    Exit,  //!< _Exit the whole process (hard-kill simulation)
+};
+
+/** One parsed SDSP_BENCH_FAULT rule. */
+struct FaultRule
+{
+    /** Substring matched against "<benchmark>/<label>"; "*" = all. */
+    std::string match;
+    FaultAction action = FaultAction::Throw;
+    unsigned delayMillis = 0; //!< Delay only
+    int exitCode = 1;         //!< Exit only
+    /** Inject on attempts [0, attemptLimit); 0 means every attempt. */
+    unsigned attemptLimit = 0;
+};
+
+/** An ordered set of fault rules applied to every sweep job. */
+class FaultPlan
+{
+  public:
+    /** The empty plan: inject() is a no-op. */
+    FaultPlan() = default;
+
+    /** Parse @p spec (see file comment). Fatal on a malformed spec. */
+    static FaultPlan fromSpec(const std::string &spec);
+
+    /** Parse SDSP_BENCH_FAULT; empty plan when unset/empty. */
+    static FaultPlan fromEnvironment();
+
+    bool empty() const { return rules_.empty(); }
+    const std::vector<FaultRule> &rules() const { return rules_; }
+
+    /**
+     * Fire every rule matching job @p id (= "<benchmark>/<label>")
+     * on @p attempt (0-based). Delay rules sleep, Throw rules throw
+     * std::runtime_error, Exit rules terminate the process.
+     */
+    void inject(const std::string &id, unsigned attempt) const;
+
+    /** Does any rule match @p id on @p attempt? (For tests/logs.) */
+    bool matches(const std::string &id, unsigned attempt) const;
+
+  private:
+    std::vector<FaultRule> rules_;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_HARNESS_FAULT_HH

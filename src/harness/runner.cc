@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <numeric>
 
@@ -8,16 +9,45 @@
 namespace sdsp
 {
 
+namespace
+{
+
+/**
+ * Shared body of runWorkload/runWorkloadLimited. @p limits may be
+ * null (no watchdogs: the plain Processor::run path).
+ */
 RunResult
-runWorkload(const Workload &workload, const MachineConfig &config,
-            unsigned scale)
+runWorkloadImpl(const Workload &workload, const MachineConfig &config,
+                unsigned scale, const RunLimits *limits,
+                bool *timed_out, std::string *timeout_reason)
 {
     auto start = std::chrono::steady_clock::now();
-    WorkloadImage image = workload.build(config.numThreads, scale);
 
-    Processor cpu(config, image.program);
+    MachineConfig effective = config;
+    bool cycle_budgeted = false;
+    if (limits && limits->maxCycles &&
+        limits->maxCycles < config.maxCycles) {
+        effective.maxCycles = limits->maxCycles;
+        cycle_budgeted = true;
+    }
+
+    WorkloadImage image = workload.build(effective.numThreads, scale);
+
+    Processor cpu(effective, image.program);
     auto sim_start = std::chrono::steady_clock::now();
-    SimResult sim = cpu.run();
+    SimResult sim;
+    bool wall_timed_out = false;
+    if (limits && limits->timeoutSeconds > 0.0) {
+        auto deadline =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            limits->timeoutSeconds));
+        sim = runToDeadline(cpu, effective.maxCycles, deadline,
+                            &wall_timed_out);
+    } else {
+        sim = cpu.run();
+    }
     auto sim_end = std::chrono::steady_clock::now();
 
     RunResult result;
@@ -46,7 +76,26 @@ runWorkload(const Workload &workload, const MachineConfig &config,
         result.verifyMessage = verdict.message;
     } else {
         result.verified = false;
-        result.verifyMessage = "simulation hit the cycle cap";
+        if (wall_timed_out) {
+            result.verifyMessage = format(
+                "wall-clock budget (%.3f s) exceeded at cycle %llu",
+                limits->timeoutSeconds,
+                static_cast<unsigned long long>(sim.cycles));
+        } else if (cycle_budgeted &&
+                   sim.cycles >= effective.maxCycles) {
+            result.verifyMessage = format(
+                "simulated-cycle budget (%llu cycles) exceeded",
+                static_cast<unsigned long long>(effective.maxCycles));
+        } else {
+            result.verifyMessage = "simulation hit the cycle cap";
+        }
+        if (timed_out) {
+            *timed_out =
+                wall_timed_out ||
+                (cycle_budgeted && sim.cycles >= effective.maxCycles);
+            if (*timed_out && timeout_reason)
+                *timeout_reason = result.verifyMessage;
+        }
     }
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -61,6 +110,63 @@ runWorkload(const Workload &workload, const MachineConfig &config,
             static_cast<double>(result.committed) / result.simSeconds;
     }
     return result;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const Workload &workload, const MachineConfig &config,
+            unsigned scale)
+{
+    return runWorkloadImpl(workload, config, scale, nullptr, nullptr,
+                           nullptr);
+}
+
+LimitedRunResult
+runWorkloadLimited(const Workload &workload,
+                   const MachineConfig &config, unsigned scale,
+                   const RunLimits &limits)
+{
+    LimitedRunResult limited;
+    limited.result =
+        runWorkloadImpl(workload, config, scale, &limits,
+                        &limited.timedOut, &limited.timeoutReason);
+    return limited;
+}
+
+SimResult
+runToDeadline(Processor &cpu, std::uint64_t cycle_cap,
+              std::chrono::steady_clock::time_point deadline,
+              bool *timed_out)
+{
+    // Check the clock once per slice, not per cycle: a clock read
+    // every few thousand simulated cycles is noise (< 0.1 %) while
+    // still bounding overshoot to well under a millisecond.
+    constexpr std::uint64_t kSliceCycles = 4096;
+
+    bool hit_deadline = false;
+    while (!cpu.done() && cpu.cycle() < cycle_cap) {
+        std::uint64_t slice_end =
+            std::min<std::uint64_t>(cycle_cap,
+                                    cpu.cycle() + kSliceCycles);
+        while (!cpu.done() && cpu.cycle() < slice_end)
+            cpu.step();
+        if (!cpu.done() &&
+            std::chrono::steady_clock::now() >= deadline) {
+            hit_deadline = true;
+            break;
+        }
+    }
+    cpu.finishTrace();
+
+    if (timed_out)
+        *timed_out = hit_deadline && !cpu.done();
+
+    SimResult sim;
+    sim.finished = cpu.done();
+    sim.cycles = cpu.cycle();
+    sim.committedInstructions = cpu.committedInstructions();
+    return sim;
 }
 
 double

@@ -9,6 +9,7 @@
 #ifndef SDSP_HARNESS_RUNNER_HH
 #define SDSP_HARNESS_RUNNER_HH
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,49 @@ struct RunResult
  */
 RunResult runWorkload(const Workload &workload,
                       const MachineConfig &config, unsigned scale = 100);
+
+/** Watchdog budgets for one run (0 = unlimited / config default). */
+struct RunLimits
+{
+    /** Wall-clock budget in seconds for the whole run (workload
+     *  build + simulation). Checked between simulation slices, so a
+     *  runaway run stops within a few thousand cycles of the
+     *  deadline instead of hanging its worker. */
+    double timeoutSeconds = 0.0;
+    /** Simulated-cycle budget, clamped onto config.maxCycles. */
+    std::uint64_t maxCycles = 0;
+};
+
+/** runWorkload() plus the watchdog verdict. */
+struct LimitedRunResult
+{
+    RunResult result;
+    /** A RunLimits budget (not the config's own cycle cap) stopped
+     *  the run; result.finished is false and timeoutReason says
+     *  which budget. */
+    bool timedOut = false;
+    std::string timeoutReason;
+};
+
+/**
+ * runWorkload() under @p limits. With all limits zero this is
+ * byte-identical to runWorkload() (same stepping path, no per-slice
+ * clock reads).
+ */
+LimitedRunResult runWorkloadLimited(const Workload &workload,
+                                    const MachineConfig &config,
+                                    unsigned scale,
+                                    const RunLimits &limits);
+
+/**
+ * Step @p cpu until it is done, reaches @p cycle_cap, or the wall
+ * clock passes @p deadline (checked every few thousand cycles).
+ * Flushes open trace spans like Processor::run(). Sets @p timed_out
+ * iff the deadline stopped the run.
+ */
+SimResult runToDeadline(Processor &cpu, std::uint64_t cycle_cap,
+                        std::chrono::steady_clock::time_point deadline,
+                        bool *timed_out);
 
 /**
  * The paper's speedup formula (section 5.2):

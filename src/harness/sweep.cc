@@ -1,8 +1,13 @@
 #include "harness/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
+#include <system_error>
 #include <thread>
 #include <utility>
 
@@ -11,8 +16,70 @@
 namespace sdsp
 {
 
-SweepRunner::SweepRunner(unsigned jobs)
-    : jobs_(jobs ? jobs : defaultJobs())
+namespace
+{
+
+/** Parse an environment double (locale independent); fatal on junk. */
+double
+envSeconds(const char *name, double fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    double value = 0.0;
+    const char *end = env + std::string_view(env).size();
+    auto [ptr, ec] = std::from_chars(env, end, value);
+    if (ec != std::errc() || ptr != end || value < 0.0)
+        fatal("%s out of range: %s", name, env);
+    return value;
+}
+
+std::uint64_t
+envUint64(const char *name, std::uint64_t fallback,
+          std::uint64_t max_value)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    std::uint64_t value = 0;
+    const char *end = env + std::string_view(env).size();
+    auto [ptr, ec] = std::from_chars(env, end, value);
+    if (ec != std::errc() || ptr != end || value > max_value)
+        fatal("%s out of range: %s", name, env);
+    return value;
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::TimedOut: return "timed_out";
+    case JobStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
+SweepOptions
+SweepOptions::fromEnvironment()
+{
+    SweepOptions options;
+    options.timeoutSeconds = envSeconds("SDSP_BENCH_TIMEOUT", 0.0);
+    options.maxCycles = envUint64("SDSP_BENCH_MAX_CYCLES", 0,
+                                  std::uint64_t(-1));
+    options.retries = static_cast<unsigned>(
+        envUint64("SDSP_BENCH_RETRIES", 0, 100));
+    options.retryBackoffSeconds =
+        envSeconds("SDSP_BENCH_RETRY_BACKOFF", 0.05);
+    options.faults = FaultPlan::fromEnvironment();
+    return options;
+}
+
+SweepRunner::SweepRunner(unsigned jobs, SweepOptions options)
+    : jobs_(jobs ? jobs : defaultJobs()), options_(std::move(options))
 {
 }
 
@@ -46,29 +113,92 @@ SweepRunner::add(const Workload &workload, const MachineConfig &config,
     return add(SweepJob{&workload, config, scale, std::move(label)});
 }
 
-std::vector<RunResult>
-SweepRunner::run()
+JobOutcome
+SweepRunner::executeJob(const SweepJob &job) const
+{
+    JobOutcome outcome;
+    if (job.skip) {
+        outcome.status = JobStatus::Skipped;
+        outcome.result.benchmark = job.workload->name();
+        outcome.result.config = job.config;
+        return outcome;
+    }
+
+    const std::string id = job.workload->name() + "/" + job.label;
+    RunLimits limits;
+    limits.timeoutSeconds = options_.timeoutSeconds;
+    limits.maxCycles = options_.maxCycles;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        ++outcome.attempts;
+        try {
+            options_.faults.inject(id, attempt);
+            LimitedRunResult run = runWorkloadLimited(
+                *job.workload, job.config, job.scale, limits);
+            outcome.result = std::move(run.result);
+            outcome.exception = nullptr;
+            if (run.timedOut) {
+                outcome.status = JobStatus::TimedOut;
+                outcome.error = run.timeoutReason;
+            } else if (outcome.result.finished &&
+                       outcome.result.verified) {
+                outcome.status = JobStatus::Ok;
+                outcome.error.clear();
+            } else {
+                outcome.status = JobStatus::Failed;
+                outcome.error = outcome.result.verifyMessage;
+            }
+            // Only thrown failures are assumed transient; a
+            // deterministic verification failure or timeout would
+            // simply repeat.
+            return outcome;
+        } catch (const std::exception &err) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = err.what();
+            outcome.exception = std::current_exception();
+        } catch (...) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = "unknown exception";
+            outcome.exception = std::current_exception();
+        }
+        if (attempt >= options_.retries) {
+            // The run never produced measurements; keep at least the
+            // point's identity for reporting.
+            outcome.result.benchmark = job.workload->name();
+            outcome.result.config = job.config;
+            return outcome;
+        }
+        double backoff = options_.retryBackoffSeconds *
+                         static_cast<double>(1u << attempt);
+        if (backoff > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+        }
+    }
+}
+
+std::vector<JobOutcome>
+SweepRunner::runAll(const JobCallback &completed)
 {
     std::vector<SweepJob> grid = std::move(queue_);
     queue_.clear();
 
-    std::vector<RunResult> results(grid.size());
-    std::vector<std::exception_ptr> errors(grid.size());
+    std::vector<JobOutcome> outcomes(grid.size());
 
     // Self-scheduling work queue: workers claim the next unclaimed
-    // grid point. Results land at the point's submission index, so
+    // grid point. Outcomes land at the point's submission index, so
     // the output order never depends on the schedule.
     std::atomic<std::size_t> next{0};
+    std::mutex callback_mutex;
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= grid.size())
                 return;
-            try {
-                results[i] = runWorkload(*grid[i].workload,
-                                         grid[i].config, grid[i].scale);
-            } catch (...) {
-                errors[i] = std::current_exception();
+            outcomes[i] = executeJob(grid[i]);
+            if (completed) {
+                std::lock_guard<std::mutex> hold(callback_mutex);
+                completed(i, outcomes[i]);
             }
         }
     };
@@ -85,11 +215,21 @@ SweepRunner::run()
             pool.emplace_back(worker);
         // jthread joins on destruction.
     }
+    return outcomes;
+}
 
-    for (std::exception_ptr &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
+std::vector<RunResult>
+SweepRunner::run()
+{
+    std::vector<JobOutcome> outcomes = runAll();
+    for (JobOutcome &outcome : outcomes) {
+        if (outcome.exception)
+            std::rethrow_exception(outcome.exception);
     }
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (JobOutcome &outcome : outcomes)
+        results.push_back(std::move(outcome.result));
     return results;
 }
 

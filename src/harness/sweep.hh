@@ -10,22 +10,33 @@
  * and the results are bit-identical to a serial sweep.
  *
  * SweepRunner is a batch executor: queue grid points with add(), then
- * run() executes them on a fixed pool of worker threads and returns
- * the results in submission order. The worker count comes from the
- * constructor, the SDSP_BENCH_JOBS environment variable, or
- * std::thread::hardware_concurrency(), in that priority order; one
- * worker degenerates to a plain serial loop on the calling thread,
- * which is both the determinism baseline and the zero-thread-overhead
- * fallback.
+ * runAll() executes them on a fixed pool of worker threads and
+ * returns one JobOutcome per point, in submission order. The engine
+ * is fault tolerant: a grid point that throws, exceeds its wall-clock
+ * or simulated-cycle budget, or fails verification produces a
+ * classified outcome (ok | failed | timed_out | skipped) with the
+ * captured error text — it never takes down the pool or the other
+ * points. Thrown (transient) failures can be retried with exponential
+ * backoff, and a FaultPlan can deterministically inject failures for
+ * testing (see fault.hh).
+ *
+ * The worker count comes from the constructor, the SDSP_BENCH_JOBS
+ * environment variable, or std::thread::hardware_concurrency(), in
+ * that priority order; one worker degenerates to a plain serial loop
+ * on the calling thread, which is both the determinism baseline and
+ * the zero-thread-overhead fallback.
  */
 
 #ifndef SDSP_HARNESS_SWEEP_HH
 #define SDSP_HARNESS_SWEEP_HH
 
 #include <cstddef>
+#include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "harness/fault.hh"
 #include "harness/runner.hh"
 
 namespace sdsp
@@ -40,21 +51,96 @@ struct SweepJob
     unsigned scale = 100;
     /** Free-form tag (e.g. the experiment id) carried to artifacts. */
     std::string label;
+    /**
+     * Do not run this point; produce a Skipped outcome instead. Set
+     * by drivers resuming from a checkpoint that already holds a
+     * verified result for the point.
+     */
+    bool skip = false;
+};
+
+/** Classified result of one sweep job. */
+enum class JobStatus : unsigned char
+{
+    Ok,       //!< finished and verified
+    Failed,   //!< threw, failed verification, or hit the config cap
+    TimedOut, //!< wall-clock or simulated-cycle budget exceeded
+    Skipped,  //!< not run (SweepJob::skip, e.g. checkpoint resume)
+};
+
+/** Stable artifact/JSON name of @p status ("ok", "timed_out", ...). */
+const char *jobStatusName(JobStatus status);
+
+/** Execution budgets and retry policy for a sweep. */
+struct SweepOptions
+{
+    /** Per-job wall-clock budget in seconds; 0 = unlimited. */
+    double timeoutSeconds = 0.0;
+    /** Per-job simulated-cycle budget, clamped onto each job's
+     *  config.maxCycles; 0 = the config cap alone. */
+    std::uint64_t maxCycles = 0;
+    /** Extra attempts after a *thrown* failure (transient faults).
+     *  Verification failures and timeouts are deterministic and are
+     *  not retried. */
+    unsigned retries = 0;
+    /** Backoff before the first retry; doubles per further retry. */
+    double retryBackoffSeconds = 0.05;
+    /** Deterministic fault injection (testing; see fault.hh). */
+    FaultPlan faults;
+
+    /**
+     * Defaults from the environment: SDSP_BENCH_TIMEOUT (seconds),
+     * SDSP_BENCH_MAX_CYCLES, SDSP_BENCH_RETRIES,
+     * SDSP_BENCH_RETRY_BACKOFF (seconds), SDSP_BENCH_FAULT. Fatal on
+     * unparseable values.
+     */
+    static SweepOptions fromEnvironment();
+};
+
+/** Everything one sweep job produced. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Ok;
+    /**
+     * The measurements. For Failed-by-exception and Skipped outcomes
+     * only benchmark and config are meaningful (identity for
+     * reporting); the run never produced numbers.
+     */
+    RunResult result;
+    /** Failure/timeout detail; empty when ok. */
+    std::string error;
+    /** Attempts consumed (1 = first try; 0 = skipped). */
+    unsigned attempts = 0;
+    /** The last thrown error, kept for legacy rethrow paths. */
+    std::exception_ptr exception;
+
+    bool ok() const { return status == JobStatus::Ok; }
 };
 
 /**
  * Executes a batch of independent grid points on a fixed thread pool.
  *
- * Results are returned in submission order regardless of completion
- * order. If a grid point throws, the remaining queued points still
- * run; run() then rethrows the exception of the lowest-indexed failed
- * point on the calling thread.
+ * Outcomes are returned in submission order regardless of completion
+ * order, and every queued point runs (or is skipped) no matter what
+ * happens to its neighbours.
  */
 class SweepRunner
 {
   public:
+    /**
+     * Called as each job completes, from the worker that ran it
+     * (invocations are serialized by the runner, so the callback may
+     * write shared state — e.g. a checkpoint file — without extra
+     * locking). Completion order is schedule-dependent; the index
+     * identifies the job.
+     */
+    using JobCallback =
+        std::function<void(std::size_t index, const JobOutcome &)>;
+
     /** @param jobs Worker threads; 0 means defaultJobs(). */
-    explicit SweepRunner(unsigned jobs = 0);
+    explicit SweepRunner(
+        unsigned jobs = 0,
+        SweepOptions options = SweepOptions::fromEnvironment());
 
     /**
      * The worker count used when the constructor is given 0:
@@ -63,28 +149,42 @@ class SweepRunner
      */
     static unsigned defaultJobs();
 
-    /** Worker threads run() will use. */
+    /** Worker threads runAll() will use. */
     unsigned jobs() const { return jobs_; }
 
-    /** Queue a grid point. @return its index into run()'s result. */
+    /** Budgets/retry policy in force. */
+    const SweepOptions &options() const { return options_; }
+
+    /** Queue a grid point. @return its index into runAll()'s result. */
     std::size_t add(SweepJob job);
 
-    /** Queue a grid point. @return its index into run()'s result. */
+    /** Queue a grid point. @return its index into runAll()'s result. */
     std::size_t add(const Workload &workload,
                     const MachineConfig &config, unsigned scale = 100,
                     std::string label = std::string());
 
-    /** Grid points queued since the last run(). */
+    /** Grid points queued since the last run. */
     std::size_t pending() const { return queue_.size(); }
 
     /**
-     * Execute every queued point, clear the queue, and return the
-     * results in submission order.
+     * Execute every queued point, clear the queue, and return one
+     * outcome per point in submission order. Never throws for a
+     * job-level failure; inspect JobOutcome::status.
+     */
+    std::vector<JobOutcome> runAll(const JobCallback &completed = {});
+
+    /**
+     * Legacy strict interface: runAll(), then rethrow the exception
+     * of the lowest-indexed job that threw (if any) and unwrap the
+     * results. Timeouts surface as unfinished results.
      */
     std::vector<RunResult> run();
 
   private:
+    JobOutcome executeJob(const SweepJob &job) const;
+
     unsigned jobs_;
+    SweepOptions options_;
     std::vector<SweepJob> queue_;
 };
 

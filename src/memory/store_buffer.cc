@@ -14,14 +14,27 @@ StoreBuffer::StoreBuffer(unsigned capacity) : cap(capacity)
 }
 
 void
+StoreBuffer::compact()
+{
+    if (head >= cap) {
+        entries.erase(entries.begin(),
+                      entries.begin() +
+                          static_cast<std::ptrdiff_t>(head));
+        head = 0;
+    }
+}
+
+void
 StoreBuffer::insert(Tag seq, ThreadId tid, Addr addr, RegVal value)
 {
     sdsp_assert(!full(), "store buffer overflow");
+    compact();
     StoreBufferEntry entry{seq, tid, addr, value, false};
     // Stores can execute out of order; keep the buffer ordered by
     // sequence number so head-drains retire in program order.
     auto pos = std::upper_bound(
-        entries.begin(), entries.end(), seq,
+        entries.begin() + static_cast<std::ptrdiff_t>(head),
+        entries.end(), seq,
         [](Tag s, const StoreBufferEntry &e) { return s < e.seq; });
     entries.insert(pos, entry);
     ++statInserts;
@@ -30,9 +43,9 @@ StoreBuffer::insert(Tag seq, ThreadId tid, Addr addr, RegVal value)
 void
 StoreBuffer::commitUpTo(ThreadId tid, Tag upto)
 {
-    for (auto &entry : entries) {
-        if (entry.tid == tid && entry.seq <= upto)
-            entry.committed = true;
+    for (std::size_t i = head; i < entries.size(); ++i) {
+        if (entries[i].tid == tid && entries[i].seq <= upto)
+            entries[i].committed = true;
     }
 }
 
@@ -40,17 +53,21 @@ unsigned
 StoreBuffer::drain(DataCache &cache, MainMemory &memory, Cycle now)
 {
     unsigned drained = 0;
-    while (!entries.empty() && entries.front().committed) {
+    while (head < entries.size() && entries[head].committed) {
         if (!cache.canAccept(now)) {
             cache.noteRejection();
             break;
         }
-        const StoreBufferEntry &head = entries.front();
-        cache.access(head.addr, now, /*is_write=*/true, head.tid);
-        memory.write(head.addr, head.value);
-        entries.erase(entries.begin());
+        const StoreBufferEntry &front = entries[head];
+        cache.access(front.addr, now, /*is_write=*/true, front.tid);
+        memory.write(front.addr, front.value);
+        ++head;
         ++drained;
         ++statDrains;
+    }
+    if (head == entries.size()) {
+        entries.clear();
+        head = 0;
     }
     return drained;
 }
@@ -60,12 +77,13 @@ StoreBuffer::forward(ThreadId tid, Addr addr, Tag load_seq) const
 {
     // Entries are sorted oldest-first; scan backwards for the
     // youngest older matching store of the same thread.
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-        if (it->seq >= load_seq)
+    for (std::size_t i = entries.size(); i > head; --i) {
+        const StoreBufferEntry &entry = entries[i - 1];
+        if (entry.seq >= load_seq)
             continue;
-        if (it->tid == tid && it->addr == addr) {
+        if (entry.tid == tid && entry.addr == addr) {
             ++statForwards;
-            return it->value;
+            return entry.value;
         }
     }
     return std::nullopt;
@@ -75,7 +93,8 @@ void
 StoreBuffer::squash(ThreadId tid, Tag after)
 {
     auto end = std::remove_if(
-        entries.begin(), entries.end(),
+        entries.begin() + static_cast<std::ptrdiff_t>(head),
+        entries.end(),
         [&](const StoreBufferEntry &e) {
             if (e.tid == tid && e.seq > after) {
                 sdsp_assert(!e.committed,

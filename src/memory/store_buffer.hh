@@ -50,10 +50,10 @@ class StoreBuffer
     explicit StoreBuffer(unsigned capacity);
 
     /** Is there room for another store? */
-    bool full() const { return entries.size() >= cap; }
+    bool full() const { return size() >= cap; }
 
     /** Current occupancy. */
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return entries.size() - head; }
 
     /** Configured capacity. */
     std::size_t capacity() const { return cap; }
@@ -98,12 +98,14 @@ class StoreBuffer
     void squash(ThreadId tid, Tag after);
 
     /** Any uncommitted or undrained stores left? */
-    bool empty() const { return entries.empty(); }
+    bool empty() const { return size() == 0; }
 
-    /** Entries, oldest first (for tests). */
-    const std::vector<StoreBufferEntry> &contents() const
+    /** Copy of the live entries, oldest first (for tests). */
+    std::vector<StoreBufferEntry> contents() const
     {
-        return entries;
+        return {entries.begin() +
+                    static_cast<std::ptrdiff_t>(head),
+                entries.end()};
     }
 
     /** Report statistics under @p prefix. */
@@ -114,8 +116,20 @@ class StoreBuffer
     void noteFullStall() { ++statFullStalls; }
 
   private:
+    /** Drop the drained prefix [0, head) when it gets large. */
+    void compact();
+
     unsigned cap;
-    std::vector<StoreBufferEntry> entries; //!< sorted by seq, oldest first
+    /**
+     * Live entries are [head, entries.size()), sorted by seq, oldest
+     * first. drain() advances head instead of erasing the front —
+     * erase(begin()) made a full drain of n stores O(n^2), which
+     * dominated deep-store-buffer sweeps. The drained prefix is
+     * reclaimed lazily by compact(), so the vector never holds more
+     * than 2*cap entries.
+     */
+    std::vector<StoreBufferEntry> entries;
+    std::size_t head = 0;
 
     std::uint64_t statInserts = 0;
     std::uint64_t statDrains = 0;

@@ -1,5 +1,7 @@
 #include "tools/cli.hh"
 
+#include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -12,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/processor.hh"
+#include "harness/runner.hh"
 
 namespace sdsp
 {
@@ -27,6 +30,19 @@ parseNumber(const std::string &text)
     char *end = nullptr;
     unsigned long long value = std::strtoull(text.c_str(), &end, 0);
     if (end != text.c_str() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<double>
+parseSeconds(const std::string &text)
+{
+    // from_chars, not strtod: '.' regardless of the process locale.
+    double value = 0.0;
+    const char *begin = text.c_str();
+    const char *end = begin + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end || value < 0.0)
         return std::nullopt;
     return value;
 }
@@ -67,6 +83,7 @@ cliUsage()
            "  --btb-banks N        private per-thread BTBs\n"
            "  --finite-icache      model a finite I-cache\n"
            "  --max-cycles N       simulation cap\n"
+           "  --timeout SECS       wall-clock budget (exit code 3)\n"
            "  --align              section-6.1 code layout pass\n"
            "  --trace              per-cycle event trace\n"
            "  --trace-file PATH    write the text trace to PATH\n"
@@ -99,8 +116,8 @@ parseCliOptions(const std::vector<std::string> &args)
             arg == "--commit" || arg == "--rename" ||
             arg == "--cache-ways" || arg == "--cache-size" ||
             arg == "--cache-partitions" || arg == "--btb-banks" ||
-            arg == "--max-cycles" || arg == "--trace-file" ||
-            arg == "--trace-json") {
+            arg == "--max-cycles" || arg == "--timeout" ||
+            arg == "--trace-file" || arg == "--trace-json") {
             auto value = next_value();
             if (!value)
                 return fail(arg + " needs a value");
@@ -175,6 +192,11 @@ parseCliOptions(const std::vector<std::string> &args)
                 if (!n || *n < 1)
                     return fail("bad bank count: " + *value);
                 options.config.btbBanks = static_cast<unsigned>(*n);
+            } else if (arg == "--timeout") {
+                auto seconds = parseSeconds(*value);
+                if (!seconds)
+                    return fail("bad timeout: " + *value);
+                options.timeoutSeconds = *seconds;
             } else if (arg == "--trace-file") {
                 options.traceFile = *value;
             } else if (arg == "--trace-json") {
@@ -284,11 +306,26 @@ runCli(const CliOptions &options, std::ostream &out,
     if (tracing)
         cpu.setTraceSink(&tee);
 
-    SimResult sim = cpu.run();
+    SimResult sim;
+    bool wall_timed_out = false;
+    if (options.timeoutSeconds > 0.0) {
+        auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options.timeoutSeconds));
+        sim = runToDeadline(cpu, options.config.maxCycles, deadline,
+                            &wall_timed_out);
+    } else {
+        sim = cpu.run();
+    }
     if (tracing)
         tee.finish();
     out << "machine   : " << options.config.toString() << "\n";
-    out << "finished  : " << (sim.finished ? "yes" : "NO (cycle cap)")
+    out << "finished  : "
+        << (sim.finished ? "yes"
+                         : wall_timed_out ? "NO (wall-clock timeout)"
+                                          : "NO (cycle cap)")
         << "\n";
     out << "cycles    : " << sim.cycles << "\n";
     out << "committed : " << sim.committedInstructions << "\n";
@@ -305,7 +342,9 @@ runCli(const CliOptions &options, std::ostream &out,
         cpu.reportStats(registry);
         out << "\n" << registry.toString();
     }
-    return sim.finished ? 0 : 2;
+    if (sim.finished)
+        return 0;
+    return wall_timed_out ? 3 : 2;
 }
 
 } // namespace sdsp

@@ -22,6 +22,7 @@
  *     --btb-banks N        private per-thread BTBs
  *     --finite-icache      model a finite instruction cache
  *     --max-cycles N       simulation cap
+ *     --timeout SECS       wall-clock budget (exit code 3 when hit)
  *     --align              apply the section-6.1 layout optimization
  *     --trace              per-cycle pipeline event trace
  *     --trace-file PATH    write the text trace to PATH
@@ -61,6 +62,9 @@ struct CliOptions
     bool stats = false;
     bool disasmOnly = false;
     bool align = false;
+    /** Wall-clock budget in seconds; 0 = unlimited. A run stopped by
+     *  this budget exits with code 3 (cycle cap stays code 2). */
+    double timeoutSeconds = 0.0;
     /** Set when parsing failed; message explains why. */
     bool ok = true;
     std::string error;
@@ -76,7 +80,8 @@ std::string cliUsage();
  * Assemble and run per @p options, writing output to @p out (and the
  * trace, if enabled, to @p trace_out).
  *
- * @return Process exit code (0 on success).
+ * @return Process exit code: 0 on success, 1 on input errors, 2 when
+ *         the cycle cap stopped the run, 3 when --timeout did.
  */
 int runCli(const CliOptions &options, std::ostream &out,
            std::ostream &trace_out);

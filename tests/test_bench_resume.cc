@@ -1,0 +1,250 @@
+/**
+ * @file
+ * End-to-end tests of the fault-tolerant, resumable sweep, driving
+ * the real sdsp_bench_all binary (path baked in via
+ * SDSP_BENCH_ALL_PATH): inject faults, kill the process mid-grid,
+ * resume from the checkpoint, and require the merged artifact to be
+ * identical to an uninterrupted run in every deterministic field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json_reader.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+/** Fields legitimately different between two runs of the same grid:
+ *  wall-clock measurements and host metadata. Everything else must
+ *  match bit for bit. */
+bool
+isVolatileKey(const std::string &key)
+{
+    return key == "wall_seconds" || key == "sim_seconds" ||
+           key == "sim_cycles_per_second" ||
+           key == "sim_insts_per_second" ||
+           key == "serial_seconds" || key == "host";
+}
+
+/** Recursive equality over parsed JSON, skipping volatile keys.
+ *  Scalars compare by raw token, so 0.1 vs 0.10 would (correctly)
+ *  fail: the artifacts must serialize identically, not just
+ *  numerically close. */
+::testing::AssertionResult
+sameDeterministicJson(const JsonValue &a, const JsonValue &b,
+                      const std::string &where)
+{
+    if (a.kind() != b.kind()) {
+        return ::testing::AssertionFailure()
+               << where << ": kind mismatch (" << a.raw() << " vs "
+               << b.raw() << ")";
+    }
+    if (a.isObject()) {
+        std::vector<std::pair<std::string, const JsonValue *>> am, bm;
+        for (const auto &[key, value] : a.members()) {
+            if (!isVolatileKey(key))
+                am.emplace_back(key, &value);
+        }
+        for (const auto &[key, value] : b.members()) {
+            if (!isVolatileKey(key))
+                bm.emplace_back(key, &value);
+        }
+        if (am.size() != bm.size()) {
+            return ::testing::AssertionFailure()
+                   << where << ": member count " << am.size() << " vs "
+                   << bm.size();
+        }
+        for (std::size_t i = 0; i < am.size(); ++i) {
+            if (am[i].first != bm[i].first) {
+                return ::testing::AssertionFailure()
+                       << where << ": key order \"" << am[i].first
+                       << "\" vs \"" << bm[i].first << "\"";
+            }
+            auto result = sameDeterministicJson(
+                *am[i].second, *bm[i].second,
+                where + "." + am[i].first);
+            if (!result)
+                return result;
+        }
+        return ::testing::AssertionSuccess();
+    }
+    if (a.isArray()) {
+        if (a.items().size() != b.items().size()) {
+            return ::testing::AssertionFailure()
+                   << where << ": length " << a.items().size()
+                   << " vs " << b.items().size();
+        }
+        for (std::size_t i = 0; i < a.items().size(); ++i) {
+            auto result = sameDeterministicJson(
+                a.items()[i], b.items()[i],
+                where + "[" + std::to_string(i) + "]");
+            if (!result)
+                return result;
+        }
+        return ::testing::AssertionSuccess();
+    }
+    if (a.raw() != b.raw()) {
+        return ::testing::AssertionFailure()
+               << where << ": " << a.raw() << " vs " << b.raw();
+    }
+    return ::testing::AssertionSuccess();
+}
+
+class BenchResume : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // ctest runs each TEST_F as its own process, possibly in
+        // parallel; the directory must be unique per test or one
+        // test's rm -rf races another's artifact reads.
+        dir = ::testing::TempDir() + "sdsp_bench_resume_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name() +
+              "/";
+        std::system(("rm -rf '" + dir + "' && mkdir -p '" + dir + "'")
+                        .c_str());
+    }
+
+    /** Run sdsp_bench_all on a small deterministic slice of the
+     *  grid. @return the process exit code. */
+    int
+    run(const std::string &extra_args, const std::string &fault,
+        const char *stdout_name, const char *stderr_name)
+    {
+        std::string command;
+        if (!fault.empty())
+            command += "SDSP_BENCH_FAULT='" + fault + "' ";
+        command += std::string(SDSP_BENCH_ALL_PATH) +
+                   " --jobs 4 --scale 25 --only fig03 " + extra_args +
+                   " > " + dir + stdout_name + " 2> " + dir +
+                   stderr_name;
+        int status = std::system(command.c_str());
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    std::string
+    slurp(const std::string &name) const
+    {
+        std::ifstream file(dir + name);
+        EXPECT_TRUE(file.is_open()) << dir + name;
+        std::ostringstream text;
+        text << file.rdbuf();
+        return text.str();
+    }
+
+    JsonValue
+    artifact(const std::string &name) const
+    {
+        std::string error;
+        std::optional<JsonValue> doc = parseJson(slurp(name), &error);
+        EXPECT_TRUE(doc.has_value()) << name << ": " << error;
+        return doc ? *doc : JsonValue{};
+    }
+
+    std::string dir;
+};
+
+TEST_F(BenchResume, KilledSweepResumesToIdenticalArtifact)
+{
+    // Reference: one uninterrupted, fully verified sweep.
+    ASSERT_EQ(run("--out " + dir + "ref.json --no-checkpoint", "",
+                  "ref.out", "ref.err"),
+              0)
+        << slurp("ref.err");
+
+    // Hard-kill the sweep mid-grid (no unwinding, no flush beyond
+    // the checkpoint's own per-line flushes), exactly like an OOM
+    // kill or a CI timeout.
+    int killed = run("--out " + dir + "b.json --checkpoint " + dir +
+                         "b.ckpt",
+                     "LL3/fig03=exit:9", "b1.out", "b1.err");
+    ASSERT_EQ(killed, 9);
+
+    // Resume. Whatever completed before the kill is restored; the
+    // rest runs now.
+    ASSERT_EQ(run("--out " + dir + "b.json --resume " + dir + "b.ckpt",
+                  "", "b2.out", "b2.err"),
+              0)
+        << slurp("b2.err");
+    EXPECT_NE(slurp("b2.out").find("restored"), std::string::npos);
+
+    auto verdict = sameDeterministicJson(artifact("ref.json"),
+                                         artifact("b.json"), "$");
+    EXPECT_TRUE(verdict);
+
+    // A fully verified resume removes its checkpoint.
+    std::ifstream leftover(dir + "b.ckpt");
+    EXPECT_FALSE(leftover.is_open());
+}
+
+TEST_F(BenchResume, InjectedFailuresAreAllReportedThenResumable)
+{
+    ASSERT_EQ(run("--out " + dir + "ref.json --no-checkpoint", "",
+                  "ref.out", "ref.err"),
+              0)
+        << slurp("ref.err");
+
+    // Two distinct points throw; the sweep must finish anyway, exit
+    // non-zero, and name both in the aggregate report.
+    int rc = run("--out " + dir + "c.json --checkpoint " + dir +
+                     "c.ckpt",
+                 "LL1/fig03=throw;LL5/fig03=throw", "c1.out",
+                 "c1.err");
+    ASSERT_EQ(rc, 1);
+    std::string report = slurp("c1.err");
+    EXPECT_NE(report.find("LL1"), std::string::npos) << report;
+    EXPECT_NE(report.find("LL5"), std::string::npos) << report;
+    EXPECT_NE(report.find("injected fault"), std::string::npos);
+
+    // The artifact still exists and records the failed points with
+    // status and error detail.
+    std::string failed_artifact = slurp("c.json");
+    EXPECT_NE(failed_artifact.find("\"status\":\"failed\""),
+              std::string::npos);
+    EXPECT_NE(failed_artifact.find("injected fault"),
+              std::string::npos);
+
+    // The checkpoint survives a failed sweep, and resuming without
+    // the fault re-runs only the failed points and goes green.
+    ASSERT_EQ(run("--out " + dir + "c.json --resume " + dir + "c.ckpt",
+                  "", "c2.out", "c2.err"),
+              0)
+        << slurp("c2.err");
+    auto verdict = sameDeterministicJson(artifact("ref.json"),
+                                         artifact("c.json"), "$");
+    EXPECT_TRUE(verdict);
+}
+
+TEST_F(BenchResume, ScaleMismatchRefusesToResume)
+{
+    int rc = run("--out " + dir + "d.json --checkpoint " + dir +
+                     "d.ckpt",
+                 "LL1/fig03=throw", "d1.out", "d1.err");
+    ASSERT_EQ(rc, 1);
+
+    // Same checkpoint, different --scale: the loader must refuse
+    // rather than splice incomparable numbers.
+    std::string command =
+        std::string(SDSP_BENCH_ALL_PATH) +
+        " --jobs 2 --scale 50 --only fig03 --out " + dir +
+        "d.json --resume " + dir + "d.ckpt > " + dir + "d2.out 2> " +
+        dir + "d2.err";
+    int status = std::system(command.c_str());
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 1);
+    EXPECT_NE(slurp("d2.err").find("scale"), std::string::npos);
+}
+
+} // namespace
+} // namespace sdsp

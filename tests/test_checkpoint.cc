@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the sweep checkpoint: JSONL round trip, raw-result
+ * preservation, truncated-line tolerance, and identity verification
+ * (suite/scale mismatches are fatal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "harness/artifacts.hh"
+#include "harness/checkpoint.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+class CheckpointFile : public ::testing::Test
+{
+  protected:
+    std::string
+    path(const char *name) const
+    {
+        return ::testing::TempDir() + "sdsp_checkpoint_" + name;
+    }
+
+    /** A real verified run, so result serialization is exercised on
+     *  genuine measurements. */
+    JobOutcome
+    goodOutcome(const SweepJob &job) const
+    {
+        JobOutcome outcome;
+        outcome.result =
+            runWorkload(*job.workload, job.config, job.scale);
+        outcome.status = JobStatus::Ok;
+        outcome.attempts = 1;
+        EXPECT_TRUE(outcome.result.verified)
+            << outcome.result.verifyMessage;
+        return outcome;
+    }
+
+    SweepJob
+    job(const char *name, unsigned threads) const
+    {
+        SweepJob j;
+        j.workload = &workloadByName(name);
+        j.config.numThreads = threads;
+        j.scale = 10;
+        j.label = "fig05";
+        return j;
+    }
+};
+
+TEST_F(CheckpointFile, RoundTripPreservesResultBytes)
+{
+    std::string file = path("roundtrip.jsonl");
+    SweepJob sieve = job("Sieve", 1);
+    SweepJob matrix = job("Matrix", 4);
+    JobOutcome sieve_outcome = goodOutcome(sieve);
+    JobOutcome matrix_outcome = goodOutcome(matrix);
+
+    {
+        CheckpointWriter writer(file, "suite_x", 10, /*append=*/false);
+        ASSERT_TRUE(writer.ok());
+        writer.record(sieve, sieve_outcome);
+        writer.record(matrix, matrix_outcome);
+    }
+
+    CheckpointLog log = loadCheckpoint(file, "suite_x", 10);
+    EXPECT_EQ(log.linesTotal, 2u);
+    EXPECT_EQ(log.linesIgnored, 0u);
+    ASSERT_EQ(log.entries.size(), 2u);
+
+    const CheckpointEntry &entry = log.entries[0];
+    EXPECT_EQ(entry.benchmark, "Sieve");
+    EXPECT_EQ(entry.label, "fig05");
+    EXPECT_EQ(entry.configKey, configKey(sieve.config));
+    EXPECT_EQ(entry.status, "ok");
+    EXPECT_TRUE(entry.ok());
+    EXPECT_EQ(entry.attempts, 1u);
+    EXPECT_EQ(entry.cycles, sieve_outcome.result.cycles);
+    EXPECT_EQ(entry.committed, sieve_outcome.result.committed);
+
+    // The property resume depends on: the stored raw text is exactly
+    // what serializing the result again would produce.
+    JsonWriter expected;
+    appendJson(expected, sieve_outcome.result,
+               /*include_stats=*/false);
+    EXPECT_EQ(entry.resultRaw, expected.str());
+
+    EXPECT_EQ(log.entries[1].benchmark, "Matrix");
+    EXPECT_EQ(log.entries[1].configKey, configKey(matrix.config));
+}
+
+TEST_F(CheckpointFile, FailedOutcomesAreRecordedNotOk)
+{
+    std::string file = path("failed.jsonl");
+    SweepJob sieve = job("Sieve", 1);
+    JobOutcome failed;
+    failed.status = JobStatus::Failed;
+    failed.error = "injected fault: Sieve/fig05 (attempt 0)";
+    failed.attempts = 2;
+    failed.result.benchmark = "Sieve";
+    failed.result.config = sieve.config;
+
+    {
+        CheckpointWriter writer(file, "suite_x", 10, false);
+        writer.record(sieve, failed);
+    }
+    CheckpointLog log = loadCheckpoint(file, "suite_x", 10);
+    ASSERT_EQ(log.entries.size(), 1u);
+    EXPECT_EQ(log.entries[0].status, "failed");
+    EXPECT_FALSE(log.entries[0].ok());
+    EXPECT_EQ(log.entries[0].error, failed.error);
+    EXPECT_EQ(log.entries[0].attempts, 2u);
+}
+
+TEST_F(CheckpointFile, AppendModeKeepsEarlierLines)
+{
+    std::string file = path("append.jsonl");
+    SweepJob sieve = job("Sieve", 1);
+    JobOutcome outcome = goodOutcome(sieve);
+    {
+        CheckpointWriter writer(file, "suite_x", 10, false);
+        writer.record(sieve, outcome);
+    }
+    {
+        CheckpointWriter writer(file, "suite_x", 10, /*append=*/true);
+        writer.record(job("Matrix", 2), goodOutcome(job("Matrix", 2)));
+    }
+    CheckpointLog log = loadCheckpoint(file, "suite_x", 10);
+    ASSERT_EQ(log.entries.size(), 2u);
+    EXPECT_EQ(log.entries[0].benchmark, "Sieve");
+    EXPECT_EQ(log.entries[1].benchmark, "Matrix");
+}
+
+TEST_F(CheckpointFile, ToleratesTornFinalLine)
+{
+    std::string file = path("torn.jsonl");
+    SweepJob sieve = job("Sieve", 1);
+    {
+        CheckpointWriter writer(file, "suite_x", 10, false);
+        writer.record(sieve, goodOutcome(sieve));
+    }
+    // Simulate a hard kill mid-write: a second line cut off halfway.
+    {
+        std::ofstream torn(file, std::ios::app);
+        torn << "{\"v\":1,\"suite\":\"suite_x\",\"scale\":10,\"ben";
+    }
+    CheckpointLog log = loadCheckpoint(file, "suite_x", 10);
+    EXPECT_EQ(log.linesTotal, 2u);
+    EXPECT_EQ(log.linesIgnored, 1u);
+    ASSERT_EQ(log.entries.size(), 1u);
+    EXPECT_EQ(log.entries[0].benchmark, "Sieve");
+}
+
+TEST_F(CheckpointFile, DisabledWriterDegradesGracefully)
+{
+    CheckpointWriter writer("/nonexistent-dir/cp.jsonl", "s", 10,
+                            false);
+    EXPECT_FALSE(writer.ok());
+    SweepJob sieve = job("Sieve", 1);
+    JobOutcome outcome;
+    outcome.status = JobStatus::Failed;
+    outcome.result.benchmark = "Sieve";
+    outcome.result.config = sieve.config;
+    writer.record(sieve, outcome); // must not crash or throw
+}
+
+TEST_F(CheckpointFile, MismatchesAreFatal)
+{
+    std::string file = path("mismatch.jsonl");
+    SweepJob sieve = job("Sieve", 1);
+    {
+        CheckpointWriter writer(file, "suite_x", 10, false);
+        writer.record(sieve, goodOutcome(sieve));
+    }
+    EXPECT_EXIT((void)loadCheckpoint(file, "other_suite", 10),
+                ::testing::ExitedWithCode(1), "suite");
+    EXPECT_EXIT((void)loadCheckpoint(file, "suite_x", 25),
+                ::testing::ExitedWithCode(1), "scale");
+    EXPECT_EXIT((void)loadCheckpoint(path("missing.jsonl"), "suite_x",
+                                     10),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace sdsp

@@ -116,6 +116,17 @@ TEST(CliParse, Errors)
     EXPECT_FALSE(parse({"--what", "prog.s"}).ok);
     EXPECT_FALSE(parse({"a.s", "b.s"}).ok);
     EXPECT_FALSE(parse({"-w", "1,x", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"--timeout", "-1", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"--timeout", "fast", "prog.s"}).ok);
+    EXPECT_FALSE(parse({"--timeout"}).ok);
+}
+
+TEST(CliParse, Timeout)
+{
+    EXPECT_EQ(parse({"prog.s"}).timeoutSeconds, 0.0);
+    CliOptions options = parse({"--timeout", "2.5", "prog.s"});
+    ASSERT_TRUE(options.ok) << options.error;
+    EXPECT_EQ(options.timeoutSeconds, 2.5);
 }
 
 TEST(CliParse, UsageMentionsEveryOption)
@@ -124,9 +135,9 @@ TEST(CliParse, UsageMentionsEveryOption)
     for (const char *token :
          {"-t", "-f", "-s", "-w", "--commit", "--rename",
           "--no-bypass", "--cache-ways", "--cache-partitions",
-          "--btb-banks", "--finite-icache", "--max-cycles", "--align",
-          "--trace", "--trace-file", "--trace-json", "--stats",
-          "--disasm"}) {
+          "--btb-banks", "--finite-icache", "--max-cycles",
+          "--timeout", "--align", "--trace", "--trace-file",
+          "--trace-json", "--stats", "--disasm"}) {
         EXPECT_NE(usage.find(token), std::string::npos) << token;
     }
 }
@@ -304,6 +315,34 @@ TEST_F(CliFile, CycleCapReturnsDistinctCode)
     std::ostringstream out, trace;
     EXPECT_EQ(runCli(options, out, trace), 2);
     EXPECT_NE(out.str().find("NO (cycle cap)"), std::string::npos);
+}
+
+TEST_F(CliFile, WallClockTimeoutReturnsDistinctCode)
+{
+    std::string spin = ::testing::TempDir() + "cli_spin_wall.s";
+    std::ofstream file(spin);
+    file << "forever:\nj forever\n";
+    file.close();
+
+    // The deadline is already expired when the run starts, so the
+    // watchdog fires at the first slice boundary, deterministically.
+    CliOptions options =
+        parse({"--timeout", "0.000000001", spin.c_str()});
+    ASSERT_TRUE(options.ok) << options.error;
+    options.config.numThreads = 1;
+    std::ostringstream out, trace;
+    EXPECT_EQ(runCli(options, out, trace), 3);
+    EXPECT_NE(out.str().find("NO (wall-clock timeout)"),
+              std::string::npos);
+
+    // A generous budget must not change the result of a finishing
+    // run: the deadline path steps the same cycle sequence.
+    CliOptions plain = parse({path.c_str()});
+    CliOptions budgeted = parse({"--timeout", "600", path.c_str()});
+    std::ostringstream plain_out, budgeted_out;
+    EXPECT_EQ(runCli(plain, plain_out, trace), 0);
+    EXPECT_EQ(runCli(budgeted, budgeted_out, trace), 0);
+    EXPECT_EQ(plain_out.str(), budgeted_out.str());
 }
 
 } // namespace

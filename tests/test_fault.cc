@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the fault-injection plan: spec parsing, matching,
+ * attempt scoping, and the injected actions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "harness/fault.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+TEST(FaultPlan, EmptyAndUnsetSpecs)
+{
+    EXPECT_TRUE(FaultPlan().empty());
+    unsetenv("SDSP_BENCH_FAULT");
+    EXPECT_TRUE(FaultPlan::fromEnvironment().empty());
+    FaultPlan().inject("LL1/fig05", 0); // no-op, must not throw
+}
+
+TEST(FaultPlan, ParsesRules)
+{
+    FaultPlan plan = FaultPlan::fromSpec(
+        "LL1/fig05=throw;Matrix=throw*1;Sieve=delay:300;LL3=exit:9");
+    ASSERT_EQ(plan.rules().size(), 4u);
+
+    EXPECT_EQ(plan.rules()[0].match, "LL1/fig05");
+    EXPECT_EQ(plan.rules()[0].action, FaultAction::Throw);
+    EXPECT_EQ(plan.rules()[0].attemptLimit, 0u);
+
+    EXPECT_EQ(plan.rules()[1].match, "Matrix");
+    EXPECT_EQ(plan.rules()[1].attemptLimit, 1u);
+
+    EXPECT_EQ(plan.rules()[2].action, FaultAction::Delay);
+    EXPECT_EQ(plan.rules()[2].delayMillis, 300u);
+
+    EXPECT_EQ(plan.rules()[3].action, FaultAction::Exit);
+    EXPECT_EQ(plan.rules()[3].exitCode, 9);
+}
+
+TEST(FaultPlan, SubstringAndWildcardMatching)
+{
+    FaultPlan plan = FaultPlan::fromSpec("LL1/fig05=throw");
+    EXPECT_TRUE(plan.matches("LL1/fig05", 0));
+    EXPECT_TRUE(plan.matches("LL1/fig05", 7));
+    EXPECT_FALSE(plan.matches("LL1/fig03", 0));
+    EXPECT_FALSE(plan.matches("LL12/fig05", 0));
+
+    FaultPlan substr = FaultPlan::fromSpec("LL1=throw");
+    EXPECT_TRUE(substr.matches("LL1/fig05", 0));
+    EXPECT_TRUE(substr.matches("LL12/fig03", 0))
+        << "plain substring match";
+
+    FaultPlan all = FaultPlan::fromSpec("*=throw");
+    EXPECT_TRUE(all.matches("anything/at-all", 0));
+}
+
+TEST(FaultPlan, AttemptScopedRules)
+{
+    FaultPlan plan = FaultPlan::fromSpec("Matrix=throw*2");
+    EXPECT_TRUE(plan.matches("Matrix/fig05", 0));
+    EXPECT_TRUE(plan.matches("Matrix/fig05", 1));
+    EXPECT_FALSE(plan.matches("Matrix/fig05", 2))
+        << "attempt 2 is past the *2 limit, so the retry succeeds";
+}
+
+TEST(FaultPlan, ThrowInjection)
+{
+    FaultPlan plan = FaultPlan::fromSpec("LL1=throw*1");
+    EXPECT_THROW(
+        {
+            try {
+                plan.inject("LL1/fig05", 0);
+            } catch (const std::runtime_error &err) {
+                EXPECT_NE(std::string(err.what()).find("LL1/fig05"),
+                          std::string::npos)
+                    << "the error names the injected point";
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_NO_THROW(plan.inject("LL1/fig05", 1));
+    EXPECT_NO_THROW(plan.inject("Sieve/fig05", 0));
+}
+
+TEST(FaultPlan, DelayInjectionSleeps)
+{
+    FaultPlan plan = FaultPlan::fromSpec("LL1=delay:30");
+    auto start = std::chrono::steady_clock::now();
+    plan.inject("LL1/fig05", 0);
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    EXPECT_GE(elapsed, 0.025);
+}
+
+TEST(FaultPlanDeathTest, ExitInjectionTerminates)
+{
+    FaultPlan plan = FaultPlan::fromSpec("LL1=exit:9");
+    EXPECT_EXIT(plan.inject("LL1/fig05", 0),
+                ::testing::ExitedWithCode(9), "");
+}
+
+TEST(FaultPlanDeathTest, MalformedSpecsAreFatal)
+{
+    for (const char *bad :
+         {"noequals", "=throw", "LL1=", "LL1=explode", "LL1=delay:",
+          "LL1=delay:x", "LL1=exit:999", "LL1=throw*0",
+          "LL1=throw*9999"}) {
+        EXPECT_EXIT((void)FaultPlan::fromSpec(bad),
+                    ::testing::ExitedWithCode(1), "SDSP_BENCH_FAULT")
+            << bad;
+    }
+}
+
+TEST(FaultPlan, EnvironmentRoundTrip)
+{
+    setenv("SDSP_BENCH_FAULT", "Water=throw*1", 1);
+    FaultPlan plan = FaultPlan::fromEnvironment();
+    ASSERT_EQ(plan.rules().size(), 1u);
+    EXPECT_EQ(plan.rules()[0].match, "Water");
+    unsetenv("SDSP_BENCH_FAULT");
+}
+
+} // namespace
+} // namespace sdsp

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -125,6 +126,55 @@ TEST(JsonWriter, NonFiniteBecomesNull)
         .value(-std::numeric_limits<double>::infinity())
         .endArray();
     EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriter, DoublesIgnoreCommaDecimalLocale)
+{
+    // A %g-based formatter emits "0,5" under a comma-decimal locale,
+    // which is invalid JSON. The writer uses std::to_chars, which is
+    // locale independent by definition; prove it under a real
+    // comma-decimal locale when the host has one installed.
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR",
+                                "it_IT.UTF-8", "nl_NL.UTF-8"};
+    const char *previous = std::setlocale(LC_ALL, nullptr);
+    std::string saved = previous ? previous : "C";
+    const char *active = nullptr;
+    for (const char *name : candidates) {
+        if (std::setlocale(LC_ALL, name) &&
+            std::string(localeconv()->decimal_point) == ",") {
+            active = name;
+            break;
+        }
+    }
+    if (!active) {
+        std::setlocale(LC_ALL, saved.c_str());
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+
+    JsonWriter w;
+    w.beginArray().value(0.5).value(123456.789).value(42.0).endArray();
+    std::string text = w.str();
+    std::setlocale(LC_ALL, saved.c_str());
+
+    EXPECT_EQ(text.find(','), text.rfind(',')) << text;
+    EXPECT_EQ(text, "[0.5,123456.789,42]") << "locale " << active;
+}
+
+TEST(JsonWriter, RawValueSplicesVerbatim)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("status", "ok");
+    w.key("result").rawValue("{\"cycles\":7528,\"ipc\":1.25}");
+    w.field("after", 1u);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"status\":\"ok\",\"result\":"
+                       "{\"cycles\":7528,\"ipc\":1.25},\"after\":1}");
+
+    JsonWriter array;
+    array.beginArray().rawValue("null").value(2u).endArray();
+    EXPECT_EQ(array.str(), "[null,2]");
 }
 
 TEST(JsonWriterDeathTest, MisuseIsDetected)

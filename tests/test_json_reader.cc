@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the JSON reader: values, nesting, escapes, numbers, raw
+ * span preservation, error reporting, and round trips through the
+ * writer (the property the checkpoint resume path depends on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/json.hh"
+#include "common/json_reader.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+JsonValue
+parsed(const std::string &text)
+{
+    std::string error;
+    std::optional<JsonValue> value = parseJson(text, &error);
+    EXPECT_TRUE(value.has_value()) << text << ": " << error;
+    return value ? *value : JsonValue{};
+}
+
+TEST(JsonReader, Scalars)
+{
+    EXPECT_TRUE(parsed("null").isNull());
+    EXPECT_TRUE(parsed("true").asBool());
+    EXPECT_FALSE(parsed("false").asBool());
+    EXPECT_EQ(parsed("42").asDouble(), 42.0);
+    EXPECT_EQ(parsed("-1.5e2").asDouble(), -150.0);
+    EXPECT_EQ(parsed("\"hi\"").asString(), "hi");
+    EXPECT_TRUE(parsed("  [1, 2]  ").isArray());
+}
+
+TEST(JsonReader, NestedStructure)
+{
+    JsonValue doc = parsed(
+        "{\"a\":[1,{\"b\":true}],\"c\":\"x\",\"d\":null}");
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.members().size(), 3u);
+    const JsonValue *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 2u);
+    EXPECT_EQ(a->items()[0].asDouble(), 1.0);
+    const JsonValue *b = a->items()[1].find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->asBool());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonReader, StringEscapes)
+{
+    EXPECT_EQ(parsed("\"a\\\"b\"").asString(), "a\"b");
+    EXPECT_EQ(parsed("\"tab\\there\"").asString(), "tab\there");
+    EXPECT_EQ(parsed("\"\\\\\\/\\b\\f\\n\\r\"").asString(),
+              "\\/\b\f\n\r");
+    EXPECT_EQ(parsed("\"\\u0041\"").asString(), "A");
+    // Multi-byte escape and a surrogate pair.
+    EXPECT_EQ(parsed("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(parsed("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, ExactIntegerRecovery)
+{
+    // A 20-digit uint64 loses precision as a double; toUint64
+    // reparses the original token instead.
+    JsonValue big = parsed("18446744073709551615");
+    ASSERT_TRUE(big.toUint64().has_value());
+    EXPECT_EQ(*big.toUint64(), 18446744073709551615ull);
+
+    EXPECT_FALSE(parsed("-1").toUint64().has_value());
+    EXPECT_FALSE(parsed("1.5").toUint64().has_value());
+    EXPECT_FALSE(parsed("\"7\"").toUint64().has_value());
+    // Exponent forms are doubles, not exact integer tokens.
+    EXPECT_FALSE(parsed("1e3").toUint64().has_value());
+}
+
+TEST(JsonReader, RawSpansAreVerbatim)
+{
+    std::string text =
+        "{\"result\":{\"cycles\":7528,\"ipc\":0.9755590223608944},"
+        "\"next\":1}";
+    JsonValue doc = parsed(text);
+    const JsonValue *result = doc.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->raw(),
+              "{\"cycles\":7528,\"ipc\":0.9755590223608944}");
+
+    // The checkpoint resume property: splicing the raw span back
+    // through the writer reproduces the original bytes.
+    JsonWriter w;
+    w.beginObject();
+    w.key("result").rawValue(result->raw());
+    w.field("next", 1u);
+    w.endObject();
+    EXPECT_EQ(w.str(), text);
+}
+
+TEST(JsonReader, WriterReaderRoundTrip)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "LL1 \"quoted\"\n");
+    w.field("cycles", std::uint64_t{18446744073709551615ull});
+    w.field("ipc", 0.9755590223608944);
+    w.key("tags").beginArray().value("a").value("b").endArray();
+    w.endObject();
+
+    JsonValue doc = parsed(w.str());
+    EXPECT_EQ(doc.find("name")->asString(), "LL1 \"quoted\"\n");
+    EXPECT_EQ(*doc.find("cycles")->toUint64(),
+              18446744073709551615ull);
+    EXPECT_EQ(doc.find("ipc")->asDouble(), 0.9755590223608944);
+    ASSERT_EQ(doc.find("tags")->items().size(), 2u);
+}
+
+TEST(JsonReader, ErrorsNameTheOffset)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+          "01", "1.", "[1] trailing", "{\"a\" 1}", "nan"}) {
+        std::string error;
+        EXPECT_FALSE(parseJson(bad, &error).has_value()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+    std::string error;
+    EXPECT_FALSE(parseJson("[1, x]", &error).has_value());
+    EXPECT_NE(error.find("4"), std::string::npos) << error;
+}
+
+TEST(JsonReader, DepthLimitIsEnforced)
+{
+    std::string deep(400, '[');
+    deep += std::string(400, ']');
+    std::string error;
+    EXPECT_FALSE(parseJson(deep, &error).has_value());
+    EXPECT_NE(error.find("nested"), std::string::npos) << error;
+}
+
+TEST(JsonReader, CheckedAccessorsReturnNullopt)
+{
+    EXPECT_FALSE(parsed("1").toString().has_value());
+    EXPECT_FALSE(parsed("\"x\"").toDouble().has_value());
+    EXPECT_EQ(*parsed("\"x\"").toString(), "x");
+    EXPECT_EQ(*parsed("2.5").toDouble(), 2.5);
+}
+
+} // namespace
+} // namespace sdsp

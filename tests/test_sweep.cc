@@ -127,6 +127,177 @@ TEST(Sweep, ExceptionFromGridPointPropagates)
     }
 }
 
+/** A second failing workload, distinguishable from the first. */
+class OtherThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "OtherThrowing"; }
+    BenchmarkGroup
+    group() const override
+    {
+        return BenchmarkGroup::GroupII;
+    }
+    WorkloadImage
+    build(unsigned, unsigned) const override
+    {
+        throw std::runtime_error("second deliberate failure");
+    }
+};
+
+// Regression test: the engine once rethrew only the first exception,
+// so a grid with two bad points reported one and silently dropped
+// the other (and every result after it). Both failures must be
+// observable, and the good points must still run.
+TEST(Sweep, TwoFailingJobsAreBothObservable)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        ThrowingWorkload bad;
+        OtherThrowingWorkload worse;
+        SweepRunner runner(jobs, SweepOptions{});
+        runner.add(workloadByName("Sieve"), MachineConfig{}, 10);
+        runner.add(bad, MachineConfig{}, 10);
+        runner.add(workloadByName("LL1"), MachineConfig{}, 10);
+        runner.add(worse, MachineConfig{}, 10);
+
+        std::vector<JobOutcome> outcomes = runner.runAll();
+        ASSERT_EQ(outcomes.size(), 4u) << "jobs=" << jobs;
+
+        EXPECT_EQ(outcomes[0].status, JobStatus::Ok);
+        EXPECT_TRUE(outcomes[0].result.verified);
+
+        EXPECT_EQ(outcomes[1].status, JobStatus::Failed);
+        EXPECT_EQ(outcomes[1].error, "deliberate grid-point failure");
+        EXPECT_EQ(outcomes[1].result.benchmark, "Throwing")
+            << "a thrown job still reports its identity";
+        EXPECT_EQ(outcomes[1].attempts, 1u);
+        EXPECT_TRUE(outcomes[1].exception != nullptr);
+
+        EXPECT_EQ(outcomes[2].status, JobStatus::Ok)
+            << "a failure must not take down later points";
+
+        EXPECT_EQ(outcomes[3].status, JobStatus::Failed);
+        EXPECT_EQ(outcomes[3].error, "second deliberate failure");
+    }
+}
+
+TEST(Sweep, RetryRecoversTransientThrow)
+{
+    SweepOptions options;
+    options.retries = 1;
+    options.retryBackoffSeconds = 0.0;
+    options.faults = FaultPlan::fromSpec("Sieve=throw*1");
+
+    SweepRunner runner(1, options);
+    runner.add(workloadByName("Sieve"), MachineConfig{}, 10, "fig05");
+    std::vector<JobOutcome> outcomes = runner.runAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u)
+        << "first attempt hits the injected fault, the retry runs";
+    EXPECT_TRUE(outcomes[0].result.verified);
+    EXPECT_TRUE(outcomes[0].error.empty());
+}
+
+TEST(Sweep, RetriesExhaustOnPersistentThrow)
+{
+    SweepOptions options;
+    options.retries = 2;
+    options.retryBackoffSeconds = 0.0;
+    options.faults = FaultPlan::fromSpec("Sieve=throw");
+
+    SweepRunner runner(1, options);
+    runner.add(workloadByName("Sieve"), MachineConfig{}, 10, "fig05");
+    std::vector<JobOutcome> outcomes = runner.runAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
+    EXPECT_EQ(outcomes[0].attempts, 3u) << "1 try + 2 retries";
+}
+
+TEST(Sweep, CycleBudgetClassifiesAsTimedOut)
+{
+    SweepOptions options;
+    options.maxCycles = 50; // far below any real benchmark
+    SweepRunner runner(1, options);
+    runner.add(workloadByName("Sieve"), MachineConfig{}, 10, "fig05");
+    std::vector<JobOutcome> outcomes = runner.runAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::TimedOut);
+    EXPECT_NE(outcomes[0].error.find("simulated-cycle budget"),
+              std::string::npos)
+        << outcomes[0].error;
+    EXPECT_FALSE(outcomes[0].result.finished);
+    EXPECT_EQ(outcomes[0].exception, nullptr)
+        << "a timeout is a classified outcome, not an exception";
+}
+
+TEST(Sweep, WallClockBudgetClassifiesAsTimedOut)
+{
+    SweepOptions options;
+    options.timeoutSeconds = 1e-9; // already expired at the first
+                                   // slice boundary
+    SweepRunner runner(1, options);
+    MachineConfig cfg; // full-scale LL1 runs far past one slice
+    runner.add(workloadByName("LL1"), cfg, 100, "fig05");
+    std::vector<JobOutcome> outcomes = runner.runAll();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::TimedOut);
+    EXPECT_NE(outcomes[0].error.find("wall-clock budget"),
+              std::string::npos)
+        << outcomes[0].error;
+}
+
+TEST(Sweep, SkippedJobsDoNotRun)
+{
+    SweepRunner runner(2, SweepOptions{});
+    SweepJob skipped;
+    skipped.workload = &workloadByName("Sieve");
+    skipped.scale = 10;
+    skipped.skip = true;
+    runner.add(skipped);
+    runner.add(workloadByName("LL1"), MachineConfig{}, 10);
+
+    std::vector<JobOutcome> outcomes = runner.runAll();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Skipped);
+    EXPECT_EQ(outcomes[0].attempts, 0u);
+    EXPECT_EQ(outcomes[0].result.benchmark, "Sieve")
+        << "identity survives for reporting";
+    EXPECT_FALSE(outcomes[0].result.verified);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Ok);
+}
+
+TEST(Sweep, CompletionCallbackSeesEveryJob)
+{
+    SweepRunner runner(4, SweepOptions{});
+    std::vector<SweepJob> grid = smallGrid();
+    for (SweepJob &job : grid)
+        runner.add(std::move(job));
+
+    // The callback contract: serialized invocations, one per job, so
+    // plain shared state needs no locking.
+    std::vector<bool> seen(runner.pending(), false);
+    std::size_t calls = 0;
+    std::vector<JobOutcome> outcomes =
+        runner.runAll([&](std::size_t index, const JobOutcome &o) {
+            ++calls;
+            ASSERT_LT(index, seen.size());
+            EXPECT_FALSE(seen[index]) << "double completion";
+            seen[index] = true;
+            EXPECT_EQ(o.status, JobStatus::Ok);
+        });
+    EXPECT_EQ(calls, outcomes.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "job " << i << " never completed";
+}
+
+TEST(Sweep, StatusNamesAreStable)
+{
+    EXPECT_STREQ(jobStatusName(JobStatus::Ok), "ok");
+    EXPECT_STREQ(jobStatusName(JobStatus::Failed), "failed");
+    EXPECT_STREQ(jobStatusName(JobStatus::TimedOut), "timed_out");
+    EXPECT_STREQ(jobStatusName(JobStatus::Skipped), "skipped");
+}
+
 TEST(Sweep, DefaultJobsReadsEnvironment)
 {
     setenv("SDSP_BENCH_JOBS", "3", 1);
