@@ -50,6 +50,8 @@
 #include <system_error>
 #include <vector>
 
+#include "analysis/cfg.hh"
+#include "analysis/ilp.hh"
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "harness/artifacts.hh"
@@ -173,6 +175,48 @@ buildSuite()
         }
     }
     return suite;
+}
+
+/**
+ * Static IPC upper bound for every grid point, from the sdsp-lint
+ * dependence analyzer. The dependence summary is a function of the
+ * program text and the FU latency table only, so it is cached per
+ * (workload, threads, latency) and combined with each point's machine
+ * shape. Every verified run is then gated on
+ * measured IPC <= boundAtCycles(cycles); a violation means either the
+ * simulator commits faster than the dependence structure allows (a
+ * core bug) or the analyzer's bound is unsound (an analysis bug).
+ */
+std::vector<StaticIpcBound>
+computeBounds(const std::vector<GridPoint> &points, unsigned scale)
+{
+    std::map<std::string, DependenceSummary> cache;
+    std::vector<StaticIpcBound> bounds;
+    bounds.reserve(points.size());
+    for (const GridPoint &point : points) {
+        const MachineConfig &config = point.config;
+        std::string key = point.workload->name() + "\n" +
+                          std::to_string(config.numThreads);
+        for (unsigned latency : config.fu.latency) {
+            key += ',';
+            key += std::to_string(latency);
+        }
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            WorkloadImage image =
+                point.workload->build(config.numThreads, scale);
+            Cfg cfg = Cfg::build(image.program);
+            DependenceSummary dep = analyzeDependence(
+                cfg, LatencyModel::fromLatencies(config.fu.latency));
+            it = cache.emplace(std::move(key), std::move(dep)).first;
+        }
+        IpcBoundInputs inputs;
+        inputs.numThreads = config.numThreads;
+        inputs.blockSize = config.blockSize;
+        inputs.issueWidth = config.issueWidth;
+        bounds.push_back(staticIpcBound(it->second, inputs));
+    }
+    return bounds;
 }
 
 bool
@@ -303,6 +347,10 @@ main(int argc, char **argv)
     if (points.empty())
         fatal("no grid points match --only %s", filter.c_str());
 
+    // Static IPC ceilings (one per point) that every verified run
+    // must respect.
+    std::vector<StaticIpcBound> bounds = computeBounds(points, scale);
+
     if (out_path.empty()) {
         const char *dir = std::getenv("SDSP_BENCH_JSON");
         if (dir && *dir && ensureOutputDir(dir))
@@ -415,14 +463,44 @@ main(int argc, char **argv)
     // deterministic numbers so a resumed sweep's totals match an
     // uninterrupted one exactly.
     std::size_t failures = 0;
+    std::size_t bound_violations = 0;
     double sim_seconds = 0.0;
     double sim_loop_seconds = 0.0;
     std::uint64_t sim_cycles = 0;
     std::uint64_t sim_insts = 0;
+
+    // A verified run must not out-commit its static dependence bound;
+    // if it does, the simulator or the analyzer is broken. The bound
+    // is a count comparison (committed vs bound * cycles) with a tiny
+    // relative slack for the floating-point bound arithmetic.
+    auto checkBound = [&](std::size_t i, std::uint64_t cycles,
+                          std::uint64_t committed) {
+        if (cycles == 0)
+            return;
+        double limit = bounds[i].boundAtCycles(cycles) *
+                       static_cast<double>(cycles);
+        if (static_cast<double>(committed) <= limit * (1.0 + 1e-9))
+            return;
+        ++bound_violations;
+        std::fprintf(stderr,
+                     "IPC BOUND VIOLATION: %s (%s): committed %llu "
+                     "in %llu cycles (ipc %.4f) exceeds static bound "
+                     "%.4f\n",
+                     points[i].workload->name().c_str(),
+                     points[i].config.toString().c_str(),
+                     static_cast<unsigned long long>(committed),
+                     static_cast<unsigned long long>(cycles),
+                     static_cast<double>(committed) /
+                         static_cast<double>(cycles),
+                     bounds[i].boundAtCycles(cycles));
+    };
+
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (restored[i]) {
             sim_cycles += restored[i]->cycles;
             sim_insts += restored[i]->committed;
+            checkBound(i, restored[i]->cycles,
+                       restored[i]->committed);
             continue;
         }
         const RunResult &result = outcomes[i].result;
@@ -432,6 +510,8 @@ main(int argc, char **argv)
         sim_insts += result.committed;
         if (!outcomes[i].ok())
             ++failures;
+        else
+            checkBound(i, result.cycles, result.committed);
     }
 
     JsonWriter writer;
@@ -444,6 +524,8 @@ main(int argc, char **argv)
     writer.field("jobs", runner.jobs());
     writer.field("grid_points", std::uint64_t{outcomes.size()});
     writer.field("failures", std::uint64_t{failures});
+    writer.field("ipc_bound_violations",
+                 std::uint64_t{bound_violations});
     writer.field("wall_seconds", elapsed);
     writer.field("serial_seconds", sim_seconds);
     writer.field("sim_cycles_total", sim_cycles);
@@ -463,6 +545,10 @@ main(int argc, char **argv)
         for (const std::string &experiment : points[i].experiments)
             writer.value(experiment);
         writer.endArray();
+        // A pure function of the grid point (program text + machine
+        // shape), so restored and fresh runs emit it identically and
+        // resumed artifacts stay byte-identical.
+        writer.field("static_ipc_bound", bounds[i].asymptotic());
         if (restored[i]) {
             // Splice the checkpointed result verbatim: the resumed
             // artifact stays byte-identical to an uninterrupted one.
@@ -512,13 +598,20 @@ main(int argc, char **argv)
         // Fully verified: the checkpoint has served its purpose.
         std::remove(checkpoint_path.c_str());
     }
+    if (bound_violations) {
+        std::fprintf(stderr,
+                     "sdsp_bench_all: %zu run(s) exceed their static "
+                     "IPC bound\n",
+                     bound_violations);
+    }
 
     std::printf("wall %.2fs, serial-equivalent %.2fs (%.1fx), "
-                "%zu/%zu verified (%zu restored from checkpoint)\n",
+                "%zu/%zu verified (%zu restored from checkpoint), "
+                "%zu IPC-bound violations\n",
                 elapsed, sim_seconds,
                 elapsed > 0 ? sim_seconds / elapsed : 0.0,
                 outcomes.size() - failures, outcomes.size(),
-                restored_count);
+                restored_count, bound_violations);
     std::printf("(json written to %s)\n", out_path.c_str());
-    return failures == 0 ? 0 : 1;
+    return failures == 0 && bound_violations == 0 ? 0 : 1;
 }

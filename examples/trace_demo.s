@@ -13,6 +13,7 @@
     .space table 512          # 64 dwords of shared input
     .space out    64          # one output dword per thread (up to 8)
 
+        ldi   r0, 0           # r0 = constant zero for the loop tests
         tid   r2              # r2 = my thread id
         nth   r3              # r3 = number of threads
         ldi   r4, 64          # table length in dwords

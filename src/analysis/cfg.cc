@@ -1,0 +1,161 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace sdsp
+{
+
+namespace
+{
+
+/**
+ * Static target of a direct control transfer as a signed value, so
+ * that branches with negative offsets near address zero do not wrap.
+ */
+std::int64_t
+signedTarget(const Instruction &inst, InstAddr pc)
+{
+    if (inst.isDirectJump())
+        return static_cast<std::int64_t>(inst.imm);
+    return static_cast<std::int64_t>(pc) + inst.imm;
+}
+
+bool
+targetInRange(std::int64_t target, std::size_t size)
+{
+    return target >= 0 && target < static_cast<std::int64_t>(size);
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const Program &program)
+{
+    Cfg cfg;
+    const std::size_t size = program.code.size();
+    cfg.insts_.reserve(size);
+    cfg.valid_.resize(size, false);
+    cfg.blockIndex_.assign(size, kNoBlock);
+
+    // Defensive decode: only words whose opcode field names a defined
+    // opcode go through Instruction::decode (which is fatal on junk).
+    for (std::size_t pc = 0; pc < size; ++pc) {
+        InstWord word = program.code[pc];
+        auto raw = static_cast<std::uint8_t>(word >> 24);
+        if (isValidOpcode(raw)) {
+            cfg.insts_.push_back(Instruction::decode(word));
+            cfg.valid_[pc] = true;
+            if (cfg.insts_.back().isIndirectJump())
+                cfg.indirect_ = true;
+        } else {
+            cfg.insts_.push_back(Instruction{});
+        }
+    }
+    if (size == 0)
+        return cfg;
+
+    // Leaders: entry, direct targets, and whatever follows a control
+    // transfer or an undecodable word (both end a block).
+    std::vector<bool> leader(size, false);
+    if (program.entry < size)
+        leader[program.entry] = true;
+    leader[0] = true;
+    for (std::size_t pc = 0; pc < size; ++pc) {
+        if (!cfg.valid_[pc]) {
+            if (pc + 1 < size)
+                leader[pc + 1] = true;
+            continue;
+        }
+        const Instruction &inst = cfg.insts_[pc];
+        if (!inst.isControl())
+            continue;
+        if (inst.isCondBranch() || inst.isDirectJump()) {
+            std::int64_t target =
+                signedTarget(inst, static_cast<InstAddr>(pc));
+            if (targetInRange(target, size))
+                leader[static_cast<std::size_t>(target)] = true;
+        }
+        if (pc + 1 < size)
+            leader[pc + 1] = true;
+    }
+
+    // Carve blocks.
+    for (std::size_t pc = 0; pc < size; ++pc) {
+        if (leader[pc]) {
+            BasicBlock block;
+            block.first = static_cast<InstAddr>(pc);
+            block.last = block.first;
+            cfg.blocks_.push_back(block);
+        } else {
+            cfg.blocks_.back().last = static_cast<InstAddr>(pc);
+        }
+        cfg.blockIndex_[pc] =
+            static_cast<std::uint32_t>(cfg.blocks_.size() - 1);
+    }
+
+    // Edges.
+    auto addEdge = [&cfg](std::uint32_t from, std::uint32_t to) {
+        cfg.blocks_[from].succs.push_back(to);
+        cfg.blocks_[to].preds.push_back(from);
+    };
+    for (std::uint32_t b = 0; b < cfg.numBlocks(); ++b) {
+        const BasicBlock &block = cfg.blocks_[b];
+        InstAddr pc = block.last;
+        if (!cfg.valid_[pc])
+            continue; // undecodable: treated as an opaque stop
+        const Instruction &inst = cfg.insts_[pc];
+        if (inst.isHalt())
+            continue;
+        if (inst.isIndirectJump()) {
+            // JR: the register could hold any leader address.
+            for (std::uint32_t t = 0; t < cfg.numBlocks(); ++t)
+                addEdge(b, t);
+            continue;
+        }
+        if (inst.isCondBranch() || inst.isDirectJump()) {
+            std::int64_t target = signedTarget(inst, pc);
+            if (targetInRange(target, size))
+                addEdge(b, cfg.blockOf(static_cast<InstAddr>(target)));
+            if (inst.isDirectJump())
+                continue;
+        }
+        // Fallthrough (conditional not-taken, or block cut by a
+        // leader). A block ending at the last instruction without a
+        // control transfer falls off the end: no edge, and lint
+        // reports it.
+        if (pc + 1 < size)
+            addEdge(b, cfg.blockOf(pc + 1));
+    }
+
+    // Dedup edges (JR can double up with fallthrough).
+    for (BasicBlock &block : cfg.blocks_) {
+        auto dedup = [](std::vector<std::uint32_t> &edges) {
+            std::sort(edges.begin(), edges.end());
+            edges.erase(std::unique(edges.begin(), edges.end()),
+                        edges.end());
+        };
+        dedup(block.succs);
+        dedup(block.preds);
+    }
+
+    // Reachability from the entry block.
+    cfg.entryBlock_ = program.entry < size ? cfg.blockOf(program.entry)
+                                           : kNoBlock;
+    if (cfg.entryBlock_ != kNoBlock) {
+        std::vector<std::uint32_t> worklist = {cfg.entryBlock_};
+        cfg.blocks_[cfg.entryBlock_].reachable = true;
+        while (!worklist.empty()) {
+            std::uint32_t b = worklist.back();
+            worklist.pop_back();
+            for (std::uint32_t succ : cfg.blocks_[b].succs) {
+                if (!cfg.blocks_[succ].reachable) {
+                    cfg.blocks_[succ].reachable = true;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+    return cfg;
+}
+
+} // namespace sdsp

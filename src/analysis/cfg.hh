@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Control-flow graph construction over a Program image.
+ *
+ * The analyzer is the admission-control front door for programs that
+ * have not been emitted by our own trusted builders (the future trace
+ * frontend and random-program fuzzer), so construction is defensive:
+ * undecodable words never reach Instruction::decode (which is fatal),
+ * and direct control transfers whose static target lies outside the
+ * code image produce no edge — both conditions surface later as lint
+ * findings instead of crashes.
+ *
+ * Basic blocks are maximal single-entry straight-line runs. Block
+ * leaders are the entry point, every direct branch/jump target, and
+ * every instruction following a control transfer. Edges:
+ *
+ *  - conditional branch: taken target plus fallthrough;
+ *  - direct jump (J/JAL): target only;
+ *  - indirect jump (JR): conservatively, an edge to EVERY block
+ *    leader (the register could hold anything);
+ *  - HALT and undecodable words: no successors;
+ *  - a block ended by a leader (not by control flow): fallthrough.
+ */
+
+#ifndef SDSP_ANALYSIS_CFG_HH
+#define SDSP_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/** One basic block: instructions [first, last], inclusive. */
+struct BasicBlock
+{
+    InstAddr first = 0;
+    InstAddr last = 0;
+    std::vector<std::uint32_t> succs;
+    std::vector<std::uint32_t> preds;
+    /** Reachable from the entry block along CFG edges. */
+    bool reachable = false;
+
+    unsigned size() const { return last - first + 1; }
+};
+
+/** The control-flow graph of one program. */
+class Cfg
+{
+  public:
+    /** Sentinel for "instruction belongs to no block". */
+    static constexpr std::uint32_t kNoBlock = ~0u;
+
+    /** Decode @p program and build its CFG. Never fatal. */
+    static Cfg build(const Program &program);
+
+    /** Decoded instructions; undecodable words appear as NOP. */
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    /** The instruction at @p pc (NOP when undecodable). */
+    const Instruction &inst(InstAddr pc) const { return insts_[pc]; }
+
+    /** True iff the word at @p pc held a defined opcode. */
+    bool decoded(InstAddr pc) const { return valid_[pc]; }
+
+    /** Basic blocks in address order. */
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    const BasicBlock &block(std::uint32_t id) const { return blocks_[id]; }
+
+    std::uint32_t numBlocks() const
+    {
+        return static_cast<std::uint32_t>(blocks_.size());
+    }
+
+    /** Block containing @p pc (kNoBlock only for empty programs). */
+    std::uint32_t blockOf(InstAddr pc) const { return blockIndex_[pc]; }
+
+    /** Block holding the entry point. */
+    std::uint32_t entryBlock() const { return entryBlock_; }
+
+    /** Instruction count of the program. */
+    InstAddr numInsts() const
+    {
+        return static_cast<InstAddr>(insts_.size());
+    }
+
+    /** True iff @p pc is in a block reachable from the entry. */
+    bool
+    reachable(InstAddr pc) const
+    {
+        std::uint32_t b = blockOf(pc);
+        return b != kNoBlock && blocks_[b].reachable;
+    }
+
+    /** The program contains at least one indirect jump (JR). */
+    bool hasIndirectJumps() const { return indirect_; }
+
+  private:
+    std::vector<Instruction> insts_;
+    std::vector<bool> valid_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<std::uint32_t> blockIndex_;
+    std::uint32_t entryBlock_ = kNoBlock;
+    bool indirect_ = false;
+};
+
+} // namespace sdsp
+
+#endif // SDSP_ANALYSIS_CFG_HH

@@ -1,0 +1,191 @@
+#include "analysis/dataflow.hh"
+
+#include "isa/semantics.hh"
+
+namespace sdsp
+{
+
+RegSet
+instReads(const Instruction &inst)
+{
+    RegSet reads;
+    if (inst.readsRs1())
+        reads.set(inst.rs1);
+    if (inst.readsRs2())
+        reads.set(inst.rs2);
+    return reads;
+}
+
+void
+ConstState::meet(const ConstState &other)
+{
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        if (other.kind[r] == ConstKind::Bottom)
+            continue;
+        if (kind[r] == ConstKind::Bottom) {
+            kind[r] = other.kind[r];
+            value[r] = other.value[r];
+            continue;
+        }
+        if (kind[r] == ConstKind::Const &&
+            other.kind[r] == ConstKind::Const && value[r] == other.value[r])
+            continue;
+        kind[r] = ConstKind::Varying;
+        value[r] = 0;
+    }
+}
+
+void
+ConstState::apply(const Instruction &inst, InstAddr pc)
+{
+    if (!inst.writesRd())
+        return;
+    RegIndex rd = inst.rd;
+    // Values that depend on the executing thread or on memory are
+    // never compile-time constants.
+    if (inst.op == Opcode::TID || inst.op == Opcode::NTH ||
+        inst.isLoad()) {
+        kind[rd] = ConstKind::Varying;
+        value[rd] = 0;
+        return;
+    }
+    if (inst.op == Opcode::JAL) {
+        kind[rd] = ConstKind::Const;
+        value[rd] = evalLinkValue(pc);
+        return;
+    }
+    bool foldable = true;
+    if (inst.readsRs1() && kind[inst.rs1] != ConstKind::Const)
+        foldable = false;
+    if (inst.readsRs2() && kind[inst.rs2] != ConstKind::Const)
+        foldable = false;
+    if (!foldable) {
+        kind[rd] = ConstKind::Varying;
+        value[rd] = 0;
+        return;
+    }
+    // tid/nthreads are unused by every foldable opcode.
+    kind[rd] = ConstKind::Const;
+    value[rd] = evalCompute(inst, value[inst.rs1], value[inst.rs2], 0, 1);
+}
+
+ConstState
+ConstState::allVarying()
+{
+    ConstState state;
+    state.kind.fill(ConstKind::Varying);
+    return state;
+}
+
+ConstState
+ConstState::bottom()
+{
+    ConstState state;
+    state.kind.fill(ConstKind::Bottom);
+    return state;
+}
+
+DataflowResult
+DataflowResult::run(const Cfg &cfg)
+{
+    DataflowResult result;
+    const std::uint32_t n = cfg.numBlocks();
+    result.blocks.resize(n);
+    result.constIn.assign(n, ConstState::bottom());
+    if (n == 0)
+        return result;
+
+    // Per-block use/def summaries.
+    for (std::uint32_t b = 0; b < n; ++b) {
+        BlockDataflow &flow = result.blocks[b];
+        const BasicBlock &block = cfg.block(b);
+        for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+            if (!cfg.decoded(pc))
+                continue;
+            const Instruction &inst = cfg.inst(pc);
+            flow.use |= instReads(inst) & ~flow.def;
+            if (instWrites(inst))
+                flow.def.set(inst.rd);
+        }
+    }
+
+    // Backward liveness to a fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t i = n; i-- > 0;) {
+            BlockDataflow &flow = result.blocks[i];
+            RegSet out;
+            for (std::uint32_t succ : cfg.block(i).succs)
+                out |= result.blocks[succ].liveIn;
+            RegSet in = flow.use | (out & ~flow.def);
+            if (out != flow.liveOut || in != flow.liveIn) {
+                flow.liveOut = out;
+                flow.liveIn = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Forward definite assignment over reachable blocks. The entry
+    // block's in-set is empty (nothing is assigned at program start —
+    // architectural zero-initialization is deliberately not credited,
+    // so reliance on it is reported). Other blocks start at "all
+    // assigned" and intersect over reachable predecessors.
+    const std::uint32_t entry = cfg.entryBlock();
+    for (std::uint32_t b = 0; b < n; ++b) {
+        BlockDataflow &flow = result.blocks[b];
+        flow.definiteIn = b == entry ? RegSet{} : RegSet{}.flip();
+        flow.definiteOut = flow.definiteIn | flow.def;
+    }
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t b = 0; b < n; ++b) {
+            if (!cfg.block(b).reachable)
+                continue;
+            BlockDataflow &flow = result.blocks[b];
+            RegSet in;
+            if (b != entry) {
+                in.flip();
+                for (std::uint32_t pred : cfg.block(b).preds) {
+                    if (cfg.block(pred).reachable)
+                        in &= result.blocks[pred].definiteOut;
+                }
+            }
+            RegSet out = in | flow.def;
+            if (in != flow.definiteIn || out != flow.definiteOut) {
+                flow.definiteIn = in;
+                flow.definiteOut = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Forward constant propagation (worklist from the entry block).
+    if (entry != Cfg::kNoBlock) {
+        result.constIn[entry] = ConstState::allVarying();
+        std::vector<std::uint32_t> worklist = {entry};
+        while (!worklist.empty()) {
+            std::uint32_t b = worklist.back();
+            worklist.pop_back();
+            ConstState out = result.constIn[b];
+            const BasicBlock &block = cfg.block(b);
+            for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+                if (cfg.decoded(pc))
+                    out.apply(cfg.inst(pc), pc);
+            }
+            for (std::uint32_t succ : block.succs) {
+                ConstState next = result.constIn[succ];
+                next.meet(out);
+                if (!(next == result.constIn[succ])) {
+                    result.constIn[succ] = next;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace sdsp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Register dataflow analyses over the CFG.
+ *
+ * Three classic bit-vector / lattice analyses, each sized for the
+ * machine's 128 architectural registers:
+ *
+ *  - backward liveness (may be read later) — drives dead-write
+ *    detection;
+ *  - forward definite assignment (must have been written on every
+ *    path from the entry) — drives read-before-write detection; its
+ *    meet is intersection, so a register initialized on only one arm
+ *    of a diamond is correctly reported at a read after the join;
+ *  - forward constant propagation (per-register constant / varying
+ *    lattice, folded with the shared evalCompute semantics) — drives
+ *    provably-out-of-bounds and misaligned memory-access detection.
+ *
+ * All are path-insensitive and conservative in the usual directions:
+ * liveness and definite assignment over-approximate "may read" /
+ * under-approximate "must write", and constant propagation only calls
+ * a value constant when it is constant along every path, so every
+ * diagnostic built on them reports only genuine static facts.
+ */
+
+#ifndef SDSP_ANALYSIS_DATAFLOW_HH
+#define SDSP_ANALYSIS_DATAFLOW_HH
+
+#include <array>
+#include <bitset>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "common/types.hh"
+
+namespace sdsp
+{
+
+/** A set of architectural registers. */
+using RegSet = std::bitset<kNumArchRegs>;
+
+/** Registers read by @p inst (rs1/rs2 per opcode flags). */
+RegSet instReads(const Instruction &inst);
+
+/** True iff @p inst architecturally writes a register. */
+inline bool
+instWrites(const Instruction &inst)
+{
+    return inst.writesRd();
+}
+
+/** Per-block bit-vector summaries and fixpoint results. */
+struct BlockDataflow
+{
+    /** Upward-exposed reads (read before any in-block write). */
+    RegSet use;
+    /** Registers written anywhere in the block. */
+    RegSet def;
+    RegSet liveIn;
+    RegSet liveOut;
+    /** Must-assigned on entry/exit of the block (reachable only). */
+    RegSet definiteIn;
+    RegSet definiteOut;
+};
+
+/** Constant-propagation lattice per register. */
+enum class ConstKind : std::uint8_t
+{
+    Bottom,  //!< no path reaches here yet (identity for the meet)
+    Const,   //!< the same compile-time value on every path
+    Varying, //!< anything else
+};
+
+/** Constant-propagation state at one program point. */
+struct ConstState
+{
+    std::array<ConstKind, kNumArchRegs> kind{};
+    std::array<RegVal, kNumArchRegs> value{};
+
+    bool
+    isConst(RegIndex r) const
+    {
+        return kind[r] == ConstKind::Const;
+    }
+
+    /** Meet with @p other (elementwise lattice meet). */
+    void meet(const ConstState &other);
+
+    /** Apply one instruction's transfer function in place. */
+    void apply(const Instruction &inst, InstAddr pc);
+
+    /** Values of non-Const entries are normalized to zero, so
+     *  structural equality is lattice equality. */
+    bool operator==(const ConstState &other) const = default;
+
+    /** All registers varying (the analysis entry state). */
+    static ConstState allVarying();
+
+    /** All registers bottom (the "unvisited" state). */
+    static ConstState bottom();
+};
+
+/** Results of all register dataflow analyses for one CFG. */
+struct DataflowResult
+{
+    std::vector<BlockDataflow> blocks;
+    /** Constant state at each block entry (reachable blocks only). */
+    std::vector<ConstState> constIn;
+
+    static DataflowResult run(const Cfg &cfg);
+};
+
+} // namespace sdsp
+
+#endif // SDSP_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,473 @@
+#include "analysis/ilp.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace sdsp
+{
+
+LatencyModel
+LatencyModel::unit()
+{
+    LatencyModel model;
+    model.latency.fill(1);
+    return model;
+}
+
+namespace
+{
+
+/** Register dependence heights at one program point. */
+using Heights = std::array<double, kNumArchRegs>;
+
+/**
+ * Reverse postorder over reachable blocks, following forward edges
+ * only once per node (DFS). Used as the processing order for every
+ * forward pass; with back edges removed the order is topological for
+ * reducible graphs, and any residual out-of-order edge only makes the
+ * MIN-join passes more conservative (lower), which is the sound
+ * direction.
+ */
+std::vector<std::uint32_t>
+reversePostorder(const Cfg &cfg)
+{
+    const std::uint32_t n = cfg.numBlocks();
+    std::vector<std::uint8_t> state(n, 0); // 0 new, 1 open, 2 done
+    std::vector<std::uint32_t> order;
+    if (n == 0 || cfg.entryBlock() == Cfg::kNoBlock)
+        return order;
+    // Iterative DFS with an explicit edge cursor.
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(cfg.entryBlock(), 0);
+    state[cfg.entryBlock()] = 1;
+    while (!stack.empty()) {
+        auto &[node, cursor] = stack.back();
+        const auto &succs = cfg.block(node).succs;
+        if (cursor < succs.size()) {
+            std::uint32_t next = succs[cursor++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+/** Immediate dominators via the Cooper-Harvey-Kennedy iteration. */
+std::vector<std::uint32_t>
+immediateDominators(const Cfg &cfg, const std::vector<std::uint32_t> &rpo)
+{
+    const std::uint32_t n = cfg.numBlocks();
+    constexpr std::uint32_t kUndef = ~0u;
+    std::vector<std::uint32_t> idom(n, kUndef);
+    if (rpo.empty())
+        return idom;
+    std::vector<std::uint32_t> rpoIndex(n, kUndef);
+    for (std::uint32_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]] = i;
+    const std::uint32_t entry = cfg.entryBlock();
+    idom[entry] = entry;
+
+    auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t node : rpo) {
+            if (node == entry)
+                continue;
+            std::uint32_t newIdom = kUndef;
+            for (std::uint32_t pred : cfg.block(node).preds) {
+                if (idom[pred] == kUndef)
+                    continue; // unreachable or not yet processed
+                newIdom = newIdom == kUndef ? pred
+                                            : intersect(newIdom, pred);
+            }
+            if (newIdom != kUndef && idom[node] != newIdom) {
+                idom[node] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<std::uint32_t> &idom, std::uint32_t a,
+          std::uint32_t b)
+{
+    constexpr std::uint32_t kUndef = ~0u;
+    if (idom[b] == kUndef)
+        return false;
+    std::uint32_t node = b;
+    while (true) {
+        if (node == a)
+            return true;
+        std::uint32_t up = idom[node];
+        if (up == node || up == kUndef)
+            return a == node;
+        node = up;
+    }
+}
+
+/** Decoded-instruction count of block @p b. */
+std::uint64_t
+decodedInsts(const Cfg &cfg, std::uint32_t b)
+{
+    std::uint64_t count = 0;
+    const BasicBlock &block = cfg.block(b);
+    for (InstAddr pc = block.first; pc <= block.last; ++pc)
+        count += cfg.decoded(pc) ? 1 : 0;
+    return count;
+}
+
+/**
+ * Apply one block's instructions to a height map. Each register write
+ * settles at (max over read source heights) + producer latency; MIN
+ * over merge paths happens at the join, not here.
+ */
+void
+applyBlock(const Cfg &cfg, const LatencyModel &model, std::uint32_t b,
+           Heights &heights)
+{
+    const BasicBlock &block = cfg.block(b);
+    for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+        if (!cfg.decoded(pc))
+            continue;
+        const Instruction &inst = cfg.inst(pc);
+        if (!inst.writesRd())
+            continue;
+        double ready = 0.0;
+        if (inst.readsRs1())
+            ready = std::max(ready, heights[inst.rs1]);
+        if (inst.readsRs2())
+            ready = std::max(ready, heights[inst.rs2]);
+        heights[inst.rd] =
+            ready + static_cast<double>(model.of(inst.info().fuClass));
+    }
+}
+
+void
+minJoin(Heights &into, const Heights &other)
+{
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        into[r] = std::min(into[r], other[r]);
+}
+
+/**
+ * Latency-weighted recurrence of one loop: iterate the loop body's
+ * transfer function (MIN-join at merges, inner back edges excluded)
+ * and measure the stabilized per-iteration growth of the register
+ * height vector. Max-plus growth can oscillate with a short period
+ * around its asymptotic rate; the MINIMUM single-step growth across
+ * the post-warmup window never exceeds that rate (the steps average
+ * to it), so taking the minimum keeps the recurrence a sound lower
+ * bound. For simple accumulator/induction loops the steps are
+ * constant and the minimum is exact.
+ */
+double
+loopRecurrence(const Cfg &cfg, const LatencyModel &model,
+               const std::vector<std::uint32_t> &idom,
+               const std::vector<std::uint32_t> &rpo,
+               const LoopSummary &loop)
+{
+    constexpr unsigned kWarmup = 32;
+    constexpr unsigned kTotal = 64;
+    const double kUnset = std::numeric_limits<double>::infinity();
+
+    std::vector<bool> member(cfg.numBlocks(), false);
+    for (std::uint32_t b : loop.blocks)
+        member[b] = true;
+
+    // Member blocks in reverse postorder, header first.
+    std::vector<std::uint32_t> order;
+    order.reserve(loop.blocks.size());
+    for (std::uint32_t b : rpo) {
+        if (member[b])
+            order.push_back(b);
+    }
+    if (order.empty() || order.front() != loop.header)
+        return 0.0; // degenerate (irreducible JR mesh); claim nothing
+
+    Heights carried{};
+    double prevPeak = 0.0;
+    double minStep = std::numeric_limits<double>::infinity();
+    std::vector<Heights> outState(cfg.numBlocks());
+    for (unsigned iter = 0; iter < kTotal; ++iter) {
+        std::vector<bool> haveIn(cfg.numBlocks(), false);
+        std::vector<Heights> inState(cfg.numBlocks());
+        inState[loop.header] = carried;
+        haveIn[loop.header] = true;
+        for (std::uint32_t b : order) {
+            if (b != loop.header) {
+                // MIN-join over in-loop forward predecessors.
+                Heights in;
+                in.fill(kUnset);
+                bool any = false;
+                for (std::uint32_t pred : cfg.block(b).preds) {
+                    if (!member[pred])
+                        continue;
+                    if (dominates(idom, b, pred))
+                        continue; // back edge (into b)
+                    if (!haveIn[pred])
+                        continue; // stale order: skip, stays lower
+                    if (any) {
+                        minJoin(in, outState[pred]);
+                    } else {
+                        in = outState[pred];
+                        any = true;
+                    }
+                }
+                inState[b] = any ? in : carried;
+                haveIn[b] = true;
+            }
+            outState[b] = inState[b];
+            applyBlock(cfg, model, b, outState[b]);
+        }
+        // Next iteration's header state: MIN over latch outputs.
+        Heights next;
+        bool anyLatch = false;
+        for (std::uint32_t pred : cfg.block(loop.header).preds) {
+            if (!member[pred] || !dominates(idom, loop.header, pred))
+                continue;
+            if (anyLatch) {
+                minJoin(next, outState[pred]);
+            } else {
+                next = outState[pred];
+                anyLatch = true;
+            }
+        }
+        if (!anyLatch)
+            return 0.0;
+        carried = next;
+        double peak = *std::max_element(carried.begin(), carried.end());
+        if (iter >= kWarmup)
+            minStep = std::min(minStep, peak - prevPeak);
+        prevPeak = peak;
+    }
+    return minStep > 0.0 && minStep < kUnset ? minStep : 0.0;
+}
+
+} // namespace
+
+std::int32_t
+DependenceSummary::dominantLoop() const
+{
+    std::int32_t best = -1;
+    std::uint64_t bestInsts = 0;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (loops[i].ownInsts > bestInsts) {
+            bestInsts = loops[i].ownInsts;
+            best = static_cast<std::int32_t>(i);
+        }
+    }
+    return best;
+}
+
+DependenceSummary
+analyzeDependence(const Cfg &cfg, const LatencyModel &model)
+{
+    DependenceSummary dep;
+    const std::uint32_t n = cfg.numBlocks();
+    dep.blockHeight.assign(n, 0.0);
+    dep.innermostLoop.assign(n, -1);
+    if (n == 0)
+        return dep;
+
+    const std::vector<std::uint32_t> rpo = reversePostorder(cfg);
+    const std::vector<std::uint32_t> idom = immediateDominators(cfg, rpo);
+
+    // Instruction counts and FU-class pressure over reachable code.
+    for (std::uint32_t b = 0; b < n; ++b) {
+        if (!cfg.block(b).reachable)
+            continue;
+        const BasicBlock &block = cfg.block(b);
+        for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+            if (!cfg.decoded(pc))
+                continue;
+            ++dep.reachableInsts;
+            ++dep.classCounts[static_cast<unsigned>(
+                cfg.inst(pc).info().fuClass)];
+        }
+    }
+
+    // Natural loops from dominator back edges; merge shared headers.
+    for (std::uint32_t u : rpo) {
+        for (std::uint32_t h : cfg.block(u).succs) {
+            if (!dominates(idom, h, u))
+                continue;
+            // Natural loop of back edge u->h.
+            std::vector<std::uint32_t> body = {h};
+            std::vector<bool> inBody(n, false);
+            inBody[h] = true;
+            std::vector<std::uint32_t> worklist;
+            if (!inBody[u]) {
+                inBody[u] = true;
+                body.push_back(u);
+                worklist.push_back(u);
+            }
+            while (!worklist.empty()) {
+                std::uint32_t node = worklist.back();
+                worklist.pop_back();
+                for (std::uint32_t pred : cfg.block(node).preds) {
+                    if (!cfg.block(pred).reachable || inBody[pred])
+                        continue;
+                    inBody[pred] = true;
+                    body.push_back(pred);
+                    worklist.push_back(pred);
+                }
+            }
+            auto existing = std::find_if(
+                dep.loops.begin(), dep.loops.end(),
+                [h](const LoopSummary &l) { return l.header == h; });
+            if (existing == dep.loops.end()) {
+                LoopSummary loop;
+                loop.header = h;
+                loop.blocks = std::move(body);
+                dep.loops.push_back(std::move(loop));
+            } else {
+                for (std::uint32_t b : body) {
+                    if (std::find(existing->blocks.begin(),
+                                  existing->blocks.end(),
+                                  b) == existing->blocks.end())
+                        existing->blocks.push_back(b);
+                }
+            }
+        }
+    }
+    for (LoopSummary &loop : dep.loops)
+        std::sort(loop.blocks.begin(), loop.blocks.end());
+    std::sort(dep.loops.begin(), dep.loops.end(),
+              [](const LoopSummary &a, const LoopSummary &b) {
+                  return a.header < b.header;
+              });
+
+    // Nesting depth and innermost-loop attribution. Loop A encloses
+    // loop B iff A contains B's header and they differ; ties on
+    // member count cannot happen for distinct natural loops that
+    // contain each other.
+    for (std::size_t i = 0; i < dep.loops.size(); ++i) {
+        unsigned depth = 1;
+        for (std::size_t j = 0; j < dep.loops.size(); ++j) {
+            if (i == j)
+                continue;
+            const LoopSummary &outer = dep.loops[j];
+            if (std::binary_search(outer.blocks.begin(),
+                                   outer.blocks.end(),
+                                   dep.loops[i].header) &&
+                outer.blocks.size() > dep.loops[i].blocks.size())
+                ++depth;
+        }
+        dep.loops[i].depth = depth;
+        dep.maxLoopDepth = std::max(dep.maxLoopDepth, depth);
+    }
+    for (std::size_t i = 0; i < dep.loops.size(); ++i) {
+        for (std::uint32_t b : dep.loops[i].blocks) {
+            std::int32_t cur = dep.innermostLoop[b];
+            if (cur < 0 ||
+                dep.loops[i].depth >
+                    dep.loops[static_cast<std::size_t>(cur)].depth)
+                dep.innermostLoop[b] = static_cast<std::int32_t>(i);
+        }
+    }
+
+    // Loop instruction counts and per-class pressure.
+    for (std::size_t i = 0; i < dep.loops.size(); ++i) {
+        LoopSummary &loop = dep.loops[i];
+        for (std::uint32_t b : loop.blocks) {
+            std::uint64_t count = decodedInsts(cfg, b);
+            loop.totalInsts += count;
+            if (dep.innermostLoop[b] ==
+                static_cast<std::int32_t>(i)) {
+                loop.ownInsts += count;
+                const BasicBlock &block = cfg.block(b);
+                for (InstAddr pc = block.first; pc <= block.last;
+                     ++pc) {
+                    if (cfg.decoded(pc))
+                        ++loop.classCounts[static_cast<unsigned>(
+                            cfg.inst(pc).info().fuClass)];
+                }
+            }
+        }
+    }
+    for (std::uint32_t b = 0; b < n; ++b) {
+        if (cfg.block(b).reachable && dep.innermostLoop[b] < 0)
+            dep.onceInsts += decodedInsts(cfg, b);
+    }
+
+    // Loop recurrences.
+    for (LoopSummary &loop : dep.loops)
+        loop.recurrence = loopRecurrence(cfg, model, idom, rpo, loop);
+
+    // Per-block internal heights and the acyclic critical path
+    // (MAX-join, back edges removed) — informational.
+    std::vector<Heights> dagOut(n);
+    for (std::uint32_t b : rpo) {
+        Heights in{};
+        for (std::uint32_t pred : cfg.block(b).preds) {
+            if (!cfg.block(pred).reachable || dominates(idom, b, pred))
+                continue;
+            for (unsigned r = 0; r < kNumArchRegs; ++r)
+                in[r] = std::max(in[r], dagOut[pred][r]);
+        }
+        Heights local{};
+        applyBlock(cfg, model, b, local);
+        dep.blockHeight[b] =
+            *std::max_element(local.begin(), local.end());
+        dagOut[b] = in;
+        applyBlock(cfg, model, b, dagOut[b]);
+        dep.criticalPath =
+            std::max(dep.criticalPath,
+                     *std::max_element(dagOut[b].begin(),
+                                       dagOut[b].end()));
+    }
+    dep.dagIlp = dep.criticalPath > 0.0
+                     ? static_cast<double>(dep.reachableInsts) /
+                           dep.criticalPath
+                     : static_cast<double>(dep.reachableInsts);
+    return dep;
+}
+
+StaticIpcBound
+staticIpcBound(const DependenceSummary &dep, const IpcBoundInputs &inputs)
+{
+    StaticIpcBound bound;
+    bound.numThreads = inputs.numThreads;
+    bound.fetchLimit = inputs.blockSize;
+    bound.issueLimit = inputs.issueWidth;
+    bound.onceInsts = dep.onceInsts;
+
+    double steady = 0.0;
+    bool anyLoop = false;
+    for (const LoopSummary &loop : dep.loops) {
+        if (loop.ownInsts == 0)
+            continue;
+        anyLoop = true;
+        double term = loop.recurrence > 0.0
+                          ? static_cast<double>(loop.ownInsts) /
+                                loop.recurrence
+                          : static_cast<double>(inputs.blockSize);
+        steady += std::min(static_cast<double>(inputs.blockSize), term);
+    }
+    // A loop-free program is bounded by the transient term alone.
+    bound.perThreadSteady =
+        anyLoop ? std::min(static_cast<double>(inputs.blockSize), steady)
+                : 0.0;
+    return bound;
+}
+
+} // namespace sdsp

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Static dependence-height analysis and the static IPC upper bound.
+ *
+ * The paper measures, by cycle-accurate simulation, how much
+ * instruction- and thread-level parallelism the SDSP workloads expose.
+ * This analyzer derives a cheap analytical ceiling for the same
+ * quantity from the program text alone, in the spirit of the
+ * dependence-structure models of QiMeng-CPU-v2 and the CVA6 analytical
+ * performance model: a latency-weighted register-dependence recurrence
+ * per natural loop, combined with the machine's fetch and issue
+ * ceilings, bounds the IPC any execution can reach.
+ *
+ * Soundness direction: the bound must never be BELOW what the
+ * simulator can measure, so every approximation errs upward:
+ *
+ *  - loop recurrences are computed with a MIN-join at control-flow
+ *    merges (the fastest path bounds value availability from below);
+ *  - inner-loop back edges are ignored when analyzing an outer loop
+ *    (one inner iteration per outer iteration underestimates time);
+ *  - memory dependences (store→load) are ignored entirely;
+ *  - dependent-instruction spacing is the producer's FU latency,
+ *    which full bypassing can meet but never beat.
+ *
+ * The per-thread steady-state bound is
+ *
+ *     min(blockSize, sum over loops L of min(blockSize, own_L/rec_L))
+ *
+ * where own_L counts instructions whose innermost loop is L. It is a
+ * genuine theorem for this machine: a thread's commits decompose into
+ * loop-resident instructions (N_L * own_L) plus straight-line code,
+ * total time T >= max_L (N_L * rec_L), and sum_L a_L / max_L b_L <=
+ * sum_L a_L/b_L; the blockSize clamps hold because a thread fetches at
+ * most one blockSize-wide block per cycle. Straight-line
+ * ("executed-once") code is accounted at gate time as a transient
+ * credit numThreads * onceInsts / cycles on top of the steady term.
+ */
+
+#ifndef SDSP_ANALYSIS_ILP_HH
+#define SDSP_ANALYSIS_ILP_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace sdsp
+{
+
+/** Per-FU-class issue-to-dependent-issue latencies. */
+struct LatencyModel
+{
+    std::array<unsigned, kNumFuClasses> latency{};
+
+    /** All classes at latency 1 (pure dependence-count model). */
+    static LatencyModel unit();
+
+    /** From a per-class latency array (e.g. FuConfig latencies). */
+    static LatencyModel
+    fromLatencies(const std::array<unsigned, kNumFuClasses> &lat)
+    {
+        return LatencyModel{lat};
+    }
+
+    unsigned
+    of(FuClass cls) const
+    {
+        return latency[static_cast<unsigned>(cls)];
+    }
+};
+
+/** One natural loop (loops sharing a header are merged). */
+struct LoopSummary
+{
+    /** Header block id. */
+    std::uint32_t header = 0;
+    /** Member block ids, sorted. */
+    std::vector<std::uint32_t> blocks;
+    /** Nesting depth; 1 = outermost. */
+    unsigned depth = 1;
+    /** Decoded instructions across all member blocks. */
+    std::uint64_t totalInsts = 0;
+    /** Instructions in blocks whose innermost loop is this one. */
+    std::uint64_t ownInsts = 0;
+    /**
+     * Latency-weighted register recurrence: a lower bound on the
+     * cycles one header-to-header iteration must take. Zero when the
+     * loop carries no register dependence.
+     */
+    double recurrence = 0.0;
+    /** Per-FU-class counts over own blocks (one iteration). */
+    std::array<std::uint64_t, kNumFuClasses> classCounts{};
+};
+
+/** Whole-program dependence summary. */
+struct DependenceSummary
+{
+    /** Decoded instructions in reachable blocks. */
+    std::uint64_t reachableInsts = 0;
+    /** Reachable instructions outside every natural loop. */
+    std::uint64_t onceInsts = 0;
+    /**
+     * Latency-weighted dependence height of the acyclic CFG (back
+     * edges removed, MAX-join): the classic critical path of one pass
+     * over the code. Informational only — it is not a sound bound in
+     * the presence of loops.
+     */
+    double criticalPath = 0.0;
+    /** reachableInsts / criticalPath (informational). */
+    double dagIlp = 0.0;
+    /** Natural loops, outermost-first by header address. */
+    std::vector<LoopSummary> loops;
+    /** Deepest loop nesting (0 = no loops). */
+    unsigned maxLoopDepth = 0;
+    /** Per-FU-class counts over all reachable instructions. */
+    std::array<std::uint64_t, kNumFuClasses> classCounts{};
+    /** Per-block internal dependence height (latency-weighted). */
+    std::vector<double> blockHeight;
+    /** Innermost loop index per block (-1 = not in any loop). */
+    std::vector<std::int32_t> innermostLoop;
+
+    /** The loop with the largest ownInsts (the dominant loop), or
+     *  -1 when the program has no loops. */
+    std::int32_t dominantLoop() const;
+};
+
+/** Analyze @p cfg under @p model. */
+DependenceSummary analyzeDependence(const Cfg &cfg,
+                                    const LatencyModel &model);
+
+/** Machine parameters the bound depends on. */
+struct IpcBoundInputs
+{
+    unsigned numThreads = 1;
+    unsigned blockSize = 4;
+    unsigned issueWidth = 8;
+};
+
+/** A static upper bound on machine IPC for one program + machine. */
+struct StaticIpcBound
+{
+    /** One thread fetches one block per cycle: IPC <= blockSize. */
+    double fetchLimit = 0.0;
+    /** IPC <= issueWidth. */
+    double issueLimit = 0.0;
+    /** Steady-state per-thread dependence term (<= blockSize). */
+    double perThreadSteady = 0.0;
+    /** Straight-line instructions credited as a transient. */
+    std::uint64_t onceInsts = 0;
+    unsigned numThreads = 1;
+
+    /** Bound as cycles -> infinity (no transient credit). */
+    double
+    asymptotic() const
+    {
+        double dep = static_cast<double>(numThreads) * perThreadSteady;
+        return std::min({fetchLimit, issueLimit, dep});
+    }
+
+    /**
+     * Bound for a finite run of @p cycles: the steady term plus the
+     * executed-once transient, re-clamped by the hard per-cycle
+     * machine ceilings.
+     */
+    double
+    boundAtCycles(std::uint64_t cycles) const
+    {
+        if (cycles == 0)
+            return fetchLimit;
+        double transient = static_cast<double>(numThreads) *
+                           static_cast<double>(onceInsts) /
+                           static_cast<double>(cycles);
+        double dep =
+            static_cast<double>(numThreads) * perThreadSteady + transient;
+        return std::min({fetchLimit, issueLimit, dep});
+    }
+};
+
+/** Combine a dependence summary with machine parameters. */
+StaticIpcBound staticIpcBound(const DependenceSummary &dep,
+                              const IpcBoundInputs &inputs);
+
+} // namespace sdsp
+
+#endif // SDSP_ANALYSIS_ILP_HH

@@ -1,0 +1,466 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace sdsp
+{
+
+const char *
+lintCodeName(LintCode code)
+{
+    switch (code) {
+      case LintCode::BadOpcode: return "bad-opcode";
+      case LintCode::BadBranchTarget: return "bad-branch-target";
+      case LintCode::FallOffEnd: return "fall-off-end";
+      case LintCode::OobAccess: return "out-of-bounds-access";
+      case LintCode::MisalignedAccess: return "misaligned-access";
+      case LintCode::ReadBeforeWrite: return "read-before-write";
+      case LintCode::UnreachableBlock: return "unreachable-block";
+      case LintCode::DeadWrite: return "dead-write";
+      case LintCode::SpinOutsideLoop: return "spin-outside-loop";
+      case LintCode::TidNthInLoop: return "tid-nth-in-loop";
+    }
+    return "unknown";
+}
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    return severity == LintSeverity::Error ? "error" : "warning";
+}
+
+namespace
+{
+
+class Linter
+{
+  public:
+    Linter(const Program &program, const LintOptions &options)
+        : program_(program), options_(options),
+          cfg_(Cfg::build(program))
+    {
+    }
+
+    LintReport
+    run()
+    {
+        flow_ = DataflowResult::run(cfg_);
+        report_.dependence = analyzeDependence(cfg_, options_.latency);
+        report_.bound =
+            staticIpcBound(report_.dependence, options_.machine);
+        fillStats();
+        checkDecodeAndTargets();
+        checkReachability();
+        checkFallOffEnd();
+        checkReadBeforeWrite();
+        checkDeadWrites();
+        checkMemoryAccesses();
+        checkThreadOps();
+        sortFindings();
+        return std::move(report_);
+    }
+
+  private:
+    void
+    add(LintCode code, LintSeverity severity, InstAddr pc,
+        std::string message)
+    {
+        LintFinding finding;
+        finding.code = code;
+        finding.severity = severity;
+        finding.pc = pc;
+        if (pc < options_.sourceLines.size())
+            finding.line = options_.sourceLines[pc];
+        finding.message = std::move(message);
+        report_.findings.push_back(std::move(finding));
+    }
+
+    void
+    fillStats()
+    {
+        LintStats &stats = report_.stats;
+        stats.numBlocks = cfg_.numBlocks();
+        stats.numInsts = cfg_.numInsts();
+        stats.reachableInsts = report_.dependence.reachableInsts;
+        stats.numLoops =
+            static_cast<std::uint32_t>(report_.dependence.loops.size());
+        stats.maxLoopDepth = report_.dependence.maxLoopDepth;
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            if (cfg_.block(b).reachable)
+                ++stats.reachableBlocks;
+        }
+    }
+
+    void
+    checkDecodeAndTargets()
+    {
+        for (InstAddr pc = 0; pc < cfg_.numInsts(); ++pc) {
+            if (!cfg_.decoded(pc)) {
+                add(LintCode::BadOpcode, LintSeverity::Error, pc,
+                    format("word 0x%08x does not decode to any opcode",
+                           program_.code[pc]));
+                continue;
+            }
+            const Instruction &inst = cfg_.inst(pc);
+            if (!inst.isCondBranch() && !inst.isDirectJump())
+                continue;
+            auto target = static_cast<std::int64_t>(
+                inst.isDirectJump()
+                    ? static_cast<std::int64_t>(inst.imm)
+                    : static_cast<std::int64_t>(pc) + inst.imm);
+            if (target < 0 ||
+                target >= static_cast<std::int64_t>(cfg_.numInsts())) {
+                add(LintCode::BadBranchTarget, LintSeverity::Error, pc,
+                    format("%s targets instruction %lld, outside the "
+                           "%u-instruction image",
+                           opName(inst.op),
+                           static_cast<long long>(target),
+                           cfg_.numInsts()));
+            }
+        }
+    }
+
+    void
+    checkReachability()
+    {
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            const BasicBlock &block = cfg_.block(b);
+            if (block.reachable)
+                continue;
+            bool allNop = true;
+            for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+                if (!cfg_.decoded(pc) ||
+                    cfg_.inst(pc).op != Opcode::NOP) {
+                    allNop = false;
+                    break;
+                }
+            }
+            if (allNop) {
+                // Alignment padding the layout pass inserts behind
+                // unconditional jumps; deliberate, not a finding.
+                ++report_.stats.padBlocks;
+                continue;
+            }
+            add(LintCode::UnreachableBlock, LintSeverity::Warning,
+                block.first,
+                format("block [%u, %u] is unreachable from the entry",
+                       block.first, block.last));
+        }
+    }
+
+    void
+    checkFallOffEnd()
+    {
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            const BasicBlock &block = cfg_.block(b);
+            if (!block.reachable ||
+                block.last + 1 != cfg_.numInsts())
+                continue;
+            if (!cfg_.decoded(block.last))
+                continue; // already a bad-opcode error
+            const Instruction &last = cfg_.inst(block.last);
+            bool canFallThrough = !last.isControl() ||
+                                  last.isCondBranch();
+            if (canFallThrough) {
+                add(LintCode::FallOffEnd, LintSeverity::Error,
+                    block.last,
+                    "execution can run past the last instruction "
+                    "(no terminating HALT or jump)");
+            }
+        }
+    }
+
+    void
+    checkReadBeforeWrite()
+    {
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            const BasicBlock &block = cfg_.block(b);
+            if (!block.reachable)
+                continue;
+            RegSet assigned = flow_.blocks[b].definiteIn;
+            for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+                if (!cfg_.decoded(pc))
+                    continue;
+                const Instruction &inst = cfg_.inst(pc);
+                RegSet reads = instReads(inst);
+                for (unsigned r = 0; r < kNumArchRegs; ++r) {
+                    if (reads.test(r) && !assigned.test(r)) {
+                        add(LintCode::ReadBeforeWrite,
+                            LintSeverity::Error, pc,
+                            format("%s reads r%u, which is not written "
+                                   "on every path from the entry",
+                                   opName(inst.op), r));
+                    }
+                }
+                if (instWrites(inst))
+                    assigned.set(inst.rd);
+            }
+        }
+    }
+
+    void
+    checkDeadWrites()
+    {
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            const BasicBlock &block = cfg_.block(b);
+            if (!block.reachable)
+                continue;
+            RegSet live = flow_.blocks[b].liveOut;
+            for (InstAddr pc = block.last + 1; pc-- > block.first;) {
+                if (!cfg_.decoded(pc))
+                    continue;
+                const Instruction &inst = cfg_.inst(pc);
+                if (instWrites(inst)) {
+                    if (!live.test(inst.rd)) {
+                        add(LintCode::DeadWrite, LintSeverity::Warning,
+                            pc,
+                            format("%s writes r%u, but the value is "
+                                   "never read",
+                                   opName(inst.op), inst.rd));
+                    }
+                    live.reset(inst.rd);
+                }
+                live |= instReads(inst);
+                if (pc == block.first)
+                    break;
+            }
+        }
+    }
+
+    void
+    checkMemoryAccesses()
+    {
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            const BasicBlock &block = cfg_.block(b);
+            if (!block.reachable)
+                continue;
+            ConstState state = flow_.constIn[b];
+            for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+                if (!cfg_.decoded(pc))
+                    continue;
+                const Instruction &inst = cfg_.inst(pc);
+                if ((inst.isLoad() || inst.isStore()) &&
+                    state.isConst(inst.rs1)) {
+                    auto addr = static_cast<std::int64_t>(
+                                    state.value[inst.rs1]) +
+                                inst.imm;
+                    if (addr < 0 ||
+                        addr + 8 > static_cast<std::int64_t>(
+                                       program_.memorySize)) {
+                        add(LintCode::OobAccess, LintSeverity::Error,
+                            pc,
+                            format("%s accesses byte %lld, outside "
+                                   "the %u-byte data memory",
+                                   opName(inst.op),
+                                   static_cast<long long>(addr),
+                                   program_.memorySize));
+                    } else if (addr % 8 != 0) {
+                        add(LintCode::MisalignedAccess,
+                            LintSeverity::Error, pc,
+                            format("%s accesses byte %lld, which is "
+                                   "not 8-byte aligned",
+                                   opName(inst.op),
+                                   static_cast<long long>(addr)));
+                    }
+                }
+                state.apply(inst, pc);
+            }
+        }
+    }
+
+    void
+    checkThreadOps()
+    {
+        for (std::uint32_t b = 0; b < cfg_.numBlocks(); ++b) {
+            const BasicBlock &block = cfg_.block(b);
+            if (!block.reachable)
+                continue;
+            bool inLoop = report_.dependence.innermostLoop[b] >= 0;
+            for (InstAddr pc = block.first; pc <= block.last; ++pc) {
+                if (!cfg_.decoded(pc))
+                    continue;
+                Opcode op = cfg_.inst(pc).op;
+                if (op == Opcode::SPIN && !inLoop) {
+                    add(LintCode::SpinOutsideLoop, LintSeverity::Warning,
+                        pc,
+                        "SPIN marks a busy-wait, but this instruction "
+                        "is not inside any loop");
+                } else if ((op == Opcode::TID || op == Opcode::NTH) &&
+                           inLoop) {
+                    add(LintCode::TidNthInLoop, LintSeverity::Warning,
+                        pc,
+                        format("%s is loop-invariant; query it once "
+                               "before the loop",
+                               opName(op)));
+                }
+            }
+        }
+    }
+
+    void
+    sortFindings()
+    {
+        std::stable_sort(
+            report_.findings.begin(), report_.findings.end(),
+            [](const LintFinding &a, const LintFinding &b) {
+                if (a.pc != b.pc)
+                    return a.pc < b.pc;
+                return static_cast<unsigned>(a.code) <
+                       static_cast<unsigned>(b.code);
+            });
+    }
+
+    const Program &program_;
+    const LintOptions &options_;
+    Cfg cfg_;
+    DataflowResult flow_;
+    LintReport report_;
+};
+
+} // namespace
+
+unsigned
+LintReport::errorCount() const
+{
+    unsigned count = 0;
+    for (const LintFinding &finding : findings)
+        count += finding.severity == LintSeverity::Error ? 1 : 0;
+    return count;
+}
+
+unsigned
+LintReport::warningCount() const
+{
+    return static_cast<unsigned>(findings.size()) - errorCount();
+}
+
+std::string
+LintReport::toText(const std::string &title) const
+{
+    std::string out;
+    out += format("%s: %llu instructions, %u blocks (%u reachable, "
+                  "%u pad), %u loops (max depth %u)\n",
+                  title.c_str(),
+                  static_cast<unsigned long long>(stats.numInsts),
+                  stats.numBlocks, stats.reachableBlocks,
+                  stats.padBlocks, stats.numLoops, stats.maxLoopDepth);
+    out += format("  static IPC bound: %.3f asymptotic "
+                  "(fetch %.0f, issue %.0f, per-thread steady %.3f x "
+                  "%u threads, %llu once-insts)\n",
+                  bound.asymptotic(), bound.fetchLimit,
+                  bound.issueLimit, bound.perThreadSteady,
+                  bound.numThreads,
+                  static_cast<unsigned long long>(bound.onceInsts));
+    out += format("  dag critical path %.1f, dag ilp %.2f\n",
+                  dependence.criticalPath, dependence.dagIlp);
+    out += "  fu pressure:";
+    for (unsigned cls = 0; cls < kNumFuClasses; ++cls) {
+        if (dependence.classCounts[cls] == 0)
+            continue;
+        out += format(" %s %llu", fuClassName(static_cast<FuClass>(cls)),
+                      static_cast<unsigned long long>(
+                          dependence.classCounts[cls]));
+    }
+    out += "\n";
+    for (const LoopSummary &loop : dependence.loops) {
+        out += format("  loop@%u depth %u: %llu own insts "
+                      "(%llu total), recurrence %.2f cycles/iter\n",
+                      loop.header, loop.depth,
+                      static_cast<unsigned long long>(loop.ownInsts),
+                      static_cast<unsigned long long>(loop.totalInsts),
+                      loop.recurrence);
+    }
+    for (const LintFinding &finding : findings) {
+        if (finding.line > 0) {
+            out += format("  %s [%s] pc %u (line %d): %s\n",
+                          lintSeverityName(finding.severity),
+                          lintCodeName(finding.code), finding.pc,
+                          finding.line, finding.message.c_str());
+        } else {
+            out += format("  %s [%s] pc %u: %s\n",
+                          lintSeverityName(finding.severity),
+                          lintCodeName(finding.code), finding.pc,
+                          finding.message.c_str());
+        }
+    }
+    if (clean()) {
+        out += "  clean\n";
+    } else {
+        out += format("  %u error(s), %u warning(s)\n", errorCount(),
+                      warningCount());
+    }
+    return out;
+}
+
+void
+LintReport::appendJson(JsonWriter &writer, const std::string &title) const
+{
+    writer.beginObject();
+    writer.field("program", title);
+    writer.key("stats")
+        .beginObject()
+        .field("instructions", stats.numInsts)
+        .field("blocks", stats.numBlocks)
+        .field("reachable_blocks", stats.reachableBlocks)
+        .field("pad_blocks", stats.padBlocks)
+        .field("reachable_instructions", stats.reachableInsts)
+        .field("loops", stats.numLoops)
+        .field("max_loop_depth", stats.maxLoopDepth)
+        .endObject();
+    writer.key("ilp").beginObject();
+    writer.field("critical_path", dependence.criticalPath);
+    writer.field("dag_ilp", dependence.dagIlp);
+    writer.field("once_instructions", dependence.onceInsts);
+    writer.key("fu_pressure").beginObject();
+    for (unsigned cls = 0; cls < kNumFuClasses; ++cls) {
+        writer.field(fuClassName(static_cast<FuClass>(cls)),
+                     dependence.classCounts[cls]);
+    }
+    writer.endObject();
+    writer.key("loops").beginArray();
+    for (const LoopSummary &loop : dependence.loops) {
+        writer.beginObject()
+            .field("header_pc", loop.header)
+            .field("depth", loop.depth)
+            .field("own_instructions", loop.ownInsts)
+            .field("total_instructions", loop.totalInsts)
+            .field("recurrence", loop.recurrence)
+            .endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+    writer.key("ipc_bound")
+        .beginObject()
+        .field("fetch_limit", bound.fetchLimit)
+        .field("issue_limit", bound.issueLimit)
+        .field("per_thread_steady", bound.perThreadSteady)
+        .field("once_instructions", bound.onceInsts)
+        .field("num_threads", bound.numThreads)
+        .field("asymptotic", bound.asymptotic())
+        .endObject();
+    writer.key("findings").beginArray();
+    for (const LintFinding &finding : findings) {
+        writer.beginObject()
+            .field("code", lintCodeName(finding.code))
+            .field("severity", lintSeverityName(finding.severity))
+            .field("pc", finding.pc)
+            .field("line", finding.line)
+            .field("message", finding.message)
+            .endObject();
+    }
+    writer.endArray();
+    writer.field("errors", errorCount());
+    writer.field("warnings", warningCount());
+    writer.endObject();
+}
+
+LintReport
+lintProgram(const Program &program, const LintOptions &options)
+{
+    return Linter(program, options).run();
+}
+
+} // namespace sdsp

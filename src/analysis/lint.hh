@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The sdsp-lint diagnostic pass: admission control for program images.
+ *
+ * Combines the CFG (cfg.hh), the register dataflow analyses
+ * (dataflow.hh) and the dependence-height analyzer (ilp.hh) into one
+ * report: a list of findings (each tied to an instruction address and,
+ * when the assembler provided a line table, a source line), summary
+ * statistics, the per-FU-class pressure table, and the static IPC
+ * upper bound that sdsp_bench_all uses as a simulator oracle.
+ *
+ * Severity policy: conditions that make an execution architecturally
+ * wrong (undecodable words, branches leaving the image, falling off
+ * the end of the code, provably out-of-bounds or misaligned memory
+ * accesses, a register read before any write on some path) are
+ * errors; conditions that are legal but almost certainly unintended
+ * (unreachable code, dead register writes, SPIN outside a loop,
+ * TID/NTH re-queried inside a loop) are warnings. Both fail the CI
+ * lint gate; the distinction is for human readers.
+ */
+
+#ifndef SDSP_ANALYSIS_LINT_HH
+#define SDSP_ANALYSIS_LINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/ilp.hh"
+#include "common/json.hh"
+
+namespace sdsp
+{
+
+enum class LintSeverity : std::uint8_t
+{
+    Warning,
+    Error,
+};
+
+enum class LintCode : std::uint8_t
+{
+    BadOpcode,        //!< word does not decode to a defined opcode
+    BadBranchTarget,  //!< direct transfer targets a non-instruction
+    FallOffEnd,       //!< reachable path runs past the last instruction
+    OobAccess,        //!< load/store provably outside memorySize
+    MisalignedAccess, //!< load/store provably not 8-byte aligned
+    ReadBeforeWrite,  //!< register read before any write on some path
+    UnreachableBlock, //!< block no path from the entry reaches
+    DeadWrite,        //!< register write never read afterwards
+    SpinOutsideLoop,  //!< SPIN hint not inside any loop
+    TidNthInLoop,     //!< loop-invariant TID/NTH re-queried in a loop
+};
+
+/** Stable machine-readable name of @p code (e.g. "read-before-write"). */
+const char *lintCodeName(LintCode code);
+
+const char *lintSeverityName(LintSeverity severity);
+
+/** One diagnostic. */
+struct LintFinding
+{
+    LintCode code = LintCode::BadOpcode;
+    LintSeverity severity = LintSeverity::Error;
+    /** Instruction address the finding anchors to. */
+    InstAddr pc = 0;
+    /** 1-based source line from the assembler, 0 when unknown. */
+    int line = 0;
+    std::string message;
+};
+
+/** Whole-program summary counters. */
+struct LintStats
+{
+    std::uint32_t numBlocks = 0;
+    std::uint32_t reachableBlocks = 0;
+    /** Unreachable all-NOP blocks (layout padding); not findings. */
+    std::uint32_t padBlocks = 0;
+    std::uint64_t numInsts = 0;
+    std::uint64_t reachableInsts = 0;
+    std::uint32_t numLoops = 0;
+    unsigned maxLoopDepth = 0;
+};
+
+/** Inputs that shape the analysis but not the program itself. */
+struct LintOptions
+{
+    /**
+     * 1-based source line per instruction address (from the
+     * assembler); empty or short vectors mean "unknown".
+     */
+    std::vector<int> sourceLines;
+    /** FU latencies for dependence heights (default: unit). */
+    LatencyModel latency = LatencyModel::unit();
+    /** Machine shape for the reported IPC bound. */
+    IpcBoundInputs machine;
+};
+
+/** The full analysis result for one program. */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+    LintStats stats;
+    DependenceSummary dependence;
+    StaticIpcBound bound;
+
+    bool clean() const { return findings.empty(); }
+    unsigned errorCount() const;
+    unsigned warningCount() const;
+
+    /** Human-readable report; @p title names the program. */
+    std::string toText(const std::string &title) const;
+
+    /** Append the report as one JSON object value. */
+    void appendJson(JsonWriter &writer, const std::string &title) const;
+};
+
+/** Run every analysis and diagnostic over @p program. */
+LintReport lintProgram(const Program &program,
+                       const LintOptions &options = {});
+
+} // namespace sdsp
+
+#endif // SDSP_ANALYSIS_LINT_HH

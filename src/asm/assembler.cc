@@ -403,6 +403,7 @@ assemble(const std::string &source, std::uint32_t extra_memory,
                 line.operands.push_back(parseOperand(part, line_no));
         }
 
+        builder.atLine(line_no);
         if (line.mnemonic[0] == '.') {
             handleDirective(builder, line);
         } else if (line.mnemonic == "li") {
@@ -425,6 +426,7 @@ assemble(const std::string &source, std::uint32_t extra_memory,
     AssemblyResult result;
     result.maxRegisterUsed = builder.maxRegisterUsed();
     result.program = builder.finish(extra_memory, layout);
+    result.sourceLines = builder.sourceLines();
     return result;
 }
 

@@ -46,6 +46,12 @@ struct AssemblyResult
     Program program;
     /** Highest register index named by the source. */
     unsigned maxRegisterUsed = 0;
+    /**
+     * 1-based source line of each instruction, parallel to
+     * program.code (0 for layout padding). Lets sdsp-lint point
+     * findings at the .s line instead of an instruction address.
+     */
+    std::vector<int> sourceLines;
 };
 
 /**

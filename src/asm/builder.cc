@@ -35,11 +35,19 @@ ProgramBuilder::label(const std::string &name)
 }
 
 ProgramBuilder &
+ProgramBuilder::atLine(int line)
+{
+    currentLine = line;
+    return *this;
+}
+
+ProgramBuilder &
 ProgramBuilder::emit(const Instruction &inst)
 {
     sdsp_assert(!finished, "emit() after finish()");
     noteRegs(inst);
     insts.push_back(inst);
+    lines.push_back(currentLine);
     return *this;
 }
 
@@ -324,6 +332,8 @@ ProgramBuilder::insertNops(std::size_t position, unsigned count)
         return;
     insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(position),
                  count, Instruction::makeR(Opcode::NOP, 0, 0, 0));
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(position),
+                 count, 0);
     for (auto &[name, index] : labels) {
         (void)name;
         if (index >= position)

@@ -60,6 +60,13 @@ class ProgramBuilder
     /** Define @p name at the current code position. */
     ProgramBuilder &label(const std::string &name);
 
+    /**
+     * Tag instructions emitted from here on with 1-based source line
+     * @p line (0 = unknown). The text assembler calls this per
+     * statement so lint findings can point at the .s line.
+     */
+    ProgramBuilder &atLine(int line);
+
     /** Append a fully formed instruction. */
     ProgramBuilder &emit(const Instruction &inst);
 
@@ -197,6 +204,13 @@ class ProgramBuilder
     /** True if a code label of this name is defined. */
     bool hasLabel(const std::string &name) const;
 
+    /**
+     * Source line of each emitted instruction (0 = untagged). After
+     * finish() this is parallel to Program::code: layout padding
+     * carries line 0.
+     */
+    const std::vector<int> &sourceLines() const { return lines; }
+
     // ---- Finalization ----
 
     /**
@@ -220,6 +234,8 @@ class ProgramBuilder
     void noteRegs(const Instruction &inst);
 
     std::vector<Instruction> insts;
+    std::vector<int> lines;
+    int currentLine = 0;
     std::vector<Fixup> fixups;
     std::map<std::string, std::size_t> labels;
     std::vector<std::uint8_t> data;

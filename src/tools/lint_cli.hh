@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The sdsp-lint command-line static analyzer.
+ *
+ * Runs the src/analysis passes (CFG, dataflow diagnostics, the static
+ * IPC bound) over assembly files and/or built-in workloads:
+ *
+ *     sdsp-lint [options] [program.s ...]
+ *
+ * Options:
+ *     --workload NAME   analyze a built-in workload (repeatable)
+ *     --all             analyze every built-in and extension workload
+ *     -t N              thread count workloads are built for
+ *                       (default 4; also the bound's thread count)
+ *     --scale N         workload problem scale percent (default 100)
+ *     --align           apply the section-6.1 layout to .s inputs
+ *     --extra-memory N  scratch bytes appended after a .s data
+ *                       section (default 0, matching sdsp-run)
+ *     --json PATH       also write a JSON report ("-" = stdout)
+ *
+ * Exit code 0 when every program is clean, 1 when any finding was
+ * reported, 2 on usage or input errors. The CI lint job runs
+ * `sdsp-lint --all` and `sdsp-lint examples/trace_demo.s` and fails
+ * on any nonzero exit.
+ */
+
+#ifndef SDSP_TOOLS_LINT_CLI_HH
+#define SDSP_TOOLS_LINT_CLI_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp
+{
+
+/** Parsed sdsp-lint invocation. */
+struct LintCliOptions
+{
+    /** Assembly files to analyze. */
+    std::vector<std::string> files;
+    /** Built-in workloads to analyze. */
+    std::vector<std::string> workloads;
+    bool all = false;
+    unsigned threads = 4;
+    unsigned scale = 100;
+    bool align = false;
+    std::uint32_t extraMemory = 0;
+    /** JSON output path; "-" = stdout, empty = none. */
+    std::string jsonPath;
+    /** Set when parsing failed; message explains why. */
+    bool ok = true;
+    std::string error;
+};
+
+/** Parse argv. Never exits; reports problems via ok/error. */
+LintCliOptions parseLintCliOptions(const std::vector<std::string> &args);
+
+/** Human-readable usage text. */
+std::string lintCliUsage();
+
+/**
+ * Analyze per @p options, writing text reports to @p out.
+ *
+ * @return Process exit code: 0 all clean, 1 findings, 2 input error.
+ */
+int runLintCli(const LintCliOptions &options, std::ostream &out);
+
+} // namespace sdsp
+
+#endif // SDSP_TOOLS_LINT_CLI_HH

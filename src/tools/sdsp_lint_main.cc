@@ -1,0 +1,17 @@
+#include <iostream>
+
+#include "tools/lint_cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    sdsp::LintCliOptions options = sdsp::parseLintCliOptions(args);
+    if (!options.ok) {
+        if (!options.error.empty())
+            std::cerr << "sdsp-lint: " << options.error << "\n";
+        std::cerr << sdsp::lintCliUsage();
+        return 2;
+    }
+    return sdsp::runLintCli(options, std::cout);
+}

@@ -446,7 +446,7 @@ LL5Workload::build(unsigned num_threads, unsigned scale) const
     b.ldi(14, 1); // target = rep + 1
 
     b.label("rep");
-    b.mov(11, reg::tid); // k = tid
+    b.add(11, reg::tid, reg::zero); // k = tid
     b.label("bloop");
     b.bge(11, 15, "bend");
     // Wait for the predecessor block: flags[k] >= target.

@@ -67,7 +67,7 @@ MatrixWorkload::build(unsigned num_threads, unsigned scale) const
     b.mul(19, 10, 9);
     b.slli(19, 19, 3);
     b.add(19, 6, 19);  // &A[i][0]
-    b.ldi(11, 0);
+    b.mov(11, reg::zero); // j = 0
     b.label("jloop");
     b.bge(11, 9, "jend");
     b.ldi(13, 0);      // acc = 0.0
@@ -170,7 +170,7 @@ SieveWorkload::build(unsigned num_threads, unsigned scale) const
     b.la(6, "flags").la(7, "primes");
     b.li(8, static_cast<std::int64_t>(base_primes.size()));
 
-    b.ldi(9, 0); // prime index
+    b.mov(9, reg::zero); // prime index
     b.label("ploop");
     b.bge(9, 8, "pend");
     b.slli(12, 9, 3);

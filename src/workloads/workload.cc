@@ -7,6 +7,15 @@
 namespace sdsp
 {
 
+LintReport
+Workload::lint(unsigned num_threads, unsigned scale,
+               LintOptions options) const
+{
+    WorkloadImage image = build(num_threads, scale);
+    options.machine.numThreads = num_threads;
+    return lintProgram(image.program, options);
+}
+
 const std::vector<const Workload *> &
 allWorkloads()
 {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "isa/program.hh"
 #include "memory/main_memory.hh"
 
@@ -82,6 +83,16 @@ class Workload
      */
     virtual WorkloadImage build(unsigned num_threads,
                                 unsigned scale = 100) const = 0;
+
+    /**
+     * Build an instance and run sdsp-lint over it. The machine's
+     * thread count in @p options is overridden with @p num_threads;
+     * other options (latencies, machine shape) pass through. Tests
+     * and the lint CI gate require a clean() report for every
+     * built-in workload.
+     */
+    LintReport lint(unsigned num_threads, unsigned scale = 100,
+                    LintOptions options = {}) const;
 };
 
 /** All eleven benchmarks, Group I first, stable order. */
