@@ -93,6 +93,15 @@ struct TraceEvent
     /** Counter kinds may carry a floating-point value instead. */
     double fval = 0.0;
     bool hasFval = false;
+
+    // ---- CommitInst architectural payload (trace recording) ----
+    /** The committed instruction's 32-bit encoding. */
+    std::uint32_t word = 0;
+    /** Effective byte address (loads/stores; valid iff hasMemAddr). */
+    std::uint64_t memAddr = 0;
+    bool hasMemAddr = false;
+    /** Resolved outcome of a conditional branch. */
+    bool taken = false;
 };
 
 /** Consumer of pipeline events. */

@@ -121,6 +121,15 @@ class FetchUnit
      *  I-cache's per-cycle port window. */
     void tick(Cycle now);
 
+    /** Place @p tid's initial fetch PC (per-thread program entries;
+     *  see Program::threadEntries). Only valid before the first
+     *  cycle. */
+    void
+    setThreadPc(ThreadId tid, InstAddr pc)
+    {
+        threads[tid].pc = pc;
+    }
+
     // ---- Queries ----
 
     /** Has @p tid committed HALT? */

@@ -108,6 +108,19 @@ Processor::Processor(const MachineConfig &config, const Program &program)
         }
     }
 
+    // Trace-stream cocktails start each hardware thread at its own
+    // entry PC; plain programs leave threadEntries empty and every
+    // thread starts at prog.entry as before.
+    if (!prog.threadEntries.empty()) {
+        sdsp_assert(prog.threadEntries.size() >= cfg.numThreads,
+                    "program provides %zu thread entries but the "
+                    "machine has %u threads",
+                    prog.threadEntries.size(), cfg.numThreads);
+        for (unsigned t = 0; t < cfg.numThreads; ++t)
+            fetch.setThreadPc(static_cast<ThreadId>(t),
+                              prog.threadEntries[t]);
+    }
+
     mem.loadProgram(prog);
 }
 
@@ -213,6 +226,15 @@ Processor::commitStage()
             ev.args = {entry.fetchedAt, entry.dispatchedAt,
                        entry.issuedAt, entry.completedAt};
             ev.label = opName(entry.inst.op);
+            ev.word = entry.inst.encode();
+            if (entry.inst.isLoad() || entry.inst.isStore()) {
+                // src1 still holds the base operand at commit, so
+                // this recomputes the address issue used (or reads
+                // the same replay override).
+                ev.memAddr = effectiveAddress(entry);
+                ev.hasMemAddr = true;
+            }
+            ev.taken = entry.resolvedTaken;
             sink->emit(ev);
         }
     }
@@ -353,6 +375,16 @@ Processor::executeEntry(SuEntry &entry)
     }
 }
 
+Addr
+Processor::effectiveAddress(const SuEntry &entry) const
+{
+    if (replayAddrs && entry.pc < replayAddrs->hasAddr.size() &&
+        replayAddrs->hasAddr[entry.pc]) {
+        return replayAddrs->addr[entry.pc];
+    }
+    return evalEffectiveAddress(entry.inst, entry.src1.value);
+}
+
 bool
 Processor::tryIssue(SuEntry &entry)
 {
@@ -376,7 +408,7 @@ Processor::tryIssue(SuEntry &entry)
             cycleFlags[entry.tid] |= kFlagMemOrder;
             return false;
         }
-        Addr addr = evalEffectiveAddress(inst, entry.src1.value);
+        Addr addr = effectiveAddress(entry);
         std::optional<RegVal> forwarded =
             sb.forward(entry.tid, addr, entry.seq);
         if (forwarded) {
@@ -415,21 +447,19 @@ Processor::tryIssue(SuEntry &entry)
             entry.result = in_bounds ? mem.read(addr) : 0;
         }
     } else if (inst.isStore()) {
-        if (sb.full()) {
+        // A slot stays reserved for every unbuffered store at or
+        // below this entry's block: the buffer drains in global tag
+        // order, so its head cannot retire until the head's whole
+        // block commits — which needs every store of that block (and
+        // of the blocks below it) to reach the buffer first (see
+        // SU::countUnbufferedStoresThrough).
+        if (sb.capacity() - sb.size() <=
+            su.countUnbufferedStoresThrough(entry)) {
             sb.noteFullStall();
             cycleFlags[entry.tid] |= kFlagSbFull;
             return false;
         }
-        // The last buffer slot is reserved for the globally oldest
-        // unbuffered store; this keeps the FIFO drain deadlock-free
-        // even with tiny buffers (see SU::hasOlderUnbufferedStore).
-        if (sb.size() + 1 >= sb.capacity() &&
-            su.hasOlderUnbufferedStore(entry.seq)) {
-            sb.noteFullStall();
-            cycleFlags[entry.tid] |= kFlagSbFull;
-            return false;
-        }
-        Addr addr = evalEffectiveAddress(inst, entry.src1.value);
+        Addr addr = effectiveAddress(entry);
         sb.insert(entry.seq, entry.tid, addr, entry.src2.value);
         su.markStoreBuffered(entry);
     }

@@ -81,6 +81,22 @@ inline constexpr unsigned kNumStallReasons = 10;
 /** Stable kebab-free name of @p reason (stats / JSON key). */
 const char *stallReasonName(StallReason reason);
 
+/**
+ * Per-PC effective-address overrides for trace-stream replay.
+ *
+ * A flattened replay stream gives every dynamic load/store its own
+ * unique instruction address, so binding recorded effective addresses
+ * by PC is exact and — unlike a consume-in-order cursor — immune to
+ * wrong-path issues and squashes: however often a PC is re-dispatched
+ * speculatively, it always resolves to the same recorded address.
+ */
+struct ReplayAddressSource
+{
+    /** hasAddr[pc] != 0 iff addr[pc] overrides the computed address. */
+    std::vector<std::uint8_t> hasAddr;
+    std::vector<Addr> addr;
+};
+
 /** Aggregate outcome of a simulation run. */
 struct SimResult
 {
@@ -198,6 +214,15 @@ class Processor
      *  The sink must outlive the processor or be detached first. */
     void setTraceSink(TraceSink *s) { sink = s; }
 
+    /** Override load/store effective addresses per PC (trace-stream
+     *  replay); nullptr restores computed addressing. The source must
+     *  outlive the processor or be detached first. */
+    void
+    setReplayAddresses(const ReplayAddressSource *source)
+    {
+        replayAddrs = source;
+    }
+
     /** Attach the classic text trace (nullptr disables): wraps
      *  @p out in an owned TextTraceSink, preserving the historical
      *  `--trace` line format byte-for-byte. */
@@ -230,6 +255,11 @@ class Processor
 
     /** Try to issue one entry; true on success. */
     bool tryIssue(SuEntry &entry);
+
+    /** Effective address of a load/store entry: the recorded replay
+     *  address for this PC when one is attached, else computed from
+     *  the base operand. */
+    Addr effectiveAddress(const SuEntry &entry) const;
 
     /** Execute the architectural work of @p entry at issue time. */
     void executeEntry(SuEntry &entry);
@@ -274,6 +304,8 @@ class Processor
 
     /** Event consumer; nullptr = tracing off (the zero-cost case). */
     TraceSink *sink = nullptr;
+    /** Per-PC address overrides; nullptr = computed addressing. */
+    const ReplayAddressSource *replayAddrs = nullptr;
     /** Owned wrapper backing setTrace(std::ostream *). */
     std::unique_ptr<TextTraceSink> ownedTextSink;
 

@@ -36,10 +36,12 @@
 #ifndef SDSP_CORE_SU_HH
 #define SDSP_CORE_SU_HH
 
+#include <cstddef>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats_registry.hh"
 #include "common/types.hh"
 #include "core/config.hh"
@@ -316,6 +318,41 @@ class SchedulingUnit
                 return true;
         }
         return false;
+    }
+
+    /**
+     * Number of stores (any thread) not yet in the store buffer, in
+     * blocks strictly below @p target's block or in @p target's own
+     * block, excluding @p target itself.
+     *
+     * The store buffer drains in global tag order from its head, and
+     * an SU block only commits whole; so before @p target may claim a
+     * buffer slot there must remain a free slot for every such store
+     * — otherwise a block with several stores can wedge with some
+     * buffered and the rest locked out of a full buffer, and the
+     * buffer's head (in that block) never becomes committable.
+     */
+    std::size_t
+    countUnbufferedStoresThrough(const SuEntry &target) const
+    {
+        std::size_t count = 0;
+        for (const auto &block : blocks) {
+            bool target_here = false;
+            for (const auto &entry : block.entries) {
+                if (!entry.valid)
+                    continue;
+                if (&entry == &target) {
+                    target_here = true;
+                    continue;
+                }
+                if (entry.inst.isStore() && !entry.storeBuffered)
+                    ++count;
+            }
+            if (target_here)
+                return count;
+        }
+        sdsp_assert(false, "store entry not resident in the SU");
+        return count;
     }
 
     /**

@@ -1,0 +1,352 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+FuzzShape
+FuzzShape::preset(const std::string &name)
+{
+    FuzzShape shape;
+    shape.name = name;
+    if (name == "smoke") {
+        // The defaults: a bit of everything.
+    } else if (name == "branchy") {
+        shape.branchDensity = 0.35;
+        shape.loopDensity = 0.04;
+        shape.maxBodyOps = 128;
+    } else if (name == "loopy") {
+        shape.loopDensity = 0.18;
+        shape.maxLoopDepth = 3;
+        shape.maxLoopTrips = 8;
+        shape.minBodyOps = 16;
+        shape.maxBodyOps = 48;
+    } else if (name == "memory") {
+        shape.memDensity = 0.55;
+        shape.branchDensity = 0.06;
+    } else if (name == "deep") {
+        shape.depChainBias = 90;
+        shape.fpDensity = 0.2;
+        shape.mulDivDensity = 0.2;
+        shape.branchDensity = 0.05;
+    } else {
+        fatal("unknown fuzz shape '%s' (try: smoke branchy loopy "
+              "memory deep)",
+              name.c_str());
+    }
+    return shape;
+}
+
+const std::vector<std::string> &
+FuzzShape::presetNames()
+{
+    static const std::vector<std::string> names = {
+        "smoke", "branchy", "loopy", "memory", "deep"};
+    return names;
+}
+
+namespace
+{
+
+/** Register plan: fixed roles below the value pool. */
+struct RegPlan
+{
+    RegIndex zero = 0; //!< constant 0 (loop compare)
+    RegIndex base = 1; //!< TID << 9 memory base
+    RegIndex firstCounter = 2;
+    unsigned counters;
+    RegIndex firstPool;
+    unsigned pool;
+
+    explicit RegPlan(const FuzzShape &shape)
+    {
+        counters = std::max(1u, shape.maxLoopDepth);
+        firstPool = static_cast<RegIndex>(2 + counters);
+        // Stay inside the 8-thread partition (128/8 = 16 registers).
+        unsigned budget = kNumArchRegs / kFuzzMaxThreads;
+        sdsp_assert(firstPool < budget, "register plan overflow");
+        pool = std::min(shape.poolRegs,
+                        budget - static_cast<unsigned>(firstPool));
+        sdsp_assert(pool >= 2, "need at least two pool registers");
+    }
+};
+
+class Generator
+{
+  public:
+    Generator(const FuzzShape &shape, std::uint64_t seed)
+        : shape_(shape), plan_(shape), rng_(seed ? seed : 1)
+    {
+    }
+
+    Program run();
+
+  private:
+    RegIndex
+    poolReg(unsigned index) const
+    {
+        return static_cast<RegIndex>(plan_.firstPool + index);
+    }
+
+    RegIndex
+    randomPoolReg()
+    {
+        return poolReg(static_cast<unsigned>(
+            rng_.nextBelow(plan_.pool)));
+    }
+
+    /** A source operand, biased toward the latest write. */
+    RegIndex
+    sourceReg()
+    {
+        if (rng_.nextBelow(100) < shape_.depChainBias)
+            return lastWritten_;
+        return randomPoolReg();
+    }
+
+    RegIndex
+    destReg()
+    {
+        RegIndex rd = randomPoolReg();
+        lastWritten_ = rd;
+        return rd;
+    }
+
+    void
+    emit(Instruction inst)
+    {
+        code_.push_back(inst);
+    }
+
+    /** An 8-aligned offset into this thread's 512-byte partition
+     *  (slots 48..63 are reserved for the epilogue). */
+    std::int32_t
+    randomOffset()
+    {
+        return static_cast<std::int32_t>(8 * rng_.nextBelow(48));
+    }
+
+    void emitPlainOp();
+    void emitForwardBranch(unsigned budget_left);
+    void emitLoop(unsigned depth, unsigned budget);
+    void emitBody(unsigned depth, unsigned budget);
+
+    const FuzzShape &shape_;
+    RegPlan plan_;
+    Xorshift64 rng_;
+    std::vector<Instruction> code_;
+    RegIndex lastWritten_ = 0;
+};
+
+void
+Generator::emitPlainOp()
+{
+    double roll = rng_.nextDouble();
+
+    if (roll < shape_.memDensity) {
+        if (rng_.nextBelow(2) == 0) {
+            emit(Instruction::makeI(Opcode::LD, destReg(), plan_.base,
+                                    randomOffset()));
+        } else {
+            emit(Instruction::makeB(Opcode::ST, plan_.base,
+                                    sourceReg(), randomOffset()));
+        }
+        return;
+    }
+    roll -= shape_.memDensity;
+
+    if (roll < shape_.fpDensity) {
+        static const Opcode kFpOps[] = {
+            Opcode::FADD, Opcode::FSUB,   Opcode::FNEG,
+            Opcode::FABS, Opcode::FCMPLT, Opcode::FCMPLE,
+            Opcode::FCMPEQ, Opcode::CVTIF, Opcode::CVTFI,
+            Opcode::FMUL, Opcode::FDIV,   Opcode::FSQRT,
+        };
+        Opcode op = kFpOps[rng_.nextBelow(std::size(kFpOps))];
+        RegIndex rs1 = sourceReg();
+        RegIndex rs2 = opInfo(op).flags & kReadsRs2 ? sourceReg()
+                                                    : RegIndex{0};
+        emit(Instruction::makeR(op, destReg(), rs1, rs2));
+        return;
+    }
+    roll -= shape_.fpDensity;
+
+    if (roll < shape_.mulDivDensity) {
+        static const Opcode kMulDivOps[] = {Opcode::MUL, Opcode::DIV,
+                                            Opcode::REM};
+        Opcode op = kMulDivOps[rng_.nextBelow(std::size(kMulDivOps))];
+        emit(Instruction::makeR(op, destReg(), sourceReg(),
+                                sourceReg()));
+        return;
+    }
+
+    switch (rng_.nextBelow(12)) {
+      case 0:
+        emit(Instruction::makeI(Opcode::ADDI, destReg(), sourceReg(),
+                                static_cast<std::int32_t>(
+                                    rng_.nextBelow(64)) -
+                                    32));
+        return;
+      case 1:
+        emit(Instruction::makeI(Opcode::SLLI, destReg(), sourceReg(),
+                                static_cast<std::int32_t>(
+                                    rng_.nextBelow(8))));
+        return;
+      case 2:
+        emit(Instruction::makeI(Opcode::SRLI, destReg(), sourceReg(),
+                                static_cast<std::int32_t>(
+                                    rng_.nextBelow(8))));
+        return;
+      case 3:
+        emit(Instruction::makeI(Opcode::LDI, destReg(), 0,
+                                static_cast<std::int32_t>(
+                                    rng_.nextBelow(512)) -
+                                    256));
+        return;
+      case 4:
+        emit(Instruction::makeR(Opcode::SLT, destReg(), sourceReg(),
+                                sourceReg()));
+        return;
+      default: {
+        static const Opcode kAluOps[] = {Opcode::ADD, Opcode::SUB,
+                                         Opcode::AND, Opcode::OR,
+                                         Opcode::XOR, Opcode::SLTU};
+        Opcode op = kAluOps[rng_.nextBelow(std::size(kAluOps))];
+        emit(Instruction::makeR(op, destReg(), sourceReg(),
+                                sourceReg()));
+        return;
+      }
+    }
+}
+
+void
+Generator::emitForwardBranch(unsigned budget_left)
+{
+    unsigned skip = 1 + static_cast<unsigned>(rng_.nextBelow(
+                            std::min(budget_left, 5u)));
+
+    if (rng_.nextBelow(5) == 0) {
+        // Unconditional forward jump (J, occasionally JAL).
+        auto target = static_cast<std::int32_t>(code_.size() + 1 +
+                                                skip);
+        if (rng_.nextBelow(3) == 0) {
+            emit(Instruction::makeJ(Opcode::JAL, destReg(), target));
+        } else {
+            emit(Instruction::makeJ(Opcode::J, 0, target));
+        }
+    } else {
+        static const Opcode kBranchOps[] = {Opcode::BEQ, Opcode::BNE,
+                                            Opcode::BLT, Opcode::BGE};
+        Opcode op = kBranchOps[rng_.nextBelow(std::size(kBranchOps))];
+        emit(Instruction::makeB(op, sourceReg(), sourceReg(),
+                                static_cast<std::int32_t>(skip + 1)));
+    }
+    for (unsigned i = 0; i < skip; ++i)
+        emitPlainOp();
+}
+
+void
+Generator::emitLoop(unsigned depth, unsigned budget)
+{
+    auto counter =
+        static_cast<RegIndex>(plan_.firstCounter + depth);
+    auto trips = static_cast<std::int32_t>(
+        1 + rng_.nextBelow(shape_.maxLoopTrips));
+
+    emit(Instruction::makeI(Opcode::LDI, counter, 0, trips));
+    auto loop_start = static_cast<std::int32_t>(code_.size());
+    emitBody(depth + 1, budget);
+    emit(Instruction::makeI(Opcode::ADDI, counter, counter, -1));
+    // Back edge: counters are never written by the body, so the trip
+    // count is exact and the loop always terminates.
+    auto backedge_at = static_cast<std::int32_t>(code_.size());
+    emit(Instruction::makeB(Opcode::BNE, counter, plan_.zero,
+                            loop_start - backedge_at));
+}
+
+void
+Generator::emitBody(unsigned depth, unsigned budget)
+{
+    unsigned emitted = 0;
+    while (emitted < budget) {
+        unsigned left = budget - emitted;
+        double roll = rng_.nextDouble();
+        if (roll < shape_.loopDensity && depth < shape_.maxLoopDepth &&
+            left >= 8) {
+            unsigned inner = 2 + static_cast<unsigned>(
+                                     rng_.nextBelow(left / 2));
+            emitLoop(depth, inner);
+            emitted += inner + 3;
+        } else if (roll < shape_.loopDensity + shape_.branchDensity &&
+                   left >= 3) {
+            emitForwardBranch(left - 1);
+            emitted += 3;
+        } else {
+            emitPlainOp();
+            emitted += 1;
+        }
+    }
+}
+
+Program
+Generator::run()
+{
+    // ---- Prologue: give every named register a defined value ----
+    emit(Instruction::makeI(Opcode::LDI, plan_.zero, 0, 0));
+    emit(Instruction::makeR(Opcode::TID, plan_.base, 0, 0));
+    emit(Instruction::makeI(Opcode::SLLI, plan_.base, plan_.base, 9));
+    for (unsigned i = 0; i < plan_.pool; ++i) {
+        switch (rng_.nextBelow(4)) {
+          case 0:
+            emit(Instruction::makeR(Opcode::TID, poolReg(i), 0, 0));
+            break;
+          case 1:
+            emit(Instruction::makeR(Opcode::NTH, poolReg(i), 0, 0));
+            break;
+          default:
+            emit(Instruction::makeI(
+                Opcode::LDI, poolReg(i), 0,
+                static_cast<std::int32_t>(rng_.nextBelow(512)) - 256));
+            break;
+        }
+    }
+    lastWritten_ = poolReg(plan_.pool - 1);
+
+    // ---- Body ----
+    unsigned span = shape_.maxBodyOps - shape_.minBodyOps + 1;
+    unsigned budget = shape_.minBodyOps +
+                      static_cast<unsigned>(rng_.nextBelow(span));
+    emitBody(0, budget);
+
+    // ---- Epilogue: spill the pool so the memory image captures the
+    // register state (and intermediate writes are not dead) ----
+    for (unsigned i = 0; i < plan_.pool; ++i) {
+        emit(Instruction::makeB(Opcode::ST, plan_.base, poolReg(i),
+                                static_cast<std::int32_t>(
+                                    8 * (48 + i))));
+    }
+    emit(Instruction{Opcode::HALT, 0, 0, 0, 0});
+
+    Program program;
+    program.code.reserve(code_.size());
+    for (const Instruction &inst : code_)
+        program.code.push_back(inst.encode());
+    program.memorySize = kFuzzBytesPerThread * kFuzzMaxThreads;
+    program.entry = 0;
+    return program;
+}
+
+} // namespace
+
+Program
+generateProgram(const FuzzShape &shape, std::uint64_t seed)
+{
+    return Generator(shape, seed).run();
+}
+
+} // namespace sdsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Seeded random-program generation for differential fuzzing.
+ *
+ * Programs are valid by construction so that every generated case
+ * exercises the *machine*, not the input validators:
+ *
+ *  - every value register is initialized in a straight-line prologue,
+ *    so no path reads a register before writing it;
+ *  - memory accesses go through a per-thread base register
+ *    (TID << 9: 512 disjoint bytes per thread) with 8-aligned
+ *    immediate offsets, so accesses are always in bounds, aligned,
+ *    and thread-disjoint — which also makes the round-robin reference
+ *    interpreter a valid architectural oracle for the pipeline;
+ *  - loops are counted: a reserved counter register per nesting depth
+ *    is initialized on entry, decremented once per iteration, and
+ *    never written by the loop body, so every loop terminates;
+ *  - other branches are forward, and jump targets stay inside the
+ *    generated region, so control never escapes the image;
+ *  - an epilogue stores every value register to a reserved memory
+ *    slot, so the final memory image captures the register state and
+ *    intermediate writes are not trivially dead.
+ *
+ * The knobs (FuzzShape) steer what the program stresses: dependency
+ * chain depth, branch density, loop nesting, memory traffic, and the
+ * long-latency FP/mul/div units.
+ */
+
+#ifndef SDSP_FUZZ_GENERATOR_HH
+#define SDSP_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/** Generation knobs; see the named presets below. */
+struct FuzzShape
+{
+    std::string name = "smoke";
+    /** Top-level body size range (instructions, before expansions). */
+    unsigned minBodyOps = 24;
+    unsigned maxBodyOps = 96;
+    /** Probability an item is a forward branch over a few ops. */
+    double branchDensity = 0.12;
+    /** Probability an item opens a counted loop (when depth and
+     *  budget allow). */
+    double loopDensity = 0.06;
+    unsigned maxLoopDepth = 2;
+    unsigned maxLoopTrips = 6;
+    /** Probability a plain op is a load/store. */
+    double memDensity = 0.2;
+    /** Probability a plain op is FP / integer mul-div. */
+    double fpDensity = 0.1;
+    double mulDivDensity = 0.1;
+    /** Value ("pool") registers the program computes with. */
+    unsigned poolRegs = 8;
+    /** Percent of source operands biased to the most recently
+     *  written pool register (dependency chain depth). */
+    unsigned depChainBias = 35;
+
+    /** Named presets: smoke, branchy, loopy, memory, deep. */
+    static FuzzShape preset(const std::string &name);
+    /** All preset names, stable order. */
+    static const std::vector<std::string> &presetNames();
+};
+
+/** Bytes of data memory each thread's partition spans. */
+inline constexpr std::uint32_t kFuzzBytesPerThread = 512;
+
+/** Threads the generated memory layout supports. */
+inline constexpr unsigned kFuzzMaxThreads = 8;
+
+/**
+ * Generate one program. Deterministic in (@p shape, @p seed): the
+ * same inputs always yield the same image.
+ */
+Program generateProgram(const FuzzShape &shape, std::uint64_t seed);
+
+} // namespace sdsp
+
+#endif // SDSP_FUZZ_GENERATOR_HH

@@ -1,0 +1,286 @@
+#include "fuzz/minimize.hh"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+namespace
+{
+
+const InstWord kNopWord = Instruction{}.encode();
+
+Program
+withCode(const Program &original, std::vector<InstWord> code)
+{
+    Program candidate = original;
+    candidate.code = std::move(code);
+    return candidate;
+}
+
+bool
+removable(InstWord word)
+{
+    return word != kNopWord &&
+           !Instruction::decode(word).isHalt();
+}
+
+/**
+ * One ddmin sweep: chunk sizes from half the image down to single
+ * instructions, replacing each chunk's removable instructions with
+ * NOP and keeping the replacement when the failure kind survives.
+ * HALTs are never touched: removing thread termination would morph
+ * every failure into a timeout.
+ */
+bool
+ddminPass(std::vector<InstWord> &code, const Program &original,
+          const std::string &failure_kind,
+          const FailureClassifier &classify)
+{
+    bool progressed = false;
+    for (std::size_t chunk = (code.size() + 1) / 2; chunk >= 1;
+         chunk = chunk == 1 ? 0 : (chunk + 1) / 2) {
+        for (std::size_t start = 0; start < code.size();
+             start += chunk) {
+            std::size_t end = std::min(start + chunk, code.size());
+            std::vector<InstWord> candidate = code;
+            bool changed = false;
+            for (std::size_t i = start; i < end; ++i) {
+                if (removable(candidate[i])) {
+                    candidate[i] = kNopWord;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                continue;
+            if (classify(withCode(original, candidate)) ==
+                failure_kind) {
+                code = std::move(candidate);
+                progressed = true;
+            }
+        }
+        if (chunk == 0)
+            break;
+    }
+    return progressed;
+}
+
+/**
+ * Delete NOPs and remap branch/jump targets across the deleted gaps.
+ * Deleting instructions only shrinks branch distances, so the
+ * remapped immediates always still fit their fields. The compacted
+ * image is kept only if the failure kind survives.
+ */
+bool
+compactPass(std::vector<InstWord> &code, const Program &original,
+            const std::string &failure_kind,
+            const FailureClassifier &classify)
+{
+    // newIndex[i] = kept instructions before old index i; a deleted
+    // index maps to the next kept instruction at or after it.
+    std::vector<std::size_t> new_index(code.size() + 1, 0);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        new_index[i] = kept;
+        kept += code[i] != kNopWord;
+    }
+    new_index[code.size()] = kept;
+    if (kept == code.size() || kept == 0)
+        return false;
+
+    std::vector<InstWord> packed;
+    packed.reserve(kept);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i] == kNopWord)
+            continue;
+        Instruction inst = Instruction::decode(code[i]);
+        if (inst.isCondBranch() || inst.isDirectJump()) {
+            auto target = inst.staticTarget(
+                static_cast<InstAddr>(i));
+            if (target > code.size())
+                return false; // target escapes: leave uncompacted
+            auto mapped =
+                static_cast<std::int64_t>(new_index[target]);
+            if (inst.isCondBranch()) {
+                inst.imm = static_cast<std::int32_t>(
+                    mapped -
+                    static_cast<std::int64_t>(new_index[i]));
+            } else {
+                inst.imm = static_cast<std::int32_t>(mapped);
+            }
+        }
+        packed.push_back(inst.encode());
+    }
+
+    if (classify(withCode(original, packed)) != failure_kind)
+        return false;
+    code = std::move(packed);
+    return true;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeProgram(const Program &program,
+                const std::string &failure_kind,
+                const FailureClassifier &classify)
+{
+    sdsp_assert(program.threadEntries.empty(),
+                "minimizer supports single-entry programs only");
+    MinimizeResult result;
+    result.originalInsts = program.code.size();
+
+    std::vector<InstWord> code = program.code;
+    while (true) {
+        ++result.rounds;
+        bool progressed =
+            ddminPass(code, program, failure_kind, classify);
+        progressed |=
+            compactPass(code, program, failure_kind, classify);
+        if (!progressed)
+            break;
+    }
+
+    result.program = withCode(program, std::move(code));
+    result.minimizedInsts = result.program.code.size();
+    return result;
+}
+
+namespace
+{
+
+std::string
+lower(const char *text)
+{
+    std::string out(text);
+    for (char &ch : out)
+        ch = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch)));
+    return out;
+}
+
+std::string
+labelName(InstAddr target)
+{
+    return format("L%u", target);
+}
+
+} // namespace
+
+std::string
+programToAssembly(const Program &program,
+                  const std::string &header_comment)
+{
+    sdsp_assert(program.data.empty(),
+                "programToAssembly supports data-less programs only");
+    sdsp_assert(program.memorySize % 8 == 0,
+                "memorySize must be a whole number of 8-byte words");
+
+    // Every static control-transfer target gets a label.
+    std::set<InstAddr> targets;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        Instruction inst = Instruction::decode(program.code[i]);
+        if (inst.isCondBranch() || inst.isDirectJump())
+            targets.insert(
+                inst.staticTarget(static_cast<InstAddr>(i)));
+    }
+
+    std::ostringstream out;
+    std::istringstream comments(header_comment);
+    std::string comment_line;
+    while (std::getline(comments, comment_line))
+        out << "; " << comment_line << "\n";
+    if (!header_comment.empty())
+        out << "\n";
+    if (program.memorySize > 0) {
+        out << format(".space scratch %u\n\n",
+                      program.memorySize / 8);
+    }
+
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        auto pc = static_cast<InstAddr>(i);
+        if (targets.count(pc))
+            out << labelName(pc) << ":\n";
+        Instruction inst = Instruction::decode(program.code[i]);
+        const OpInfo &oi = inst.info();
+        std::string mnemonic = lower(oi.name);
+        out << "    ";
+        switch (oi.format) {
+          case Format::R:
+            if (inst.isHalt() || inst.op == Opcode::NOP ||
+                inst.op == Opcode::SPIN) {
+                out << mnemonic;
+            } else if (inst.isIndirectJump()) {
+                out << format("%s r%u", mnemonic.c_str(),
+                              unsigned{inst.rs1});
+            } else if (!inst.readsRs1()) { // TID / NTH
+                out << format("%s r%u", mnemonic.c_str(),
+                              unsigned{inst.rd});
+            } else if (!inst.readsRs2()) { // FNEG, CVTIF, ...
+                out << format("%s r%u, r%u", mnemonic.c_str(),
+                              unsigned{inst.rd}, unsigned{inst.rs1});
+            } else {
+                out << format("%s r%u, r%u, r%u", mnemonic.c_str(),
+                              unsigned{inst.rd}, unsigned{inst.rs1},
+                              unsigned{inst.rs2});
+            }
+            break;
+          case Format::I:
+            if (inst.isLoad()) {
+                out << format("%s r%u, %d(r%u)", mnemonic.c_str(),
+                              unsigned{inst.rd}, inst.imm,
+                              unsigned{inst.rs1});
+            } else if (!inst.readsRs1()) { // LDI
+                out << format("%s r%u, %d", mnemonic.c_str(),
+                              unsigned{inst.rd}, inst.imm);
+            } else {
+                out << format("%s r%u, r%u, %d", mnemonic.c_str(),
+                              unsigned{inst.rd}, unsigned{inst.rs1},
+                              inst.imm);
+            }
+            break;
+          case Format::B:
+            if (inst.isStore()) {
+                // Value operand first: st rs2, imm(rs1).
+                out << format("%s r%u, %d(r%u)", mnemonic.c_str(),
+                              unsigned{inst.rs2}, inst.imm,
+                              unsigned{inst.rs1});
+            } else {
+                out << format(
+                    "%s r%u, r%u, %s", mnemonic.c_str(),
+                    unsigned{inst.rs1}, unsigned{inst.rs2},
+                    labelName(inst.staticTarget(pc)).c_str());
+            }
+            break;
+          case Format::J:
+            if (inst.writesRd()) {
+                out << format(
+                    "%s r%u, %s", mnemonic.c_str(),
+                    unsigned{inst.rd},
+                    labelName(inst.staticTarget(pc)).c_str());
+            } else {
+                out << format(
+                    "%s %s", mnemonic.c_str(),
+                    labelName(inst.staticTarget(pc)).c_str());
+            }
+            break;
+          case Format::U:
+            out << format("%s r%u, %d", mnemonic.c_str(),
+                          unsigned{inst.rd}, inst.imm);
+            break;
+        }
+        out << "\n";
+    }
+    sdsp_assert(targets.empty() ||
+                    *targets.rbegin() < program.code.size(),
+                "control transfer targets past the end of the image");
+    return out.str();
+}
+
+} // namespace sdsp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Failing-case minimization and repro emission.
+ *
+ * Given a program that fails the differential checker, the minimizer
+ * shrinks it while preserving the failure *kind* (a "reg-mismatch"
+ * must still be a reg-mismatch, not merely any failure):
+ *
+ *  1. delta-debugging over instructions, replacing chunks with NOP
+ *     (never a HALT — removing thread termination would morph every
+ *     failure into a timeout);
+ *  2. NOP compaction: deleting NOP runs and remapping branch/jump
+ *     targets across the deleted gaps (deleting instructions only
+ *     shrinks distances, so remapped immediates always still fit).
+ *
+ * The result can be emitted as an assemblable `.s` repro
+ * (programToAssembly) for checking into tests/corpus/.
+ */
+
+#ifndef SDSP_FUZZ_MINIMIZE_HH
+#define SDSP_FUZZ_MINIMIZE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace sdsp
+{
+
+/**
+ * Classifies a candidate: returns the failure kind (empty string =
+ * the candidate passes). The minimizer only keeps candidates whose
+ * kind matches the original failure.
+ */
+using FailureClassifier =
+    std::function<std::string(const Program &)>;
+
+/** Minimization outcome. */
+struct MinimizeResult
+{
+    Program program;
+    std::size_t originalInsts = 0;
+    std::size_t minimizedInsts = 0;
+    /** ddmin + compaction passes performed. */
+    unsigned rounds = 0;
+};
+
+/**
+ * Shrink @p program while @p classify keeps reporting
+ * @p failure_kind.
+ */
+MinimizeResult minimizeProgram(const Program &program,
+                               const std::string &failure_kind,
+                               const FailureClassifier &classify);
+
+/**
+ * Emit @p program as assemblable SDSP-MT assembly: labels at every
+ * branch/jump target, a `.space` directive reproducing memorySize,
+ * and @p header_comment (may be multi-line) as leading comments.
+ * Only data-less programs are supported (generated programs carry no
+ * initial data).
+ */
+std::string programToAssembly(const Program &program,
+                              const std::string &header_comment);
+
+} // namespace sdsp
+
+#endif // SDSP_FUZZ_MINIMIZE_HH

@@ -19,8 +19,8 @@ Interpreter::Interpreter(const Program &program, unsigned num_threads)
     sdsp_assert(prog.data.size() <= mem.size(),
                 "program data larger than its declared memory size");
     std::copy(prog.data.begin(), prog.data.end(), mem.begin());
-    for (auto &thread : threads)
-        thread.pc = prog.entry;
+    for (unsigned tid = 0; tid < threads.size(); ++tid)
+        threads[tid].pc = prog.entryOf(static_cast<ThreadId>(tid));
 }
 
 PhysRegIndex
@@ -55,6 +55,28 @@ Interpreter::finished() const
     return true;
 }
 
+bool
+Interpreter::anyFaulted() const
+{
+    for (const auto &thread : threads) {
+        if (thread.faulted)
+            return true;
+    }
+    return false;
+}
+
+void
+Interpreter::fault(ThreadId tid, const std::string &why)
+{
+    ThreadState &thread = threads[tid];
+    thread.faulted = true;
+    thread.halted = true;
+    if (faultMsg.empty()) {
+        faultMsg = format("thread %u at pc %u: %s", unsigned{tid},
+                          thread.pc, why.c_str());
+    }
+}
+
 std::uint64_t
 Interpreter::totalInstructionCount() const
 {
@@ -71,6 +93,10 @@ Interpreter::stepThread(ThreadId tid)
     if (thread.halted)
         return;
 
+    if (thread.pc >= prog.size()) {
+        fault(tid, "instruction fetch past the end of the image");
+        return;
+    }
     Instruction inst = prog.fetch(thread.pc);
     InstAddr pc = thread.pc;
     ++thread.instructions;
@@ -95,9 +121,21 @@ Interpreter::stepThread(ThreadId tid)
         next_pc = static_cast<InstAddr>(s1);
     } else if (inst.isLoad()) {
         Addr addr = evalEffectiveAddress(inst, s1);
+        if (addr % 8 != 0 || addr + 8 > mem.size()) {
+            fault(tid, format("misaligned or out-of-bounds load at "
+                              "0x%x",
+                              addr));
+            return;
+        }
         setReg(tid, inst.rd, readWord(mem, addr));
     } else if (inst.isStore()) {
         Addr addr = evalEffectiveAddress(inst, s1);
+        if (addr % 8 != 0 || addr + 8 > mem.size()) {
+            fault(tid, format("misaligned or out-of-bounds store at "
+                              "0x%x",
+                              addr));
+            return;
+        }
         writeWord(mem, addr, s2);
     } else if (inst.op == Opcode::NOP || inst.op == Opcode::SPIN) {
         // No architectural effect.

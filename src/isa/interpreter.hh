@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -48,6 +49,22 @@ class Interpreter
 
     /** Has thread @p tid executed HALT? */
     bool halted(ThreadId tid) const { return threads[tid].halted; }
+
+    /**
+     * Did thread @p tid take an architectural fault (misaligned or
+     * out-of-bounds access, runaway PC)? A faulted thread counts as
+     * halted; its architectural state is whatever it was at the
+     * fault. This keeps invalid programs — fuzz-minimization
+     * candidates in particular — a reportable outcome instead of a
+     * process abort.
+     */
+    bool faulted(ThreadId tid) const { return threads[tid].faulted; }
+
+    /** Did any thread fault? */
+    bool anyFaulted() const;
+
+    /** Description of the first fault (empty when none). */
+    const std::string &faultMessage() const { return faultMsg; }
 
     /** Have all threads halted? */
     bool finished() const;
@@ -95,8 +112,12 @@ class Interpreter
     {
         InstAddr pc = 0;
         bool halted = false;
+        bool faulted = false;
         std::uint64_t instructions = 0;
     };
+
+    /** Halt @p tid with an architectural fault. */
+    void fault(ThreadId tid, const std::string &why);
 
     Program prog;
     unsigned numThreads;
@@ -104,6 +125,7 @@ class Interpreter
     std::vector<RegVal> regs;
     std::vector<std::uint8_t> mem;
     std::vector<ThreadState> threads;
+    std::string faultMsg;
     std::array<std::uint64_t, kNumFuClasses> opClassCounts{};
 };
 

@@ -45,6 +45,23 @@ struct Program
     /** Entry instruction address for every thread. */
     InstAddr entry = 0;
 
+    /**
+     * Optional per-thread entry points. Empty for normal programs
+     * (every thread starts at `entry`, the homogeneous-multitasking
+     * model); a trace-stream cocktail flattens one instruction stream
+     * per hardware thread into a single image and starts thread t at
+     * threadEntries[t]. When non-empty it must provide an entry for
+     * every resident thread.
+     */
+    std::vector<InstAddr> threadEntries;
+
+    /** Entry instruction address of thread @p tid. */
+    InstAddr
+    entryOf(ThreadId tid) const
+    {
+        return tid < threadEntries.size() ? threadEntries[tid] : entry;
+    }
+
     /** Number of instructions. */
     std::size_t size() const { return code.size(); }
 

@@ -11,10 +11,13 @@
 
 #include "asm/assembler.hh"
 #include "asm/rewrite.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/processor.hh"
 #include "harness/runner.hh"
+#include "trace_frontend/replay.hh"
+#include "trace_frontend/trace_format.hh"
 
 namespace sdsp
 {
@@ -63,6 +66,194 @@ parsePolicy(const std::string &name)
     return std::nullopt;
 }
 
+void
+printRunSummary(std::ostream &out, const MachineConfig &config,
+                const SimResult &sim, bool wall_timed_out,
+                const std::vector<std::uint64_t> &per_thread)
+{
+    out << "machine   : " << config.toString() << "\n";
+    out << "finished  : "
+        << (sim.finished ? "yes"
+                         : wall_timed_out ? "NO (wall-clock timeout)"
+                                          : "NO (cycle cap)")
+        << "\n";
+    out << "cycles    : " << sim.cycles << "\n";
+    out << "committed : " << sim.committedInstructions << "\n";
+    out << format("ipc       : %.3f\n", sim.ipc());
+    for (std::size_t t = 0; t < per_thread.size(); ++t) {
+        out << format("thread %zu  : %llu instructions\n", t,
+                      static_cast<unsigned long long>(per_thread[t]));
+    }
+}
+
+bool
+writeSummaryJson(const std::string &path, const MachineConfig &config,
+                 const SimResult &sim,
+                 const std::vector<std::uint64_t> &per_thread,
+                 std::ostream &out)
+{
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("machine", config.toString());
+    writer.field("finished", sim.finished);
+    writer.field("cycles", static_cast<std::uint64_t>(sim.cycles));
+    writer.field("committed", sim.committedInstructions);
+    writer.field("ipc", sim.ipc());
+    writer.key("threads").beginArray();
+    for (std::uint64_t count : per_thread)
+        writer.value(count);
+    writer.endArray();
+    writer.endObject();
+
+    std::ofstream file(path);
+    if (!file) {
+        out << "sdsp-run: cannot open " << path << "\n";
+        return false;
+    }
+    file << writer.str() << "\n";
+    return true;
+}
+
+std::vector<std::uint64_t>
+perThreadCommitted(const Processor &cpu, unsigned threads)
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        counts.push_back(
+            cpu.committedInstructions(static_cast<ThreadId>(t)));
+    return counts;
+}
+
+/** --replay: exact replay with stream verification. */
+int
+runReplayExact(const CliOptions &options, std::ostream &out)
+{
+    TraceReadResult loaded = readTraceFile(options.replayPath);
+    if (!loaded.ok) {
+        out << "sdsp-run: " << options.replayPath << ": "
+            << loaded.error.toString() << "\n";
+        return 1;
+    }
+    const RecordedTrace &trace = loaded.trace;
+
+    MachineConfig config = options.config;
+    config.numThreads = trace.threads;
+
+    ExactReplayResult replay = replayExact(trace, config);
+
+    std::vector<std::uint64_t> per_thread;
+    for (const auto &stream : trace.perThread)
+        per_thread.push_back(stream.size());
+
+    printRunSummary(out, config, replay.sim, false, per_thread);
+    out << "recorded  : " << trace.cycles << " cycles, "
+        << trace.committed << " instructions\n";
+    if (replay.verified) {
+        out << "verified  : yes (committed stream matches the "
+               "recording)\n";
+    } else {
+        out << "verified  : NO (" << replay.mismatches
+            << " mismatches)\n";
+        if (!replay.firstMismatch.empty())
+            out << "first     : " << replay.firstMismatch << "\n";
+    }
+
+    if (!options.summaryJson.empty() &&
+        !writeSummaryJson(options.summaryJson, config, replay.sim,
+                          per_thread, out))
+        return 1;
+
+    if (!replay.sim.finished)
+        return 2;
+    return replay.verified ? 0 : 1;
+}
+
+/** --replay-stream: a trace cocktail, one stream per hw thread. */
+int
+runReplayStream(const CliOptions &options, std::ostream &out)
+{
+    // Parse the comma list of TRACE[:tid] items.
+    std::vector<std::string> items;
+    std::istringstream list(options.replayStream);
+    std::string item;
+    while (std::getline(list, item, ','))
+        items.push_back(item);
+    if (items.empty() || items.size() > 16) {
+        out << "sdsp-run: --replay-stream needs 1..16 items\n";
+        return 1;
+    }
+
+    std::vector<std::unique_ptr<RecordedTrace>> traces;
+    std::vector<StreamSource> sources;
+    for (const std::string &spec : items) {
+        std::string path = spec;
+        std::uint64_t tid = 0;
+        auto colon = spec.rfind(':');
+        if (colon != std::string::npos && colon + 1 < spec.size()) {
+            auto suffix = parseNumber(spec.substr(colon + 1));
+            if (suffix) {
+                tid = *suffix;
+                path = spec.substr(0, colon);
+            }
+        }
+        TraceReadResult loaded = readTraceFile(path);
+        if (!loaded.ok) {
+            out << "sdsp-run: " << path << ": "
+                << loaded.error.toString() << "\n";
+            return 1;
+        }
+        if (tid >= loaded.trace.threads) {
+            out << "sdsp-run: " << spec << ": trace has only "
+                << loaded.trace.threads << " thread(s)\n";
+            return 1;
+        }
+        traces.push_back(
+            std::make_unique<RecordedTrace>(std::move(loaded.trace)));
+        sources.push_back(
+            {traces.back().get(), static_cast<ThreadId>(tid)});
+    }
+
+    MachineConfig config = options.config;
+    config.numThreads = static_cast<unsigned>(sources.size());
+
+    StreamReplayOptions stream_options;
+    stream_options.blockSize = config.blockSize;
+    StreamReplay replay;
+    std::string error;
+    if (!buildStreamReplay(sources, config.regsPerThread(),
+                           stream_options, replay, &error)) {
+        out << "sdsp-run: " << error << "\n";
+        return 1;
+    }
+
+    Processor cpu(config, replay.program);
+    cpu.setReplayAddresses(&replay.addresses);
+    SimResult sim = cpu.run();
+
+    std::vector<std::uint64_t> per_thread =
+        perThreadCommitted(cpu, config.numThreads);
+    printRunSummary(out, config, sim, false, per_thread);
+    for (std::size_t t = 0; t < replay.streamLengths.size(); ++t) {
+        if (per_thread[t] != replay.streamLengths[t]) {
+            out << format("sdsp-run: thread %zu committed %llu but "
+                          "its stream holds %llu\n",
+                          t,
+                          static_cast<unsigned long long>(
+                              per_thread[t]),
+                          static_cast<unsigned long long>(
+                              replay.streamLengths[t]));
+            return 1;
+        }
+    }
+
+    if (!options.summaryJson.empty() &&
+        !writeSummaryJson(options.summaryJson, config, sim,
+                          per_thread, out))
+        return 1;
+    return sim.finished ? 0 : 2;
+}
+
 } // namespace
 
 std::string
@@ -90,7 +281,14 @@ cliUsage()
            "  --trace-json PATH    write a Perfetto/Chrome trace\n"
            "  --stats              dump statistics (scalars,\n"
            "                       histograms, stall attribution)\n"
-           "  --disasm             print disassembly and exit\n";
+           "  --disasm             print disassembly and exit\n"
+           "  --record PATH        record the committed stream as a\n"
+           "                       replayable trace\n"
+           "  --replay PATH        exact-replay a recorded trace\n"
+           "                       (verified against the recording)\n"
+           "  --replay-stream LIST cocktail: comma list of\n"
+           "                       TRACE[:tid], one hw thread each\n"
+           "  --summary-json PATH  machine-readable run summary\n";
 }
 
 CliOptions
@@ -117,7 +315,9 @@ parseCliOptions(const std::vector<std::string> &args)
             arg == "--cache-ways" || arg == "--cache-size" ||
             arg == "--cache-partitions" || arg == "--btb-banks" ||
             arg == "--max-cycles" || arg == "--timeout" ||
-            arg == "--trace-file" || arg == "--trace-json") {
+            arg == "--trace-file" || arg == "--trace-json" ||
+            arg == "--record" || arg == "--replay" ||
+            arg == "--replay-stream" || arg == "--summary-json") {
             auto value = next_value();
             if (!value)
                 return fail(arg + " needs a value");
@@ -201,6 +401,14 @@ parseCliOptions(const std::vector<std::string> &args)
                 options.traceFile = *value;
             } else if (arg == "--trace-json") {
                 options.traceJson = *value;
+            } else if (arg == "--record") {
+                options.recordPath = *value;
+            } else if (arg == "--replay") {
+                options.replayPath = *value;
+            } else if (arg == "--replay-stream") {
+                options.replayStream = *value;
+            } else if (arg == "--summary-json") {
+                options.summaryJson = *value;
             } else { // --max-cycles
                 auto n = parseNumber(*value);
                 if (!n || *n < 1)
@@ -228,7 +436,15 @@ parseCliOptions(const std::vector<std::string> &args)
         }
     }
 
-    if (options.programPath.empty())
+    bool replay_mode = !options.replayPath.empty() ||
+                       !options.replayStream.empty();
+    if (!options.replayPath.empty() && !options.replayStream.empty())
+        return fail("--replay and --replay-stream are exclusive");
+    if (replay_mode && !options.programPath.empty())
+        return fail("replay modes take a trace, not a program file");
+    if (replay_mode && !options.recordPath.empty())
+        return fail("--record needs a program run, not a replay");
+    if (options.programPath.empty() && !replay_mode)
         return fail("no program file given");
     return options;
 }
@@ -237,6 +453,11 @@ int
 runCli(const CliOptions &options, std::ostream &out,
        std::ostream &trace_out)
 {
+    if (!options.replayPath.empty())
+        return runReplayExact(options, out);
+    if (!options.replayStream.empty())
+        return runReplayStream(options, out);
+
     std::ifstream file(options.programPath);
     if (!file) {
         out << "sdsp-run: cannot open " << options.programPath << "\n";
@@ -301,8 +522,23 @@ runCli(const CliOptions &options, std::ostream &out,
         jsonSink = std::make_unique<JsonTraceSink>(jsonFile);
         tee.add(jsonSink.get());
     }
+    std::ofstream recordFile;
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!options.recordPath.empty()) {
+        recordFile.open(options.recordPath);
+        if (!recordFile) {
+            out << "sdsp-run: cannot open " << options.recordPath
+                << "\n";
+            return 1;
+        }
+        recorder = std::make_unique<TraceRecorder>(
+            recordFile, program, options.config,
+            options.programPath);
+        tee.add(recorder.get());
+    }
 
-    bool tracing = options.trace || fileSink || jsonSink;
+    bool tracing =
+        options.trace || fileSink || jsonSink || recorder;
     if (tracing)
         cpu.setTraceSink(&tee);
 
@@ -319,23 +555,18 @@ runCli(const CliOptions &options, std::ostream &out,
     } else {
         sim = cpu.run();
     }
+    if (recorder)
+        recorder->noteResult(sim);
     if (tracing)
         tee.finish();
-    out << "machine   : " << options.config.toString() << "\n";
-    out << "finished  : "
-        << (sim.finished ? "yes"
-                         : wall_timed_out ? "NO (wall-clock timeout)"
-                                          : "NO (cycle cap)")
-        << "\n";
-    out << "cycles    : " << sim.cycles << "\n";
-    out << "committed : " << sim.committedInstructions << "\n";
-    out << format("ipc       : %.3f\n", sim.ipc());
-    for (unsigned t = 0; t < options.config.numThreads; ++t) {
-        out << format(
-            "thread %u  : %llu instructions\n", t,
-            static_cast<unsigned long long>(cpu.committedInstructions(
-                static_cast<ThreadId>(t))));
-    }
+    std::vector<std::uint64_t> per_thread =
+        perThreadCommitted(cpu, options.config.numThreads);
+    printRunSummary(out, options.config, sim, wall_timed_out,
+                    per_thread);
+    if (!options.summaryJson.empty() &&
+        !writeSummaryJson(options.summaryJson, options.config, sim,
+                          per_thread, out))
+        return 1;
 
     if (options.stats) {
         StatsRegistry registry;

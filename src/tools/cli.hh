@@ -32,6 +32,15 @@
  *                          (scalars, latency histograms, and the
  *                          per-thread stall attribution)
  *     --disasm             print the disassembly and exit
+ *     --record PATH        record the committed-instruction stream
+ *                          as a replayable trace file
+ *     --replay PATH        exact-replay a recorded trace instead of
+ *                          running a program, verifying the committed
+ *                          stream against the recording
+ *     --replay-stream LIST stream-replay a "trace cocktail": a comma
+ *                          list of TRACE[:tid] items, one hardware
+ *                          thread per item
+ *     --summary-json PATH  write a machine-readable run summary
  *
  * Parsing and execution live behind a testable interface; main() is
  * a thin wrapper.
@@ -62,6 +71,14 @@ struct CliOptions
     bool stats = false;
     bool disasmOnly = false;
     bool align = false;
+    /** Record the run as a replayable trace (empty = off). */
+    std::string recordPath;
+    /** Exact-replay this trace instead of running a program. */
+    std::string replayPath;
+    /** Stream-replay cocktail: comma list of TRACE[:tid] items. */
+    std::string replayStream;
+    /** Write a machine-readable run summary here (empty = off). */
+    std::string summaryJson;
     /** Wall-clock budget in seconds; 0 = unlimited. A run stopped by
      *  this budget exits with code 3 (cycle cap stays code 2). */
     double timeoutSeconds = 0.0;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The sdsp-fuzz differential workload fuzzer.
+ *
+ * Generates seeded random programs (src/fuzz/generator.hh) and runs
+ * each through the differential checker (src/fuzz/differential.hh)
+ * on a machine configuration drawn from a fixed grid:
+ *
+ *     sdsp-fuzz [options]
+ *         --seed N        base seed (default 1)
+ *         --count N       cases to run (default 100)
+ *         --shape NAME    smoke|branchy|loopy|memory|deep|all
+ *                         (default all)
+ *         --minimize      shrink failing cases and write .s repros
+ *         --out DIR       directory for minimized repros (default .)
+ *
+ * Every case is reproducible on its own: a failure report prints the
+ * exact sdsp-fuzz invocation that re-runs just that case, because
+ * case i of a run with base seed S derives everything (program,
+ * shape, machine) from the single value S + i.
+ *
+ * Exit code 0 when every case passes, 1 otherwise.
+ */
+
+#ifndef SDSP_TOOLS_FUZZ_CLI_HH
+#define SDSP_TOOLS_FUZZ_CLI_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdsp
+{
+
+/** Parsed sdsp-fuzz invocation. */
+struct FuzzCliOptions
+{
+    std::uint64_t seed = 1;
+    std::uint64_t count = 100;
+    std::string shape = "all";
+    bool minimize = false;
+    std::string outDir = ".";
+    /** Set when parsing failed; message explains why. */
+    bool ok = true;
+    std::string error;
+};
+
+/** Parse argv. Never exits; reports problems via error. */
+FuzzCliOptions
+parseFuzzCliOptions(const std::vector<std::string> &args);
+
+/** Human-readable usage text. */
+std::string fuzzCliUsage();
+
+/**
+ * Run the fuzz campaign per @p options, reporting to @p out.
+ * @return Process exit code: 0 when all cases pass, 1 otherwise.
+ */
+int runFuzzCli(const FuzzCliOptions &options, std::ostream &out);
+
+} // namespace sdsp
+
+#endif // SDSP_TOOLS_FUZZ_CLI_HH

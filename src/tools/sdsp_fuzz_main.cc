@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Entry point of the sdsp-fuzz differential fuzzer (see fuzz_cli.hh).
+ */
+
+#include <iostream>
+
+#include "tools/fuzz_cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    sdsp::FuzzCliOptions options = sdsp::parseFuzzCliOptions(args);
+    if (!options.ok) {
+        std::cerr << "sdsp-fuzz: " << options.error << "\n\n"
+                  << sdsp::fuzzCliUsage();
+        return 1;
+    }
+    return sdsp::runFuzzCli(options, std::cout);
+}

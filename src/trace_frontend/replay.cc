@@ -1,0 +1,368 @@
+#include "trace_frontend/replay.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+// --------------------------------------------------------------------
+// Exact replay
+// --------------------------------------------------------------------
+
+ReplayVerifySink::ReplayVerifySink(const RecordedTrace &trace)
+    : trace_(trace), cursor_(trace.perThread.size(), 0)
+{
+}
+
+void
+ReplayVerifySink::mismatch(const TraceEvent &event,
+                           const std::string &why)
+{
+    ++mismatches_;
+    if (first_.empty()) {
+        first_ = format("thread %u, commit #%zu, pc %u: ",
+                        unsigned{event.tid},
+                        event.tid < cursor_.size()
+                            ? cursor_[event.tid]
+                            : std::size_t{0},
+                        event.pc) +
+                 why;
+    }
+}
+
+void
+ReplayVerifySink::emit(const TraceEvent &event)
+{
+    if (event.kind != TraceEventKind::CommitInst)
+        return;
+
+    if (event.tid >= cursor_.size()) {
+        mismatch(event, "thread not present in the recording");
+        return;
+    }
+    std::size_t index = cursor_[event.tid]++;
+    const auto &stream = trace_.perThread[event.tid];
+    if (index >= stream.size()) {
+        mismatch(event,
+                 format("committed more instructions than the "
+                        "recorded %zu",
+                        stream.size()));
+        return;
+    }
+
+    const TraceInst &expected = stream[index];
+    if (event.pc != expected.pc) {
+        mismatch(event, format("recorded pc %u", expected.pc));
+        return;
+    }
+    if (event.word != expected.word) {
+        mismatch(event, format("recorded word 0x%08x, replayed 0x%08x",
+                               expected.word, event.word));
+        return;
+    }
+    if (expected.hasAddr &&
+        (!event.hasMemAddr || event.memAddr != expected.addr)) {
+        mismatch(event,
+                 format("recorded address 0x%x, replayed 0x%llx",
+                        expected.addr,
+                        static_cast<unsigned long long>(
+                            event.hasMemAddr ? event.memAddr : 0)));
+        return;
+    }
+    if (expected.hasTaken && event.taken != expected.taken) {
+        mismatch(event, expected.taken ? "recorded taken, replayed "
+                                         "not taken"
+                                       : "recorded not taken, "
+                                         "replayed taken");
+        return;
+    }
+}
+
+bool
+ReplayVerifySink::complete() const
+{
+    for (std::size_t tid = 0; tid < cursor_.size(); ++tid) {
+        if (cursor_[tid] != trace_.perThread[tid].size())
+            return false;
+    }
+    return true;
+}
+
+ExactReplayResult
+replayExact(const RecordedTrace &trace, const MachineConfig &config,
+            TraceSink *extra)
+{
+    sdsp_assert(config.numThreads == trace.threads,
+                "exact replay needs the recorded thread count (%u), "
+                "got %u",
+                trace.threads, config.numThreads);
+
+    Program program = trace.toProgram();
+    Processor cpu(config, program);
+
+    ReplayVerifySink verify(trace);
+    TeeTraceSink tee;
+    tee.add(&verify);
+    if (extra)
+        tee.add(extra);
+    cpu.setTraceSink(&tee);
+
+    ExactReplayResult result;
+    result.sim = cpu.run();
+    tee.finish();
+
+    result.mismatches = verify.mismatches();
+    result.firstMismatch = verify.firstMismatch();
+    result.verified = verify.ok() && verify.complete();
+    if (result.verified && !result.sim.finished) {
+        result.verified = false;
+        result.firstMismatch = "replay hit the cycle cap";
+    }
+    if (!verify.complete() && result.firstMismatch.empty()) {
+        result.firstMismatch =
+            "replay committed fewer instructions than recorded";
+    }
+    return result;
+}
+
+// --------------------------------------------------------------------
+// Stream replay (trace cocktails)
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** First-use-order register compaction for one flattened stream. */
+class RegRemap
+{
+  public:
+    explicit RegRemap(unsigned budget) : budget_(budget) {}
+
+    /** Remapped index of @p reg; false when the budget is exhausted. */
+    bool
+    map(RegIndex reg, RegIndex &out)
+    {
+        for (std::size_t i = 0; i < used_.size(); ++i) {
+            if (used_[i] == reg) {
+                out = static_cast<RegIndex>(i);
+                return true;
+            }
+        }
+        if (used_.size() >= budget_)
+            return false;
+        used_.push_back(reg);
+        out = static_cast<RegIndex>(used_.size() - 1);
+        return true;
+    }
+
+    std::size_t distinct() const { return used_.size(); }
+
+  private:
+    unsigned budget_;
+    std::vector<RegIndex> used_;
+};
+
+} // namespace
+
+bool
+buildStreamReplay(const std::vector<StreamSource> &sources,
+                  unsigned regs_per_thread,
+                  const StreamReplayOptions &options, StreamReplay &out,
+                  std::string *error)
+{
+    auto fail = [&](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return false;
+    };
+
+    if (sources.empty())
+        return fail("no streams given");
+    if (options.blockSize == 0)
+        return fail("block size must be positive");
+
+    out = StreamReplay{};
+    out.numThreads = static_cast<unsigned>(sources.size());
+
+    std::uint32_t memory_size = 8;
+    for (const StreamSource &source : sources) {
+        if (!source.trace)
+            return fail("null trace in stream source");
+        if (source.sourceThread >= source.trace->perThread.size()) {
+            return fail(format(
+                "stream source names thread %u but its trace has "
+                "only %zu",
+                unsigned{source.sourceThread},
+                source.trace->perThread.size()));
+        }
+        memory_size =
+            std::max(memory_size, source.trace->memorySize);
+    }
+
+    Program &program = out.program;
+    program.memorySize = memory_size;
+
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        const StreamSource &source = sources[s];
+        const auto &stream =
+            source.trace->perThread[source.sourceThread];
+
+        // Align each stream's start to a fetch-block boundary so the
+        // first fetch wastes no slots on a foreign stream's tail.
+        while (program.code.size() % options.blockSize != 0) {
+            program.code.push_back(
+                Instruction{Opcode::NOP, 0, 0, 0, 0}.encode());
+            out.addresses.hasAddr.push_back(0);
+            out.addresses.addr.push_back(0);
+        }
+        auto entry = static_cast<InstAddr>(program.code.size());
+        program.threadEntries.push_back(entry);
+
+        std::size_t limit = stream.size();
+        if (options.maxInstsPerStream &&
+            options.maxInstsPerStream < limit) {
+            limit = static_cast<std::size_t>(
+                options.maxInstsPerStream);
+        }
+
+        RegRemap remap(regs_per_thread);
+        auto map_reg = [&](RegIndex reg, RegIndex &mapped) {
+            if (!remap.map(reg, mapped)) {
+                *error = format(
+                    "stream %zu uses more than %u distinct "
+                    "registers; a %u-register partition cannot "
+                    "hold it",
+                    s, regs_per_thread, regs_per_thread);
+                return false;
+            }
+            return true;
+        };
+        std::string map_error;
+        if (!error)
+            error = &map_error;
+
+        bool halted = false;
+        for (std::size_t i = 0; i < limit && !halted; ++i) {
+            const TraceInst &rec = stream[i];
+            // Words were validated by the trace reader.
+            Instruction inst = Instruction::decode(rec.word);
+            auto pc = static_cast<InstAddr>(program.code.size());
+            auto next = static_cast<std::int32_t>(pc) + 1;
+            bool has_addr = false;
+            Addr addr = 0;
+
+            Instruction flat;
+            if (inst.isHalt()) {
+                flat = inst;
+                halted = true;
+            } else if (inst.isCondBranch()) {
+                // Rewritten so the recorded outcome is reproduced
+                // with a fall-through target: BEQ r,r is always
+                // taken, BNE r,r never — either way the next PC is
+                // pc+1 and fetch never mispredicts (correct-path
+                // replay).
+                if (!rec.hasTaken) {
+                    return fail(format(
+                        "stream %zu, instruction %zu: conditional "
+                        "branch lacks a recorded outcome",
+                        s, i));
+                }
+                RegIndex reg = 0;
+                if (!map_reg(inst.rs1, reg))
+                    return false;
+                flat = Instruction::makeB(
+                    rec.taken ? Opcode::BEQ : Opcode::BNE, reg, reg,
+                    1);
+            } else if (inst.isDirectJump()) {
+                // Keep the jump (fetch redirect + Ctrl occupancy),
+                // retargeted to the next flattened slot.
+                RegIndex link = 0;
+                if (inst.writesRd() && !map_reg(inst.rd, link))
+                    return false;
+                flat = Instruction::makeJ(inst.op, link, next);
+            } else if (inst.isIndirectJump()) {
+                // The register's replayed value is meaningless, so
+                // an indirect jump becomes a direct one along the
+                // recorded path.
+                flat = Instruction::makeJ(Opcode::J, 0, next);
+            } else if (inst.isLoad() || inst.isStore()) {
+                if (!rec.hasAddr) {
+                    return fail(format(
+                        "stream %zu, instruction %zu: %s lacks a "
+                        "recorded effective address",
+                        s, i, opName(inst.op)));
+                }
+                if (rec.addr % 8 != 0 ||
+                    rec.addr + 8 > memory_size) {
+                    return fail(format(
+                        "stream %zu, instruction %zu: recorded "
+                        "address 0x%x is misaligned or outside the "
+                        "%u-byte memory",
+                        s, i, rec.addr, memory_size));
+                }
+                RegIndex base = 0;
+                if (!map_reg(inst.rs1, base))
+                    return false;
+                if (inst.isLoad()) {
+                    RegIndex rd = 0;
+                    if (!map_reg(inst.rd, rd))
+                        return false;
+                    flat = Instruction::makeI(Opcode::LD, rd, base, 0);
+                } else {
+                    RegIndex value = 0;
+                    if (!map_reg(inst.rs2, value))
+                        return false;
+                    flat = Instruction::makeB(Opcode::ST, base, value,
+                                              0);
+                }
+                has_addr = true;
+                addr = rec.addr;
+            } else {
+                // Compute/NOP/SPIN: remap the named registers, keep
+                // the immediate.
+                flat = inst;
+                flat.rd = flat.rs1 = flat.rs2 = 0;
+                if (inst.writesRd() && !map_reg(inst.rd, flat.rd))
+                    return false;
+                if (inst.readsRs1() && !map_reg(inst.rs1, flat.rs1))
+                    return false;
+                if (inst.readsRs2() && !map_reg(inst.rs2, flat.rs2))
+                    return false;
+            }
+
+            program.code.push_back(flat.encode());
+            out.addresses.hasAddr.push_back(has_addr ? 1 : 0);
+            out.addresses.addr.push_back(addr);
+        }
+
+        if (!halted) {
+            // Truncated slice (or an unfinished recording): end the
+            // thread cleanly.
+            program.code.push_back(
+                Instruction{Opcode::HALT, 0, 0, 0, 0}.encode());
+            out.addresses.hasAddr.push_back(0);
+            out.addresses.addr.push_back(0);
+        }
+        out.streamLengths.push_back(program.code.size() - entry);
+    }
+
+    // J/JAL targets are 17-bit absolute instruction indices, which
+    // caps the flattened image size.
+    constexpr std::size_t kMaxImage = (1u << 17) - 1;
+    if (program.code.size() > kMaxImage) {
+        return fail(format(
+            "flattened image holds %zu instructions but direct-jump "
+            "targets cap it at %zu; truncate with maxInstsPerStream",
+            program.code.size(), kMaxImage));
+    }
+
+    program.entry = program.threadEntries.empty()
+                        ? 0
+                        : program.threadEntries.front();
+    return true;
+}
+
+} // namespace sdsp

@@ -1,0 +1,26 @@
+; Minimized fuzz repro (sdsp-fuzz --seed 58 --count 1 --shape all,
+; shape "memory", minimized 117 -> 13 instructions).
+;
+; Eight threads each issue a burst of stores. Before the fix, the
+; issue stage reserved only one store-buffer slot for the globally
+; oldest unbuffered store, so an SU block holding several stores
+; could wedge with one store buffered and the rest locked out of a
+; full buffer; the block never completed, never committed, and the
+; buffer never drained: a pipeline deadlock (sim-timeout) on
+; threads=8 fetch=Adaptive su=32 sb=8.
+
+.space scratch 512
+
+    tid r1
+    slli r1, r1, 9
+    tid r7
+    ldi r8, -142
+    tid r10
+    ld r9, 368(r1)
+    rem r11, r9, r7
+    st r11, 232(r1)
+    st r11, 368(r1)
+    st r8, 416(r1)
+    st r9, 424(r1)
+    st r10, 432(r1)
+    halt

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Corpus regression: every minimized fuzz repro checked into
+ * tests/corpus/ must pass the full differential checker on the
+ * machine shapes that historically broke. A failure here means a
+ * previously fixed simulator bug has come back.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "fuzz/differential.hh"
+
+#ifndef SDSP_CORPUS_DIR
+#error "SDSP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace sdsp
+{
+namespace
+{
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(SDSP_CORPUS_DIR)) {
+        if (entry.path().extension() == ".s")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path;
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+}
+
+/** The machine shapes the corpus is replayed on: the paper's default
+ *  plus the dense-thread shapes that exposed past bugs. */
+std::vector<MachineConfig>
+corpusConfigs()
+{
+    std::vector<MachineConfig> configs;
+
+    MachineConfig dflt;
+    configs.push_back(dflt);
+
+    MachineConfig dense;
+    dense.numThreads = 8;
+    dense.fetchPolicy = FetchPolicy::Adaptive;
+    configs.push_back(dense);
+
+    MachineConfig narrow;
+    narrow.numThreads = 4;
+    narrow.fetchPolicy = FetchPolicy::ConditionalSwitch;
+    narrow.suEntries = 16;
+    configs.push_back(narrow);
+
+    return configs;
+}
+
+TEST(Corpus, NotEmpty)
+{
+    EXPECT_FALSE(corpusFiles().empty())
+        << "no .s repros under " << SDSP_CORPUS_DIR;
+}
+
+TEST(Corpus, ReprosPassDifferentialEverywhere)
+{
+    for (const auto &path : corpusFiles()) {
+        Program prog = assemble(slurp(path)).program;
+        for (const MachineConfig &config : corpusConfigs()) {
+            DiffResult result = runDifferential(prog, config);
+            EXPECT_TRUE(result.ok)
+                << path.filename() << " on " << config.toString()
+                << ": " << result.kind << " (" << result.detail
+                << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace sdsp

@@ -157,18 +157,25 @@ TEST(Interpreter, InstructionCounts)
     EXPECT_EQ(interp.totalInstructionCount(), 8u);
 }
 
-TEST(Interpreter, MisalignedAccessPanics)
+TEST(Interpreter, MisalignedAccessFaults)
 {
+    // Bad accesses are contained architectural faults, not process
+    // aborts: fuzz-minimization candidates run through here.
     ProgramBuilder b;
     b.dword("w", 0);
     b.ldi(1, 4);
     b.ld(2, 0, 1); // address 4: misaligned
     b.halt();
     Interpreter interp(b.finish(), 1);
-    EXPECT_DEATH(interp.run(), "misaligned");
+    EXPECT_TRUE(interp.run());
+    EXPECT_TRUE(interp.finished());
+    EXPECT_TRUE(interp.faulted(0));
+    EXPECT_TRUE(interp.anyFaulted());
+    EXPECT_NE(interp.faultMessage().find("misaligned"),
+              std::string::npos);
 }
 
-TEST(Interpreter, OutOfRangeAccessPanics)
+TEST(Interpreter, OutOfRangeAccessFaults)
 {
     ProgramBuilder b;
     b.dword("w", 0);
@@ -177,7 +184,23 @@ TEST(Interpreter, OutOfRangeAccessPanics)
     b.ld(2, 0, 1);
     b.halt();
     Interpreter interp(b.finish(), 1);
-    EXPECT_DEATH(interp.run(), "out of range");
+    EXPECT_TRUE(interp.run());
+    EXPECT_TRUE(interp.faulted(0));
+    // The faulting load writes nothing.
+    EXPECT_EQ(interp.reg(0, 2), 0u);
+}
+
+TEST(Interpreter, RunawayPcFaults)
+{
+    // A program whose control walks past the image end faults rather
+    // than reading out of bounds.
+    ProgramBuilder b;
+    b.ldi(1, 0); // no halt: pc runs off the end
+    Interpreter interp(b.finish(), 1);
+    EXPECT_TRUE(interp.run());
+    EXPECT_TRUE(interp.faulted(0));
+    EXPECT_NE(interp.faultMessage().find("past the end"),
+              std::string::npos);
 }
 
 TEST(Interpreter, ClassCountsCharacterizeWorkload)

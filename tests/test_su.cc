@@ -315,6 +315,36 @@ TEST(Su, OlderUnbufferedStoreIsThreadBlind)
     EXPECT_FALSE(su.hasOlderUnbufferedStore(7));
 }
 
+TEST(Su, CountUnbufferedStoresThroughOwnBlock)
+{
+    // Counts unbuffered stores in blocks below the target and in the
+    // target's own block (both sides), excluding the target — the
+    // store-buffer reservation that keeps the FIFO drain
+    // deadlock-free for blocks holding several stores.
+    auto makeStore = [](Tag seq, ThreadId tid) {
+        SuEntry entry = makeEntry(seq, tid, Opcode::ADD, 0);
+        entry.inst = Instruction::makeB(Opcode::ST, 1, 2, 0);
+        return entry;
+    };
+
+    SchedulingUnit su(16, 4);
+    su.dispatch(makeBlock(0, {makeStore(1, 0), makeStore(2, 0)}));
+    su.dispatch(makeBlock(1, {makeStore(3, 1), makeStore(4, 1),
+                              makeEntry(5, 1, Opcode::ADD, 1)}));
+
+    // Oldest store: only its block-mate counts.
+    EXPECT_EQ(su.countUnbufferedStoresThrough(*su.findBySeq(1)), 1u);
+    EXPECT_EQ(su.countUnbufferedStoresThrough(*su.findBySeq(2)), 1u);
+    // Upper block: both lower stores plus the block-mate.
+    EXPECT_EQ(su.countUnbufferedStoresThrough(*su.findBySeq(3)), 3u);
+    EXPECT_EQ(su.countUnbufferedStoresThrough(*su.findBySeq(4)), 3u);
+
+    // Buffered stores stop counting.
+    su.markStoreBuffered(*su.findBySeq(1));
+    EXPECT_EQ(su.countUnbufferedStoresThrough(*su.findBySeq(2)), 0u);
+    EXPECT_EQ(su.countUnbufferedStoresThrough(*su.findBySeq(4)), 2u);
+}
+
 TEST(Su, OldestFirstIterationOrder)
 {
     SchedulingUnit su(8, 4);

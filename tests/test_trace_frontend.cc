@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the trace frontend: record → read round trips, exact
+ * replay (bit-identical timing), stream-replay cocktails, and the
+ * reader's named error paths — a malformed trace must always be a
+ * TraceError, never a crash.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/processor.hh"
+#include "trace_frontend/replay.hh"
+#include "trace_frontend/trace_format.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+/** A small per-thread-disjoint workload: each thread sums a short
+ *  countdown into its own 16-byte slot. */
+const char *kDemoSource = R"(
+.space scratch 64
+    tid r1
+    slli r1, r1, 4
+    ldi r2, 5
+    ldi r3, 0
+top:
+    add r3, r3, r2
+    st r3, 0(r1)
+    addi r2, r2, -1
+    bne r2, r0, top
+    ld r4, 0(r1)
+    halt
+)";
+
+MachineConfig
+demoConfig(unsigned threads)
+{
+    MachineConfig cfg;
+    cfg.numThreads = threads;
+    cfg.maxCycles = 1'000'000;
+    return cfg;
+}
+
+/** Run the demo program with a TraceRecorder attached; returns the
+ *  trace text and the run's result. */
+std::string
+recordDemo(const MachineConfig &cfg, SimResult *result_out = nullptr)
+{
+    Program prog = assemble(kDemoSource).program;
+    std::ostringstream out;
+    TraceRecorder recorder(out, prog, cfg, "demo.s");
+    Processor cpu(cfg, prog);
+    cpu.setTraceSink(&recorder);
+    SimResult result = cpu.run();
+    EXPECT_TRUE(result.finished);
+    recorder.noteResult(result);
+    recorder.finish();
+    if (result_out)
+        *result_out = result;
+    return out.str();
+}
+
+TraceReadResult
+readText(const std::string &text)
+{
+    std::istringstream in(text);
+    return readTrace(in);
+}
+
+TEST(TraceFormat, RecordReadRoundTrip)
+{
+    MachineConfig cfg = demoConfig(2);
+    SimResult run;
+    std::string text = recordDemo(cfg, &run);
+
+    TraceReadResult loaded = readText(text);
+    ASSERT_TRUE(loaded.ok) << loaded.error.toString();
+    const RecordedTrace &trace = loaded.trace;
+
+    EXPECT_EQ(trace.version, kTraceFormatVersion);
+    EXPECT_EQ(trace.threads, 2u);
+    EXPECT_EQ(trace.cycles, run.cycles);
+    EXPECT_EQ(trace.committed, run.committedInstructions);
+    EXPECT_EQ(trace.totalInsts(), run.committedInstructions);
+    EXPECT_EQ(trace.source, "demo.s");
+    EXPECT_EQ(trace.machine, cfg.toString());
+
+    Program prog = assemble(kDemoSource).program;
+    Program rebuilt = trace.toProgram();
+    EXPECT_EQ(rebuilt.code, prog.code);
+    EXPECT_EQ(rebuilt.memorySize, prog.memorySize);
+    EXPECT_EQ(rebuilt.entry, prog.entry);
+}
+
+TEST(TraceFormat, ExactReplayIsBitIdentical)
+{
+    MachineConfig cfg = demoConfig(2);
+    SimResult run;
+    std::string text = recordDemo(cfg, &run);
+
+    TraceReadResult loaded = readText(text);
+    ASSERT_TRUE(loaded.ok) << loaded.error.toString();
+
+    ExactReplayResult replay = replayExact(loaded.trace, cfg);
+    EXPECT_TRUE(replay.verified) << replay.firstMismatch;
+    EXPECT_EQ(replay.mismatches, 0u);
+    EXPECT_TRUE(replay.sim.finished);
+    EXPECT_EQ(replay.sim.cycles, run.cycles);
+    EXPECT_EQ(replay.sim.committedInstructions,
+              run.committedInstructions);
+}
+
+TEST(TraceFormat, ExactReplayDetectsTamperedStream)
+{
+    MachineConfig cfg = demoConfig(1);
+    std::string text = recordDemo(cfg);
+    // Flip a recorded pc on some inst line: replay must notice.
+    const std::string needle = R"("kind":"inst","tid":0,"pc":2,)";
+    std::size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    std::string tampered = text;
+    tampered.replace(at, needle.size(),
+                     R"("kind":"inst","tid":0,"pc":3,)");
+
+    TraceReadResult loaded = readText(tampered);
+    ASSERT_TRUE(loaded.ok) << loaded.error.toString();
+    ExactReplayResult replay = replayExact(loaded.trace, cfg);
+    EXPECT_FALSE(replay.verified);
+    EXPECT_GT(replay.mismatches, 0u);
+    EXPECT_FALSE(replay.firstMismatch.empty());
+}
+
+TEST(TraceReplay, StreamCocktailRunsToCompletion)
+{
+    // Record two runs and mix their streams: thread 0 of each.
+    MachineConfig rec_cfg = demoConfig(2);
+    std::string text = recordDemo(rec_cfg);
+    TraceReadResult a = readText(text);
+    TraceReadResult b = readText(text);
+    ASSERT_TRUE(a.ok && b.ok);
+
+    std::vector<StreamSource> sources;
+    sources.push_back({&a.trace, 0});
+    sources.push_back({&b.trace, 1});
+
+    MachineConfig cfg = demoConfig(2);
+    StreamReplay cocktail;
+    std::string error;
+    ASSERT_TRUE(buildStreamReplay(sources, cfg.regsPerThread(), {},
+                                  cocktail, &error))
+        << error;
+    ASSERT_EQ(cocktail.numThreads, 2u);
+    ASSERT_EQ(cocktail.program.threadEntries.size(), 2u);
+
+    cfg.numThreads = cocktail.numThreads;
+    Processor cpu(cfg, cocktail.program);
+    cpu.setReplayAddresses(&cocktail.addresses);
+    SimResult result = cpu.run();
+    EXPECT_TRUE(result.finished);
+    for (unsigned t = 0; t < cocktail.numThreads; ++t) {
+        EXPECT_EQ(cpu.committedInstructions(static_cast<ThreadId>(t)),
+                  cocktail.streamLengths[t])
+            << "thread " << t;
+    }
+}
+
+// --------------------------------------------------------------------
+// Reader error paths: every malformed input is a named error.
+// --------------------------------------------------------------------
+
+/** A minimal valid trace, line by line, for mutation tests. */
+std::vector<std::string>
+validLines()
+{
+    InstWord halt = assemble("    halt").program.code.at(0);
+    std::string word = std::to_string(halt);
+    return {
+        R"({"kind":"header","version":1,"threads":1,"entry":0,)"
+        R"("memory":64,"source":"t.s","machine":"m"})",
+        R"({"kind":"code","base":0,"words":[)" + word + "]}",
+        R"({"kind":"inst","tid":0,"pc":0,"word":)" + word + "}",
+        R"({"kind":"end","cycles":3,"committed":1,"threads":[1]})",
+    };
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string text;
+    for (const std::string &line : lines)
+        text += line + "\n";
+    return text;
+}
+
+TEST(TraceReader, ValidMinimalTraceLoads)
+{
+    TraceReadResult result = readText(joinLines(validLines()));
+    ASSERT_TRUE(result.ok) << result.error.toString();
+    EXPECT_EQ(result.trace.threads, 1u);
+    EXPECT_EQ(result.trace.code.size(), 1u);
+    EXPECT_EQ(result.trace.perThread[0].size(), 1u);
+}
+
+TEST(TraceReader, EmptyTrace)
+{
+    TraceReadResult result = readText("");
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::EmptyTrace);
+}
+
+TEST(TraceReader, TornFinalLine)
+{
+    std::vector<std::string> lines = validLines();
+    lines.pop_back();
+    lines.push_back(R"({"kind":"inst","tid":0,"pc)");
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::TornFinalLine);
+    EXPECT_EQ(result.error.line, static_cast<unsigned>(lines.size()));
+}
+
+TEST(TraceReader, BadJsonMidStream)
+{
+    std::vector<std::string> lines = validLines();
+    lines[1] = "not json at all";
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::BadJson);
+    EXPECT_EQ(result.error.line, 2u);
+}
+
+TEST(TraceReader, MissingHeader)
+{
+    std::vector<std::string> lines = validLines();
+    lines.erase(lines.begin());
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::MissingHeader);
+    EXPECT_EQ(result.error.line, 1u);
+}
+
+TEST(TraceReader, BadVersion)
+{
+    std::vector<std::string> lines = validLines();
+    std::size_t at = lines[0].find("\"version\":1");
+    ASSERT_NE(at, std::string::npos);
+    lines[0].replace(at, 11, "\"version\":99");
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::BadVersion);
+}
+
+TEST(TraceReader, UnknownOpcodeInCode)
+{
+    std::vector<std::string> lines = validLines();
+    // 0xFF000000: opcode byte 255, far beyond the defined set.
+    lines[1] = R"({"kind":"code","base":0,"words":[4278190080]})";
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::UnknownOpcode);
+    EXPECT_EQ(result.error.line, 2u);
+}
+
+TEST(TraceReader, OutOfRangeThreadId)
+{
+    std::vector<std::string> lines = validLines();
+    std::size_t at = lines[2].find("\"tid\":0");
+    ASSERT_NE(at, std::string::npos);
+    lines[2].replace(at, 7, "\"tid\":5");
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::BadThreadId);
+    EXPECT_EQ(result.error.line, 3u);
+}
+
+TEST(TraceReader, OutOfRangePc)
+{
+    std::vector<std::string> lines = validLines();
+    std::size_t at = lines[2].find("\"pc\":0");
+    ASSERT_NE(at, std::string::npos);
+    lines[2].replace(at, 6, "\"pc\":7");
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::BadPc);
+}
+
+TEST(TraceReader, MissingEnd)
+{
+    std::vector<std::string> lines = validLines();
+    lines.pop_back();
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::MissingEnd);
+}
+
+TEST(TraceReader, MissingFieldAndBadValue)
+{
+    std::vector<std::string> lines = validLines();
+    lines[2] = R"({"kind":"inst","tid":0,"pc":0})"; // no "word"
+    TraceReadResult result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::MissingField);
+
+    lines = validLines();
+    std::size_t at = lines[3].find("\"committed\":1");
+    ASSERT_NE(at, std::string::npos);
+    lines[3].replace(at, 13, "\"committed\":9");
+    result = readText(joinLines(lines));
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.error.kind, TraceErrorKind::BadValue);
+}
+
+TEST(TraceReader, ErrorKindNamesAreStable)
+{
+    EXPECT_STREQ(traceErrorKindName(TraceErrorKind::TornFinalLine),
+                 "torn-final-line");
+    EXPECT_STREQ(traceErrorKindName(TraceErrorKind::UnknownOpcode),
+                 "unknown-opcode");
+    EXPECT_STREQ(traceErrorKindName(TraceErrorKind::BadThreadId),
+                 "bad-thread-id");
+    EXPECT_STREQ(traceErrorKindName(TraceErrorKind::EmptyTrace),
+                 "empty-trace");
+}
+
+} // namespace
+} // namespace sdsp
