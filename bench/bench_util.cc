@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/logging.hh"
 #include "harness/artifacts.hh"
@@ -80,10 +84,61 @@ printHeader(const std::string &experiment_id, const std::string &title,
                 "=============\n");
 }
 
+namespace
+{
+
+/**
+ * Memoizing adapter: forwards name/group, caches build() images by
+ * (threads, scale). Workload generators are deterministic, so serving
+ * a copy of the first build is bit-identical to rebuilding.
+ */
+class CachedWorkload : public Workload
+{
+  public:
+    explicit CachedWorkload(const Workload &inner) : inner_(inner) {}
+
+    std::string name() const override { return inner_.name(); }
+    BenchmarkGroup group() const override { return inner_.group(); }
+
+    WorkloadImage
+    build(unsigned num_threads, unsigned scale) const override
+    {
+        std::lock_guard<std::mutex> hold(mutex_);
+        auto key = std::make_pair(num_threads, scale);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, inner_.build(num_threads, scale))
+                     .first;
+        return it->second;
+    }
+
+  private:
+    const Workload &inner_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::pair<unsigned, unsigned>, WorkloadImage>
+        cache_;
+};
+
+} // namespace
+
+const Workload &
+cachedWorkload(const Workload &workload)
+{
+    static std::mutex registry_mutex;
+    static std::map<const Workload *, std::unique_ptr<CachedWorkload>>
+        registry;
+    std::lock_guard<std::mutex> hold(registry_mutex);
+    std::unique_ptr<CachedWorkload> &slot = registry[&workload];
+    if (!slot)
+        slot = std::make_unique<CachedWorkload>(workload);
+    return *slot;
+}
+
 RunResult
 runChecked(const Workload &workload, const MachineConfig &config)
 {
-    RunResult result = runWorkload(workload, config, benchScale());
+    RunResult result =
+        runWorkload(cachedWorkload(workload), config, benchScale());
     requireGood(result);
     return result;
 }
@@ -166,8 +221,8 @@ runGrid(const std::vector<const Workload *> &workloads,
     SweepRunner runner;
     for (const Workload *workload : workloads) {
         for (const Variant &variant : variants)
-            runner.add(*workload, variant.config, benchScale(),
-                       variant.name);
+            runner.add(cachedWorkload(*workload), variant.config,
+                       benchScale(), variant.name);
     }
     std::vector<JobOutcome> outcomes = runner.runAll();
 

@@ -62,6 +62,18 @@ void printHeader(const std::string &experiment_id,
  */
 void exportCsv(const Table &table, const std::string &suffix = "");
 
+/**
+ * A process-lifetime cached view of @p workload: build(num_threads,
+ * scale) assembles the program once per distinct (threads, scale) key
+ * and returns copies of the cached image afterwards. Workload
+ * generators are deterministic const objects, so the copy is
+ * bit-identical to a fresh build. The returned reference is stable for
+ * the life of the process (grid points batched by workload identity
+ * compare these pointers), and the cache is thread-safe, so sweep
+ * workers that hit the same benchmark concurrently assemble it once.
+ */
+const Workload &cachedWorkload(const Workload &workload);
+
 /** Run one benchmark, fatal unless it finishes and verifies. */
 RunResult runChecked(const Workload &workload,
                      const MachineConfig &config);

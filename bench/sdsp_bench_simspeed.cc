@@ -10,14 +10,24 @@
  * simulation throughput in MSimCycles/s (simulated cycles per host
  * wall-second, simulation loop only: no workload build, no
  * verification). The best repetition is the headline number; it is
- * what BENCH_baseline.json tracks across PRs.
+ * what BENCH_baseline.json tracks across PRs. The median and the
+ * min..max spread across repetitions are reported alongside, since
+ * on a shared host the spread is often larger than the effect being
+ * measured.
  *
- *     sdsp_bench_simspeed [--reps N] [--scale PCT] [--out FILE]
+ * With --batch B every slice point runs B copies of its
+ * configuration in one BatchRunner pass (shared build + decode, see
+ * harness/batch.hh), measuring batched throughput: total simulated
+ * cycles across all lanes per host second.
+ *
+ *     sdsp_bench_simspeed [--reps N] [--batch B] [--scale PCT]
+ *                         [--out FILE]
  *
  * The JSON artifact goes to --out, else to
  * $SDSP_BENCH_JSON/bench_simspeed.json, else ./bench_simspeed.json.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +38,7 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "harness/artifacts.hh"
+#include "harness/batch.hh"
 
 using namespace sdsp;
 using namespace sdsp::bench;
@@ -59,10 +70,26 @@ struct RepResult
     }
 };
 
+/** Median of the repetitions' MSimCycles/s (even count: lower-middle
+ *  and upper-middle averaged). */
+double
+medianMCycles(const std::vector<RepResult> &reps)
+{
+    std::vector<double> rates;
+    rates.reserve(reps.size());
+    for (const RepResult &rep : reps)
+        rates.push_back(rep.mCyclesPerSecond());
+    std::sort(rates.begin(), rates.end());
+    std::size_t mid = rates.size() / 2;
+    return rates.size() % 2 ? rates[mid]
+                            : 0.5 * (rates[mid - 1] + rates[mid]);
+}
+
 int
 usage(const char *argv0, int code)
 {
-    std::printf("usage: %s [--reps N] [--scale PCT] [--out FILE]\n",
+    std::printf("usage: %s [--reps N] [--batch B] [--scale PCT] "
+                "[--out FILE]\n",
                 argv0);
     return code;
 }
@@ -73,6 +100,7 @@ int
 main(int argc, char **argv)
 {
     unsigned reps = 3;
+    unsigned batch = 0; // < 2 = serial per-point runs
     unsigned scale = benchScale();
     std::string out_path;
 
@@ -92,6 +120,11 @@ main(int argc, char **argv)
             if (value > 100)
                 fatal("--reps out of range: %ld", value);
             reps = static_cast<unsigned>(value);
+        } else if (arg == "--batch") {
+            long value = intArg("--batch");
+            if (value > 256)
+                fatal("--batch out of range: %ld", value);
+            batch = static_cast<unsigned>(value);
         } else if (arg == "--scale") {
             long value = intArg("--scale");
             if (value > 1000)
@@ -120,8 +153,11 @@ main(int argc, char **argv)
     const std::vector<unsigned> thread_counts = {1, 4, 6};
 
     std::printf("sdsp_bench_simspeed: %zu workloads x %zu thread "
-                "counts, scale %u%%, %u reps\n",
+                "counts, scale %u%%, %u reps",
                 workloads.size(), thread_counts.size(), scale, reps);
+    if (batch >= 2)
+        std::printf(", batch %u", batch);
+    std::printf("\n");
 
     std::vector<RepResult> rep_results;
     std::vector<RunResult> last_runs;
@@ -129,14 +165,33 @@ main(int argc, char **argv)
         RepResult aggregate;
         last_runs.clear();
         for (const Workload *workload : workloads) {
+            const Workload &cached = cachedWorkload(*workload);
             for (unsigned threads : thread_counts) {
-                RunResult result =
-                    runWorkload(*workload, paperConfig(threads), scale);
-                requireGood(result);
-                aggregate.cycles += result.cycles;
-                aggregate.insts += result.committed;
-                aggregate.simSeconds += result.simSeconds;
-                last_runs.push_back(std::move(result));
+                if (batch >= 2) {
+                    // Batched mode: B lanes of the point's config in
+                    // one pass over one shared decoded program.
+                    std::vector<MachineConfig> configs(
+                        batch, paperConfig(threads));
+                    std::vector<LimitedRunResult> lanes =
+                        runWorkloadBatch(cached, std::move(configs),
+                                         scale);
+                    for (LimitedRunResult &lane : lanes) {
+                        requireGood(lane.result);
+                        aggregate.cycles += lane.result.cycles;
+                        aggregate.insts += lane.result.committed;
+                        aggregate.simSeconds += lane.result.simSeconds;
+                    }
+                    last_runs.push_back(
+                        std::move(lanes.front().result));
+                } else {
+                    RunResult result = runWorkload(
+                        cached, paperConfig(threads), scale);
+                    requireGood(result);
+                    aggregate.cycles += result.cycles;
+                    aggregate.insts += result.committed;
+                    aggregate.simSeconds += result.simSeconds;
+                    last_runs.push_back(std::move(result));
+                }
             }
         }
         rep_results.push_back(aggregate);
@@ -148,16 +203,23 @@ main(int argc, char **argv)
     }
 
     std::size_t best = 0;
+    double rate_min = rep_results.front().mCyclesPerSecond();
+    double rate_max = rate_min;
     for (std::size_t i = 1; i < rep_results.size(); ++i) {
-        if (rep_results[i].mCyclesPerSecond() >
-            rep_results[best].mCyclesPerSecond()) {
+        double rate = rep_results[i].mCyclesPerSecond();
+        rate_min = std::min(rate_min, rate);
+        rate_max = std::max(rate_max, rate);
+        if (rate > rep_results[best].mCyclesPerSecond())
             best = i;
-        }
     }
     const RepResult &headline = rep_results[best];
+    double median = medianMCycles(rep_results);
     std::printf("best: %.2f MSimCycles/s, %.2f MSimInsts/s\n",
                 headline.mCyclesPerSecond(),
                 headline.mInstsPerSecond());
+    std::printf("median: %.2f MSimCycles/s (spread %.2f..%.2f over "
+                "%zu reps)\n",
+                median, rate_min, rate_max, rep_results.size());
 
     JsonWriter writer;
     writer.beginObject();
@@ -167,6 +229,7 @@ main(int argc, char **argv)
     appendHostJson(writer);
     writer.field("scale", scale);
     writer.field("reps", reps);
+    writer.field("batch", batch);
     writer.field("grid_points",
                  std::uint64_t{workloads.size() * thread_counts.size()});
     writer.field("sim_cycles", headline.cycles);
@@ -175,6 +238,9 @@ main(int argc, char **argv)
     writer.field("m_sim_cycles_per_second",
                  headline.mCyclesPerSecond());
     writer.field("m_sim_insts_per_second", headline.mInstsPerSecond());
+    writer.field("median_m_sim_cycles_per_second", median);
+    writer.field("min_m_sim_cycles_per_second", rate_min);
+    writer.field("max_m_sim_cycles_per_second", rate_max);
     writer.key("reps_m_sim_cycles_per_second").beginArray();
     for (const RepResult &rep : rep_results)
         writer.value(rep.mCyclesPerSecond());

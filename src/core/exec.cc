@@ -16,6 +16,7 @@ FuPool::FuPool(const FuConfig &config) : cfg(config)
     // generous fixed amount so issue never reallocates in steady
     // state.
     inflight.reserve(256);
+    deferred.reserve(64);
 }
 
 std::vector<FuPool::Instance> &
@@ -57,7 +58,13 @@ FuPool::issue(FuClass cls, Tag seq, Cycle now, Cycle extra_latency)
         instance.busy += occupancy;
         Cycle complete = now + latency + extra_latency;
         bool counts = cls != FuClass::Store;
+        // The inflight list is a binary min-heap on (completion time,
+        // tag): O(log n) swaps here instead of a per-cycle sort (or a
+        // sorted-vector insert's memmove) keeps both ends of the
+        // queue cheap.
         inflight.push_back({{seq, complete, cls, counts}, false});
+        std::push_heap(inflight.begin(), inflight.end(),
+                       inflightAfter);
         return complete;
     }
     panic("issue to %s without a free instance", fuClassName(cls));
@@ -67,39 +74,36 @@ void
 FuPool::drainCompletions(Cycle now, unsigned max_results,
                          std::vector<FuCompletion> &out)
 {
-    // Stable order: completion time, then tag (age). The inflight
-    // list is small (bounded by SU size), so sorting per cycle is
-    // cheap and keeps behaviour deterministic.
-    std::sort(inflight.begin(), inflight.end(),
-              [](const Inflight &a, const Inflight &b) {
-                  if (a.completion.completeCycle !=
-                      b.completion.completeCycle) {
-                      return a.completion.completeCycle <
-                             b.completion.completeCycle;
-                  }
-                  return a.completion.seq < b.completion.seq;
-              });
-
+    // Pop due completions off the min-heap in (completion time, tag)
+    // order. A completion held back by the result-port limit is set
+    // aside and re-pushed afterwards, so store completions behind it
+    // (which consume no port) still drain this cycle — exactly the
+    // historical sorted-walk semantics.
     unsigned drained = 0;
-    auto it = inflight.begin();
-    while (it != inflight.end()) {
-        if (it->completion.completeCycle > now)
+    deferred.clear();
+    while (!inflight.empty()) {
+        if (inflight.front().completion.completeCycle > now)
             break;
-        if (it->cancelled) {
-            it = inflight.erase(it);
+        std::pop_heap(inflight.begin(), inflight.end(),
+                      inflightAfter);
+        Inflight op = inflight.back();
+        inflight.pop_back();
+        if (op.cancelled)
             continue;
-        }
-        if (it->completion.countsAgainstWidth &&
+        if (op.completion.countsAgainstWidth &&
             drained >= max_results) {
-            // Result-port limit reached; this completion (and any
-            // behind it) waits for a later cycle.
-            ++it;
+            // Result-port limit reached; waits for a later cycle.
+            deferred.push_back(op);
             continue;
         }
-        out.push_back(it->completion);
-        if (it->completion.countsAgainstWidth)
+        out.push_back(op.completion);
+        if (op.completion.countsAgainstWidth)
             ++drained;
-        it = inflight.erase(it);
+    }
+    for (const Inflight &op : deferred) {
+        inflight.push_back(op);
+        std::push_heap(inflight.begin(), inflight.end(),
+                       inflightAfter);
     }
 }
 

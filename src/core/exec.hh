@@ -119,9 +119,22 @@ class FuPool
     std::vector<Instance> &instancesOf(FuClass cls);
     const std::vector<Instance> &instancesOf(FuClass cls) const;
 
+    /** Min-heap order: a sorts after b by (completeCycle, seq). */
+    static bool
+    inflightAfter(const Inflight &a, const Inflight &b)
+    {
+        if (a.completion.completeCycle != b.completion.completeCycle)
+            return a.completion.completeCycle >
+                   b.completion.completeCycle;
+        return a.completion.seq > b.completion.seq;
+    }
+
     FuConfig cfg;
     std::vector<std::vector<Instance>> instances; //!< per class
-    std::vector<Inflight> inflight;               //!< unsorted
+    /** In-flight operations: min-heap on (completeCycle, seq). */
+    std::vector<Inflight> inflight;
+    /** Scratch for port-limited completions during a drain. */
+    std::vector<Inflight> deferred;
 };
 
 } // namespace sdsp

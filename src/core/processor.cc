@@ -60,8 +60,14 @@ stallReasonName(StallReason reason)
 }
 
 Processor::Processor(const MachineConfig &config, const Program &program)
+    : Processor(config, DecodedProgram::decode(program))
+{
+}
+
+Processor::Processor(const MachineConfig &config,
+                     std::shared_ptr<const DecodedProgram> program)
     : cfg(validated(config)),
-      prog(program),
+      prog(std::move(program)),
       mem(),
       cache(config.dcache),
       icache(config.perfectICache
@@ -73,7 +79,7 @@ Processor::Processor(const MachineConfig &config, const Program &program)
       su(config.suBlocks(), config.blockSize, config.numThreads,
          config.regsPerThread()),
       fus(config.fu),
-      fetch(cfg, decodedCode, btb, icache.get()),
+      fetch(cfg, prog->code, btb, icache.get()),
       statCommittedPerThread(config.numThreads, 0),
       statIssueHistogram(config.issueWidth + 1, 0),
       statStallCycles(config.numThreads),
@@ -82,46 +88,25 @@ Processor::Processor(const MachineConfig &config, const Program &program)
       spanReason(config.numThreads, StallReason::Active),
       spanStart(config.numThreads, 0)
 {
-    // Pre-decode the text once; fetch reads the decoded form.
-    decodedCode.reserve(prog.code.size());
-    for (InstWord word : prog.code)
-        decodedCode.push_back(Instruction::decode(word));
-
     // Reject programs that name registers outside the per-thread
     // static partition for this thread count.
-    unsigned budget = cfg.regsPerThread();
-    for (std::size_t i = 0; i < decodedCode.size(); ++i) {
-        const Instruction &inst = decodedCode[i];
-        const OpInfo &oi = inst.info();
-        unsigned top = 0;
-        if (oi.flags & kWritesRd)
-            top = std::max<unsigned>(top, inst.rd);
-        if (oi.flags & kReadsRs1)
-            top = std::max<unsigned>(top, inst.rs1);
-        if (oi.flags & kReadsRs2)
-            top = std::max<unsigned>(top, inst.rs2);
-        if (top >= budget) {
-            fatal("instruction %zu (%s) names r%u but the %u-thread "
-                  "partition allows only r0..r%u",
-                  i, inst.toString().c_str(), top, cfg.numThreads,
-                  budget - 1);
-        }
-    }
+    prog->checkRegisterPartition(cfg.numThreads, cfg.regsPerThread());
 
     // Trace-stream cocktails start each hardware thread at its own
     // entry PC; plain programs leave threadEntries empty and every
     // thread starts at prog.entry as before.
-    if (!prog.threadEntries.empty()) {
-        sdsp_assert(prog.threadEntries.size() >= cfg.numThreads,
+    if (!prog->program.threadEntries.empty()) {
+        sdsp_assert(prog->program.threadEntries.size() >=
+                        cfg.numThreads,
                     "program provides %zu thread entries but the "
                     "machine has %u threads",
-                    prog.threadEntries.size(), cfg.numThreads);
+                    prog->program.threadEntries.size(), cfg.numThreads);
         for (unsigned t = 0; t < cfg.numThreads; ++t)
             fetch.setThreadPc(static_cast<ThreadId>(t),
-                              prog.threadEntries[t]);
+                              prog->program.threadEntries[t]);
     }
 
-    mem.loadProgram(prog);
+    mem.loadProgram(prog->program);
 }
 
 Processor::~Processor() = default;
@@ -153,11 +138,12 @@ Processor::commitStage()
         su.selectCommit(cfg.commitWindowBlocks());
 
     // The paper's Masked Round Robin (and the adaptive extension)
-    // react to the *lower-most* block failing to commit.
-    const SuBlock &bottom = su.contents().front();
+    // react to the *lower-most* block failing to commit. A complete
+    // bottom block always wins the bottom-up selection at index 0, so
+    // whenever it is not the one committing it is incomplete.
     bool bottom_commits = selection.found && selection.blockIndex == 0;
-    if (!bottom_commits && !bottom.complete()) {
-        fetch.onCommitBlockedBottom(bottom.tid);
+    if (!bottom_commits) {
+        fetch.onCommitBlockedBottom(su.contents().front().tid);
         ++statCommitBlockedCycles;
     }
 
@@ -466,7 +452,7 @@ Processor::tryIssue(SuEntry &entry)
 
     executeEntry(entry);
     fus.issue(cls, entry.seq, now, extra_latency);
-    entry.state = EntryState::Issued;
+    su.markIssued(entry);
     entry.issuedAt = now;
     ++statIssued;
     cycleFlags[entry.tid] |= kFlagProgress;
@@ -488,17 +474,22 @@ void
 Processor::issueStage()
 {
     unsigned issued = 0;
-    su.forEachOldestFirst([&](SuEntry &entry) {
-        if (issued >= cfg.issueWidth)
-            return false;
-        if (entry.state != EntryState::Ready ||
-            entry.earliestIssue > now) {
-            return true;
-        }
-        if (tryIssue(entry))
-            ++issued;
-        return true;
-    });
+    // The SU tracks how many entries are Ready; stop the oldest-first
+    // scan once all of them have been seen (and skip it entirely on
+    // the frequent cycles where nothing is ready).
+    unsigned remaining = su.readyEntries();
+    if (remaining > 0) {
+        su.forEachOldestFirst([&](SuEntry &entry) {
+            if (issued >= cfg.issueWidth)
+                return false;
+            if (entry.state != EntryState::Ready)
+                return true;
+            --remaining;
+            if (entry.earliestIssue <= now && tryIssue(entry))
+                ++issued;
+            return remaining > 0;
+        });
+    }
     ++statIssueHistogram[issued];
 }
 
@@ -571,13 +562,13 @@ Processor::dispatchStage()
         }
     }
 
-    SuBlock block = su.acquireBlock();
-    block.tid = tid;
-    block.blockSeq = nextSeq;
+    SuBlock &block = su.beginDispatch(tid, nextSeq);
 
     for (const FetchedInst &slot : fetched.insts) {
-        SuEntry entry;
-        entry.valid = true;
+        // Build the entry in place. It stays valid=false while its
+        // operands rename so the partial-block scan in renameOperand
+        // cannot see the instruction as a producer of its own source.
+        SuEntry &entry = block.entries.emplace_back();
         entry.seq = nextSeq++;
         entry.tid = tid;
         entry.pc = slot.pc;
@@ -603,11 +594,11 @@ Processor::dispatchStage()
         if (slot.inst.isSwitchTrigger())
             fetch.onSwitchTrigger();
 
-        block.entries.push_back(entry);
+        entry.valid = true;
         ++statDispatched;
     }
 
-    su.dispatch(std::move(block));
+    su.finishDispatch();
     fetchLatchFull = false;
     cycleFlags[tid] |= kFlagProgress;
 

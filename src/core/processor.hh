@@ -39,6 +39,7 @@
 #include "core/fetch.hh"
 #include "core/regfile.hh"
 #include "core/su.hh"
+#include "isa/decoded_program.hh"
 #include "isa/program.hh"
 #include "memory/cache.hh"
 #include "memory/main_memory.hh"
@@ -123,6 +124,16 @@ class Processor
      * the configuration's thread count.
      */
     Processor(const MachineConfig &config, const Program &program);
+
+    /**
+     * Build a processor over an already-decoded program, sharing the
+     * immutable text and decoded-instruction table with any number of
+     * other processors (the batched execution engine decodes each
+     * program once and runs every machine variant against it). Same
+     * register-partition check as the Program overload.
+     */
+    Processor(const MachineConfig &config,
+              std::shared_ptr<const DecodedProgram> program);
 
     ~Processor();
 
@@ -281,8 +292,9 @@ class Processor
     void flushStallSpan(ThreadId tid, Cycle end_excl);
 
     MachineConfig cfg;
-    Program prog;
-    std::vector<Instruction> decodedCode;
+    /** The program and its decoded text, possibly shared with other
+     *  processors (batched execution). Immutable for the run. */
+    std::shared_ptr<const DecodedProgram> prog;
 
     MainMemory mem;
     DataCache cache;

@@ -174,6 +174,8 @@ SchedulingUnit::indexBlock(SuBlock &block)
         ++validPerThread[entry.tid];
         if (entry.state != EntryState::Done)
             ++pendingPerThread[entry.tid];
+        if (entry.state == EntryState::Ready)
+            ++readyCount;
 
         insertSlot(entry.seq).entry = &entry;
 
@@ -232,6 +234,8 @@ SchedulingUnit::unindexEntry(SuEntry &entry)
     --validPerThread[entry.tid];
     if (entry.state != EntryState::Done)
         --pendingPerThread[entry.tid];
+    if (entry.state == EntryState::Ready && readyCount > 0)
+        --readyCount;
     eraseSlot(entry.seq);
 
     if (entry.inst.writesRd()) {
@@ -310,6 +314,33 @@ SchedulingUnit::dispatch(SuBlock block)
     indexBlock(blocks.back());
 }
 
+SuBlock &
+SchedulingUnit::beginDispatch(ThreadId tid, Tag block_seq)
+{
+    sdsp_assert(hasSpace(), "dispatch into a full SU");
+    blocks.emplace_back();
+    SuBlock &block = blocks.back();
+    if (!entryPool.empty()) {
+        block.entries = std::move(entryPool.back());
+        entryPool.pop_back();
+        block.entries.clear();
+    }
+    block.entries.reserve(blockSize);
+    block.tid = tid;
+    block.blockSeq = block_seq;
+    return block;
+}
+
+void
+SchedulingUnit::finishDispatch()
+{
+    sdsp_assert(!blocks.empty(),
+                "finishDispatch without beginDispatch");
+    sdsp_assert(blocks.back().entries.size() <= blockSize,
+                "oversized block dispatched");
+    indexBlock(blocks.back());
+}
+
 const SuEntry *
 SchedulingUnit::findNewestWriter(ThreadId tid, RegIndex reg) const
 {
@@ -355,6 +386,7 @@ SchedulingUnit::broadcast(Tag seq, RegVal value, Cycle now,
         operand.value = value;
         if (entry.operandsReady()) {
             entry.state = EntryState::Ready;
+            ++readyCount;
             entry.earliestIssue =
                 std::max(entry.earliestIssue, earliest);
         }
@@ -385,6 +417,8 @@ SchedulingUnit::squashThread(ThreadId tid, Tag after,
             --validPerThread[tid];
             if (entry.state != EntryState::Done)
                 --pendingPerThread[tid];
+            if (entry.state == EntryState::Ready && readyCount > 0)
+                --readyCount;
             ++squashed;
             if (squashed_seqs)
                 squashed_seqs->push_back(entry.seq);
@@ -457,12 +491,28 @@ SchedulingUnit::selectCommit(unsigned window_blocks) const
 {
     std::size_t window = std::min<std::size_t>(window_blocks,
                                                blocks.size());
+    // Single bottom-up pass: a complete block commits iff no
+    // incomplete block strictly below belongs to the same thread
+    // (paper section 3.5), so it suffices to carry the set of
+    // threads with an incomplete block seen so far.
+    if (numThreads <= 64) {
+        std::uint64_t incomplete_tids = 0;
+        for (std::size_t i = 0; i < window; ++i) {
+            const SuBlock &candidate = blocks[i];
+            if (candidate.complete()) {
+                if (!((incomplete_tids >> candidate.tid) & 1))
+                    return {true, i};
+            } else {
+                incomplete_tids |= std::uint64_t{1} << candidate.tid;
+            }
+        }
+        return {false, 0};
+    }
+    // Arbitrary thread counts (direct SU use): quadratic rescan.
     for (std::size_t i = 0; i < window; ++i) {
         const SuBlock &candidate = blocks[i];
         if (!candidate.complete())
             continue;
-        // Every incomplete block strictly below must belong to a
-        // different thread (paper section 3.5).
         bool blocked = false;
         for (std::size_t j = 0; j < i; ++j) {
             if (!blocks[j].complete() && blocks[j].tid == candidate.tid) {

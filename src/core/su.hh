@@ -36,6 +36,7 @@
 #ifndef SDSP_CORE_SU_HH
 #define SDSP_CORE_SU_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <utility>
@@ -211,8 +212,30 @@ class SchedulingUnit
     {
         if (entry.state != EntryState::Done && entry.valid)
             --pendingPerThread[entry.tid];
+        if (entry.state == EntryState::Ready && entry.valid &&
+            readyCount > 0) {
+            --readyCount;
+        }
         entry.state = EntryState::Done;
     }
+
+    /** Transition @p entry from Ready to Issued, keeping the ready
+     *  count in sync. The issue stage must use this instead of
+     *  writing entry.state directly. */
+    void
+    markIssued(SuEntry &entry)
+    {
+        if (entry.state == EntryState::Ready && entry.valid &&
+            readyCount > 0) {
+            --readyCount;
+        }
+        entry.state = EntryState::Issued;
+    }
+
+    /** Valid entries currently in the Ready state. The issue stage
+     *  scans only until it has seen this many, which turns the
+     *  common nothing-is-ready cycle into a constant-time check. */
+    unsigned readyEntries() const { return readyCount; }
 
     /**
      * Take a block with pooled (recycled) entry storage. Fill it and
@@ -228,6 +251,18 @@ class SchedulingUnit
 
     /** Append a decoded block at the top. Caller checked hasSpace(). */
     void dispatch(SuBlock block);
+
+    /**
+     * In-place dispatch, avoiding the block move of dispatch():
+     * append an empty block (pooled entry storage) at the top and
+     * return it for direct filling. The block is not indexed until
+     * finishDispatch(), so operand lookups during renaming still see
+     * only older entries. Caller checked hasSpace().
+     */
+    SuBlock &beginDispatch(ThreadId tid, Tag block_seq);
+
+    /** Index the block returned by beginDispatch(). */
+    void finishDispatch();
 
     /**
      * Operand lookup for the decoder: find the newest in-flight
@@ -335,24 +370,35 @@ class SchedulingUnit
     std::size_t
     countUnbufferedStoresThrough(const SuEntry &target) const
     {
+        // Tags are assigned in dispatch order, so the block list is
+        // ascending in blockSeq and each block covers the contiguous
+        // tag range [blockSeq, blockSeq + entries.size()). Locate the
+        // target's block by binary search and count, in the sorted
+        // per-thread disambiguation lists, every unbuffered store
+        // whose tag falls below the end of that range. The target is
+        // itself an unbuffered store below the bound — exclude it.
+        // Equivalent to (but much cheaper than) walking every entry
+        // of every block up to and including the target's.
+        auto it = std::upper_bound(
+            blocks.begin(), blocks.end(), target.seq,
+            [](Tag seq, const SuBlock &block) {
+                return seq < block.blockSeq;
+            });
+        sdsp_assert(it != blocks.begin(),
+                    "store entry not resident in the SU");
+        const SuBlock &home = *(it - 1);
+        Tag bound = home.blockSeq + home.entries.size();
+        sdsp_assert(target.seq < bound,
+                    "store entry not resident in the SU");
         std::size_t count = 0;
-        for (const auto &block : blocks) {
-            bool target_here = false;
-            for (const auto &entry : block.entries) {
-                if (!entry.valid)
-                    continue;
-                if (&entry == &target) {
-                    target_here = true;
-                    continue;
-                }
-                if (entry.inst.isStore() && !entry.storeBuffered)
-                    ++count;
-            }
-            if (target_here)
-                return count;
+        for (const std::vector<Tag> &list : unbufferedStores) {
+            count += static_cast<std::size_t>(
+                std::lower_bound(list.begin(), list.end(), bound) -
+                list.begin());
         }
-        sdsp_assert(false, "store entry not resident in the SU");
-        return count;
+        sdsp_assert(count > 0,
+                    "target store missing from disambiguation index");
+        return count - 1;
     }
 
     /**
@@ -453,6 +499,8 @@ class SchedulingUnit
     std::vector<unsigned> validPerThread;
     /** Valid entries per thread not yet Done (see pendingOf). */
     std::vector<unsigned> pendingPerThread;
+    /** Valid entries in the Ready state (see readyEntries()). */
+    unsigned readyCount = 0;
 
     // ---- Indices (see file comment) ----
     std::vector<TagSlot> tagSlots; //!< power-of-two open addressing

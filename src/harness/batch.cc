@@ -1,0 +1,212 @@
+#include "harness/batch.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "isa/decoded_program.hh"
+
+namespace sdsp
+{
+
+BatchRunner::BatchRunner(const Workload &workload,
+                         std::vector<MachineConfig> configs,
+                         unsigned scale, const RunLimits &limits_in,
+                         std::uint64_t slice_cycles)
+    : limits(limits_in),
+      sliceCycles(slice_cycles ? slice_cycles : kDefaultSliceCycles)
+{
+    sdsp_assert(!configs.empty(), "batch without configurations");
+    start = std::chrono::steady_clock::now();
+
+    // The workload build depends on the thread count, so one shared
+    // image requires one shared thread count.
+    unsigned threads = configs.front().numThreads;
+    for (const MachineConfig &config : configs) {
+        sdsp_assert(config.numThreads == threads,
+                    "batched configurations must share a thread count "
+                    "(%u vs %u)",
+                    config.numThreads, threads);
+    }
+
+    // Built once, decoded once; every lane shares the immutable
+    // decoded image.
+    image = workload.build(threads, scale);
+    std::shared_ptr<const DecodedProgram> program =
+        DecodedProgram::decode(image.program);
+
+    lanes.reserve(configs.size());
+    for (MachineConfig &config : configs) {
+        Lane lane;
+        lane.config = config;
+        lane.effective = config;
+        if (limits.maxCycles && limits.maxCycles < config.maxCycles) {
+            lane.effective.maxCycles = limits.maxCycles;
+            lane.cycleBudgeted = true;
+        }
+        lane.cpu = std::make_unique<Processor>(lane.effective, program);
+        lanes.push_back(std::move(lane));
+    }
+    liveLanes = lanes.size();
+
+    if (limits.timeoutSeconds > 0.0) {
+        deadlineArmed = true;
+        deadline =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            limits.timeoutSeconds));
+    }
+}
+
+BatchRunner::~BatchRunner() = default;
+
+Processor &
+BatchRunner::processor(std::size_t i)
+{
+    sdsp_assert(i < lanes.size(), "batch lane index out of range");
+    return *lanes[i].cpu;
+}
+
+void
+BatchRunner::finishLane(Lane &lane)
+{
+    lane.running = false;
+    --liveLanes;
+    lane.cpu->finishTrace();
+    lane.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+}
+
+bool
+BatchRunner::stepSlice()
+{
+    if (liveLanes == 0)
+        return false;
+
+    for (Lane &lane : lanes) {
+        if (!lane.running)
+            continue;
+        Processor &cpu = *lane.cpu;
+        auto slice_start = std::chrono::steady_clock::now();
+        std::uint64_t slice_end = std::min<std::uint64_t>(
+            lane.effective.maxCycles, cpu.cycle() + sliceCycles);
+        while (!cpu.done() && cpu.cycle() < slice_end)
+            cpu.step();
+        lane.simSeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - slice_start)
+                .count();
+        if (cpu.done() || cpu.cycle() >= lane.effective.maxCycles)
+            finishLane(lane);
+    }
+
+    // Shared wall-clock deadline, checked once per round like the
+    // serial watchdog checks once per slice. Lanes that finished
+    // inside this round are not timed out.
+    if (deadlineArmed && liveLanes > 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+        for (Lane &lane : lanes) {
+            if (lane.running) {
+                lane.wallTimedOut = true;
+                finishLane(lane);
+            }
+        }
+    }
+    return liveLanes > 0;
+}
+
+std::vector<LimitedRunResult>
+BatchRunner::run()
+{
+    while (stepSlice()) {
+    }
+
+    // Fill one result per lane exactly as runWorkloadImpl does for a
+    // serial run (harness/runner.cc), so batched and serial artifacts
+    // agree in every deterministic field.
+    std::vector<LimitedRunResult> out;
+    out.reserve(lanes.size());
+    for (Lane &lane : lanes) {
+        Processor &cpu = *lane.cpu;
+        LimitedRunResult limited;
+        RunResult &result = limited.result;
+
+        bool finished = cpu.done();
+        result.benchmark = image.name;
+        result.config = lane.config;
+        result.finished = finished;
+        result.cycles = cpu.cycle();
+        result.committed = cpu.committedInstructions();
+        result.ipc = result.cycles
+                         ? static_cast<double>(result.committed) /
+                               static_cast<double>(result.cycles)
+                         : 0.0;
+        result.cacheHitRate = cpu.dcache().hitRate();
+        result.branchAccuracy = cpu.predictor().accuracy();
+        result.suStalls = cpu.suStalls();
+        result.flexCommits = cpu.flexibleCommits();
+        result.stallCycles.resize(lane.config.numThreads);
+        for (unsigned t = 0; t < lane.config.numThreads; ++t) {
+            for (unsigned r = 0; r < kNumStallReasons; ++r) {
+                result.stallCycles[t][r] =
+                    cpu.stallCycles(static_cast<ThreadId>(t),
+                                    static_cast<StallReason>(r));
+            }
+        }
+        cpu.reportStats(result.stats);
+
+        if (finished) {
+            VerifyResult verdict = image.verify(cpu.memory());
+            result.verified = verdict.ok;
+            result.verifyMessage = verdict.message;
+        } else {
+            result.verified = false;
+            if (lane.wallTimedOut) {
+                result.verifyMessage = format(
+                    "wall-clock budget (%.3f s) exceeded at cycle "
+                    "%llu",
+                    limits.timeoutSeconds,
+                    static_cast<unsigned long long>(result.cycles));
+            } else if (lane.cycleBudgeted &&
+                       result.cycles >= lane.effective.maxCycles) {
+                result.verifyMessage = format(
+                    "simulated-cycle budget (%llu cycles) exceeded",
+                    static_cast<unsigned long long>(
+                        lane.effective.maxCycles));
+            } else {
+                result.verifyMessage = "simulation hit the cycle cap";
+            }
+            limited.timedOut =
+                lane.wallTimedOut ||
+                (lane.cycleBudgeted &&
+                 result.cycles >= lane.effective.maxCycles);
+            if (limited.timedOut)
+                limited.timeoutReason = result.verifyMessage;
+        }
+        result.wallSeconds = lane.wallSeconds;
+        result.simSeconds = lane.simSeconds;
+        if (result.simSeconds > 0.0) {
+            result.simCyclesPerSecond =
+                static_cast<double>(result.cycles) / result.simSeconds;
+            result.simInstsPerSecond =
+                static_cast<double>(result.committed) /
+                result.simSeconds;
+        }
+        out.push_back(std::move(limited));
+    }
+    return out;
+}
+
+std::vector<LimitedRunResult>
+runWorkloadBatch(const Workload &workload,
+                 std::vector<MachineConfig> configs, unsigned scale,
+                 const RunLimits &limits)
+{
+    BatchRunner batch(workload, std::move(configs), scale, limits);
+    return batch.run();
+}
+
+} // namespace sdsp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Batched execution engine: run B machine variants over one workload
+ * in a single pass.
+ *
+ * Every paper figure sweeps many machine configurations against the
+ * same benchmark program, and the serial harness pays the workload
+ * build and instruction decode once per grid point. BatchRunner
+ * builds the workload once, decodes the program once (see
+ * isa/decoded_program.hh), and constructs one Processor per
+ * configuration, all sharing the immutable decoded image. The cycle
+ * loop then interleaves the configurations in the inner dimension:
+ * each round advances every still-running processor by one slice of
+ * cycles, so the shared program text stays warm while each
+ * processor's private state (SU, store buffer, caches, memory image)
+ * is touched in one contiguous burst per round.
+ *
+ * Bit-identity: processors never interact — each step() touches only
+ * its own state plus the shared *immutable* program — so every
+ * configuration's cycle count, committed-instruction count,
+ * architectural registers/memory, stall attribution and statistics
+ * are bit-identical to a serial runWorkload() of the same
+ * configuration, for any slice size and any batch composition. The
+ * differential test (test_batch) asserts this.
+ *
+ * Budgets mirror runWorkloadLimited(): a per-configuration
+ * simulated-cycle budget clamps onto each config's own maxCycles, and
+ * the wall-clock budget is a shared deadline measured from batch
+ * start (the batch is one unit of work; its members share the host).
+ */
+
+#ifndef SDSP_HARNESS_BATCH_HH
+#define SDSP_HARNESS_BATCH_HH
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace sdsp
+{
+
+/** Runs B configurations of one workload concurrently (interleaved
+ *  on the calling thread), sharing one built + decoded program. */
+class BatchRunner
+{
+  public:
+    /** Cycles each configuration advances per interleave round. Any
+     *  value produces bit-identical results; this one amortizes the
+     *  round overhead while keeping the wall-clock deadline check as
+     *  responsive as the serial harness's (runner.cc kSliceCycles). */
+    static constexpr std::uint64_t kDefaultSliceCycles = 4096;
+
+    /**
+     * Build the workload at (@p configs front's numThreads, @p scale)
+     * once and construct one processor per configuration.
+     *
+     * All configurations must agree on numThreads (the workload build
+     * depends on it); the constructor asserts this. @p configs must
+     * be non-empty.
+     */
+    BatchRunner(const Workload &workload,
+                std::vector<MachineConfig> configs, unsigned scale,
+                const RunLimits &limits = {},
+                std::uint64_t slice_cycles = kDefaultSliceCycles);
+
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /** Configurations in the batch. */
+    std::size_t size() const { return lanes.size(); }
+
+    /** Processor of configuration @p i (tests: inspect state while
+     *  stepping the batch manually with stepSlice()). */
+    Processor &processor(std::size_t i);
+
+    /**
+     * Advance every still-running configuration by one slice, then
+     * check the shared wall-clock deadline.
+     *
+     * @return true while at least one configuration is still running.
+     */
+    bool stepSlice();
+
+    /**
+     * Run the batch to completion and return one result per
+     * configuration, in input order, each filled exactly like
+     * runWorkloadLimited() fills it (verification included).
+     */
+    std::vector<LimitedRunResult> run();
+
+  private:
+    /** Per-configuration execution state. */
+    struct Lane
+    {
+        MachineConfig config;    //!< as given (reported in results)
+        MachineConfig effective; //!< budget-clamped maxCycles
+        bool cycleBudgeted = false;
+        std::unique_ptr<Processor> cpu;
+        bool running = true;
+        bool wallTimedOut = false;
+        /** Host seconds this lane's slices have consumed. */
+        double simSeconds = 0.0;
+        /** Wall seconds from batch start to this lane stopping. */
+        double wallSeconds = 0.0;
+    };
+
+    void finishLane(Lane &lane);
+
+    WorkloadImage image;
+    RunLimits limits;
+    std::uint64_t sliceCycles;
+    std::vector<Lane> lanes;
+    std::size_t liveLanes = 0;
+    std::chrono::steady_clock::time_point start;
+    bool deadlineArmed = false;
+    std::chrono::steady_clock::time_point deadline;
+};
+
+/**
+ * One-shot convenience: run @p configs over @p workload in one batch.
+ * Results are in config order and bit-identical (in every
+ * deterministic field) to calling runWorkloadLimited() per config.
+ */
+std::vector<LimitedRunResult>
+runWorkloadBatch(const Workload &workload,
+                 std::vector<MachineConfig> configs, unsigned scale,
+                 const RunLimits &limits = {});
+
+} // namespace sdsp
+
+#endif // SDSP_HARNESS_BATCH_HH

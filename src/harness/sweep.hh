@@ -87,12 +87,23 @@ struct SweepOptions
     double retryBackoffSeconds = 0.05;
     /** Deterministic fault injection (testing; see fault.hh). */
     FaultPlan faults;
+    /**
+     * Group jobs that share (workload, scale, thread count) into
+     * batches of up to this many configurations and run each batch in
+     * one pass over one shared built + decoded program (see
+     * harness/batch.hh). 0 or 1 disables batching. Results are
+     * bit-identical either way; jobs the fault plan targets, skipped
+     * jobs, and singleton groups run per-point as before, and a batch
+     * that throws falls back to per-point execution (retries and all).
+     */
+    unsigned batchSize = 0;
 
     /**
      * Defaults from the environment: SDSP_BENCH_TIMEOUT (seconds),
      * SDSP_BENCH_MAX_CYCLES, SDSP_BENCH_RETRIES,
-     * SDSP_BENCH_RETRY_BACKOFF (seconds), SDSP_BENCH_FAULT. Fatal on
-     * unparseable values.
+     * SDSP_BENCH_RETRY_BACKOFF (seconds), SDSP_BENCH_FAULT,
+     * SDSP_BENCH_BATCH (batch size, 0..256). Fatal on unparseable
+     * values.
      */
     static SweepOptions fromEnvironment();
 };
@@ -182,6 +193,20 @@ class SweepRunner
 
   private:
     JobOutcome executeJob(const SweepJob &job) const;
+
+    /**
+     * Partition job indices into execution units: each unit is either
+     * one job (run via executeJob) or a batchable group of 2+ jobs
+     * sharing (workload, scale, threads), run via executeBatchUnit.
+     */
+    std::vector<std::vector<std::size_t>>
+    planUnits(const std::vector<SweepJob> &grid) const;
+
+    /** Run one batchable unit; fills outcomes at the unit's indices.
+     *  Falls back to per-point executeJob if the batch throws. */
+    void executeBatchUnit(const std::vector<SweepJob> &grid,
+                          const std::vector<std::size_t> &unit,
+                          std::vector<JobOutcome> &outcomes) const;
 
     unsigned jobs_;
     SweepOptions options_;

@@ -1,0 +1,46 @@
+#include "isa/decoded_program.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "isa/opcode.hh"
+
+namespace sdsp
+{
+
+std::shared_ptr<const DecodedProgram>
+DecodedProgram::decode(Program prog)
+{
+    auto decoded = std::make_shared<DecodedProgram>();
+    decoded->program = std::move(prog);
+    decoded->code.reserve(decoded->program.code.size());
+    for (InstWord word : decoded->program.code)
+        decoded->code.push_back(Instruction::decode(word));
+    return decoded;
+}
+
+void
+DecodedProgram::checkRegisterPartition(unsigned num_threads,
+                                       unsigned budget) const
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instruction &inst = code[i];
+        const OpInfo &oi = inst.info();
+        unsigned top = 0;
+        if (oi.flags & kWritesRd)
+            top = std::max<unsigned>(top, inst.rd);
+        if (oi.flags & kReadsRs1)
+            top = std::max<unsigned>(top, inst.rs1);
+        if (oi.flags & kReadsRs2)
+            top = std::max<unsigned>(top, inst.rs2);
+        if (top >= budget) {
+            fatal("instruction %zu (%s) names r%u but the %u-thread "
+                  "partition allows only r0..r%u",
+                  i, inst.toString().c_str(), top, num_threads,
+                  budget - 1);
+        }
+    }
+}
+
+} // namespace sdsp

@@ -8,30 +8,12 @@ namespace sdsp
 namespace
 {
 
-const OpInfo kOpTable[] = {
-#define SDSP_OPCODE_INFO(name, fmt, fu, flags)                             \
-    {#name, Format::fmt, FuClass::fu, (flags)},
-    SDSP_FOR_EACH_OPCODE(SDSP_OPCODE_INFO)
-#undef SDSP_OPCODE_INFO
-};
-
-static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) == kNumOpcodes,
-              "opcode table arity mismatch");
-
 const char *kFuClassNames[kNumFuClasses] = {
     "IntAlu", "IntMul", "IntDiv", "Load", "Store",
     "Ctrl",   "FpAdd",  "FpMul",  "FpDiv",
 };
 
 } // namespace
-
-const OpInfo &
-opInfo(Opcode op)
-{
-    auto idx = static_cast<unsigned>(op);
-    sdsp_assert(idx < kNumOpcodes, "invalid opcode %u", idx);
-    return kOpTable[idx];
-}
 
 const char *
 fuClassName(FuClass cls)

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
+
 namespace sdsp
 {
 
@@ -155,8 +157,31 @@ struct OpInfo
     std::uint32_t flags;
 };
 
+/**
+ * Static description table, indexed by opcode value. Lives in the
+ * header as an inline constexpr array so opInfo() — on the decode and
+ * scheduling hot path, consulted several times per simulated
+ * instruction — fully inlines to an indexed load.
+ */
+inline constexpr OpInfo kOpInfoTable[] = {
+#define SDSP_OPCODE_INFO(name, fmt, fu, flags)                             \
+    {#name, Format::fmt, FuClass::fu, (flags)},
+    SDSP_FOR_EACH_OPCODE(SDSP_OPCODE_INFO)
+#undef SDSP_OPCODE_INFO
+};
+
+static_assert(sizeof(kOpInfoTable) / sizeof(kOpInfoTable[0]) ==
+                  kNumOpcodes,
+              "opcode table arity mismatch");
+
 /** Look up the static description of @p op. */
-const OpInfo &opInfo(Opcode op);
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<unsigned>(op);
+    sdsp_assert(idx < kNumOpcodes, "invalid opcode %u", idx);
+    return kOpInfoTable[idx];
+}
 
 /** Printable mnemonic of @p op. */
 inline const char *

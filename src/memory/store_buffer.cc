@@ -11,6 +11,7 @@ StoreBuffer::StoreBuffer(unsigned capacity) : cap(capacity)
 {
     sdsp_assert(capacity >= 1, "store buffer needs capacity");
     entries.reserve(capacity);
+    livePerTid.resize(16, 0);
 }
 
 void
@@ -37,6 +38,9 @@ StoreBuffer::insert(Tag seq, ThreadId tid, Addr addr, RegVal value)
         entries.end(), seq,
         [](Tag s, const StoreBufferEntry &e) { return s < e.seq; });
     entries.insert(pos, entry);
+    if (tid >= livePerTid.size())
+        livePerTid.resize(tid + 1, 0);
+    ++livePerTid[tid];
     ++statInserts;
 }
 
@@ -61,6 +65,7 @@ StoreBuffer::drain(DataCache &cache, MainMemory &memory, Cycle now)
         const StoreBufferEntry &front = entries[head];
         cache.access(front.addr, now, /*is_write=*/true, front.tid);
         memory.write(front.addr, front.value);
+        --livePerTid[front.tid];
         ++head;
         ++drained;
         ++statDrains;
@@ -75,6 +80,8 @@ StoreBuffer::drain(DataCache &cache, MainMemory &memory, Cycle now)
 std::optional<RegVal>
 StoreBuffer::forward(ThreadId tid, Addr addr, Tag load_seq) const
 {
+    if (tid >= livePerTid.size() || livePerTid[tid] == 0)
+        return std::nullopt;
     // Entries are sorted oldest-first; scan backwards for the
     // youngest older matching store of the same thread.
     for (std::size_t i = entries.size(); i > head; --i) {
@@ -99,6 +106,7 @@ StoreBuffer::squash(ThreadId tid, Tag after)
             if (e.tid == tid && e.seq > after) {
                 sdsp_assert(!e.committed,
                             "squashing a committed store");
+                --livePerTid[tid];
                 return true;
             }
             return false;

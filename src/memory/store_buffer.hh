@@ -130,6 +130,12 @@ class StoreBuffer
      */
     std::vector<StoreBufferEntry> entries;
     std::size_t head = 0;
+    /**
+     * Live entries per thread. Lets forward() — called for every load
+     * issue — return immediately for threads with nothing buffered,
+     * which is the common case.
+     */
+    std::vector<std::uint32_t> livePerTid;
 
     std::uint64_t statInserts = 0;
     std::uint64_t statDrains = 0;

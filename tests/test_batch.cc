@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Differential tests for the batched execution engine
+ * (harness/batch.hh): a batch of machine variants run in one
+ * interleaved pass over one shared decoded program must be
+ * bit-identical — cycles, committed instructions, architectural
+ * registers and memory, stall attribution — to running each variant
+ * serially with its own freshly built program, for any slice size and
+ * any batch composition.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "harness/batch.hh"
+#include "harness/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+/** A deterministic pseudo-random slice of the paper's config space.
+ *  All variants share @p threads (a batch requirement). */
+std::vector<MachineConfig>
+randomConfigSlice(unsigned threads, std::size_t count,
+                  std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    auto pick = [&](auto &&...options) {
+        const auto list = {options...};
+        std::uniform_int_distribution<std::size_t> dist(
+            0, list.size() - 1);
+        return *(list.begin() +
+                 static_cast<std::ptrdiff_t>(dist(rng)));
+    };
+
+    std::vector<MachineConfig> configs;
+    configs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        MachineConfig cfg;
+        cfg.numThreads = threads;
+        cfg.fetchPolicy =
+            pick(FetchPolicy::TrueRoundRobin,
+                 FetchPolicy::MaskedRoundRobin,
+                 FetchPolicy::ConditionalSwitch, FetchPolicy::Adaptive);
+        cfg.suEntries = pick(16u, 32u, 64u);
+        cfg.issueWidth = pick(4u, 8u);
+        cfg.writebackWidth = pick(4u, 8u);
+        cfg.commitPolicy = pick(CommitPolicy::FlexibleFourBlocks,
+                                CommitPolicy::LowestBlockOnly);
+        cfg.renameScheme = pick(RenameScheme::FullRenaming,
+                                RenameScheme::Scoreboard1Bit);
+        cfg.bypassing = pick(true, false);
+        cfg.fu = pick(0, 1) ? FuConfig::sdspEnhanced()
+                            : FuConfig::sdspDefault();
+        cfg.storeBufferEntries = pick(4u, 8u, 16u);
+        cfg.validate();
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+/** Serial reference: a fresh Processor over a fresh build. */
+SimResult
+runSerial(Processor &cpu, const MachineConfig &cfg)
+{
+    while (!cpu.done() && cpu.cycle() < cfg.maxCycles)
+        cpu.step();
+    cpu.finishTrace();
+    return {cpu.done(), cpu.cycle(), cpu.committedInstructions()};
+}
+
+/**
+ * Run @p configs over @p workload batched (at @p slice_cycles) and
+ * serially, and assert every deterministic observable matches.
+ */
+void
+expectBatchedMatchesSerial(const Workload &workload, unsigned threads,
+                           unsigned scale,
+                           const std::vector<MachineConfig> &configs,
+                           std::uint64_t slice_cycles)
+{
+    BatchRunner batch(workload, configs, scale, RunLimits{},
+                      slice_cycles);
+    std::vector<LimitedRunResult> results = batch.run();
+    ASSERT_EQ(results.size(), configs.size());
+
+    WorkloadImage image = workload.build(threads, scale);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i) + ": " +
+                     configs[i].toString());
+        Processor serial(configs[i], image.program);
+        runSerial(serial, configs[i]);
+        Processor &lane = batch.processor(i);
+
+        EXPECT_EQ(lane.cycle(), serial.cycle());
+        EXPECT_EQ(lane.committedInstructions(),
+                  serial.committedInstructions());
+        EXPECT_EQ(lane.suStalls(), serial.suStalls());
+        EXPECT_EQ(lane.flexibleCommits(), serial.flexibleCommits());
+        for (unsigned t = 0; t < threads; ++t) {
+            for (unsigned r = 0; r < kNumStallReasons; ++r) {
+                EXPECT_EQ(
+                    lane.stallCycles(static_cast<ThreadId>(t),
+                                     static_cast<StallReason>(r)),
+                    serial.stallCycles(static_cast<ThreadId>(t),
+                                       static_cast<StallReason>(r)))
+                    << "thread " << t << " stall reason " << r;
+            }
+        }
+        for (unsigned t = 0; t < threads; ++t) {
+            for (unsigned r = 0; r < configs[i].regsPerThread(); ++r) {
+                EXPECT_EQ(lane.readReg(static_cast<ThreadId>(t),
+                                       static_cast<RegIndex>(r)),
+                          serial.readReg(static_cast<ThreadId>(t),
+                                         static_cast<RegIndex>(r)))
+                    << "thread " << t << " register r" << r;
+            }
+        }
+        ASSERT_EQ(lane.memory().size(), serial.memory().size());
+        for (std::uint32_t addr = 0; addr + 8 <= lane.memory().size();
+             addr += 8) {
+            ASSERT_EQ(lane.memory().read(addr),
+                      serial.memory().read(addr))
+                << "memory word at " << addr;
+        }
+
+        // The packaged result must agree with the reference run too.
+        EXPECT_TRUE(results[i].result.finished);
+        EXPECT_TRUE(results[i].result.verified)
+            << results[i].result.verifyMessage;
+        EXPECT_EQ(results[i].result.cycles, serial.cycle());
+        EXPECT_EQ(results[i].result.committed,
+                  serial.committedInstructions());
+    }
+}
+
+TEST(Batch, RandomizedSliceMatchesSerialGroupI)
+{
+    const Workload &workload = *allWorkloads().front();
+    expectBatchedMatchesSerial(
+        workload, 4, /*scale=*/25,
+        randomConfigSlice(4, 6, /*seed=*/0xb17c0de),
+        BatchRunner::kDefaultSliceCycles);
+}
+
+TEST(Batch, RandomizedSliceMatchesSerialGroupII)
+{
+    const Workload *pick = nullptr;
+    for (const Workload *workload : allWorkloads()) {
+        if (workload->group() == BenchmarkGroup::GroupII) {
+            pick = workload;
+            break;
+        }
+    }
+    ASSERT_NE(pick, nullptr);
+    expectBatchedMatchesSerial(*pick, 6, /*scale=*/25,
+                               randomConfigSlice(6, 4, /*seed=*/42),
+                               BatchRunner::kDefaultSliceCycles);
+}
+
+TEST(Batch, SliceSizeDoesNotChangeResults)
+{
+    // Interleaving granularity is a pure scheduling choice; every
+    // slice size must produce the same architectural results.
+    const Workload &workload = *allWorkloads().front();
+    std::vector<MachineConfig> configs =
+        randomConfigSlice(4, 3, /*seed=*/7);
+    for (std::uint64_t slice : {std::uint64_t{7}, std::uint64_t{512},
+                                std::uint64_t{1} << 40}) {
+        SCOPED_TRACE("slice " + std::to_string(slice));
+        expectBatchedMatchesSerial(workload, 4, /*scale=*/10, configs,
+                                   slice);
+    }
+}
+
+TEST(Batch, SweepRunnerBatchedOutcomesMatchSerial)
+{
+    // The sweep-level integration: the same grid, batched and not,
+    // must produce identical outcomes in identical order, and the
+    // completion callback must still see every job exactly once.
+    std::vector<const Workload *> workloads = {
+        allWorkloads().front(), allWorkloads().back()};
+    std::vector<MachineConfig> variants =
+        randomConfigSlice(4, 3, /*seed=*/11);
+
+    auto runGrid = [&](unsigned batch_size) {
+        SweepOptions options;
+        options.batchSize = batch_size;
+        SweepRunner runner(/*jobs=*/1, options);
+        for (const Workload *workload : workloads) {
+            for (const MachineConfig &config : variants)
+                runner.add(*workload, config, /*scale=*/10, "diff");
+        }
+        std::vector<std::size_t> seen;
+        std::vector<JobOutcome> outcomes = runner.runAll(
+            [&](std::size_t index, const JobOutcome &) {
+                seen.push_back(index);
+            });
+        std::vector<std::size_t> sorted = seen;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+            EXPECT_EQ(sorted[i], i);
+        return outcomes;
+    };
+
+    std::vector<JobOutcome> serial = runGrid(0);
+    std::vector<JobOutcome> batched = runGrid(4);
+    ASSERT_EQ(serial.size(), batched.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_EQ(batched[i].status, serial[i].status);
+        EXPECT_EQ(batched[i].result.benchmark,
+                  serial[i].result.benchmark);
+        EXPECT_EQ(batched[i].result.cycles, serial[i].result.cycles);
+        EXPECT_EQ(batched[i].result.committed,
+                  serial[i].result.committed);
+        EXPECT_TRUE(batched[i].ok()) << batched[i].error;
+    }
+}
+
+} // namespace
+} // namespace sdsp
