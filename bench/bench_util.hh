@@ -85,6 +85,34 @@ struct Variant
     MachineConfig config;
 };
 
+/** One deduplicated paper-grid point and the experiments needing it. */
+struct PaperGridPoint
+{
+    const Workload *workload = nullptr;
+    MachineConfig config;
+    std::vector<std::string> experiments;
+};
+
+/** The deduplicated figure/table grid of the paper's evaluation. */
+struct PaperGrid
+{
+    std::vector<PaperGridPoint> points;
+    /** Grid points before deduplication, for reporting. */
+    std::size_t submitted = 0;
+};
+
+/**
+ * Enumerate every grid point of the paper's figure/table suite
+ * (fetch policies, thread counts, cache organizations, SU depths,
+ * functional-unit complements, commit policies — figures 3-14 and
+ * tables 3/5.2), deduplicated across experiments. Workloads are
+ * routed through cachedWorkload() so all consumers share one
+ * assembly per (benchmark, threads, scale). This is the single
+ * definition of "the paper grid": sdsp_bench_all executes it and
+ * sdsp_bench_critpath verifies the critical-path engine against it.
+ */
+PaperGrid buildPaperGrid();
+
 /**
  * Run every (workload x variant) grid point concurrently on the
  * sweep engine at benchScale(), fatal unless each run finishes and

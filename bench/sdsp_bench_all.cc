@@ -64,122 +64,9 @@ using namespace sdsp::bench;
 namespace
 {
 
-/** One deduplicated grid point and the experiments that need it. */
-struct GridPoint
-{
-    const Workload *workload = nullptr;
-    MachineConfig config;
-    std::vector<std::string> experiments;
-};
-
-struct Suite
-{
-    std::vector<GridPoint> points;
-    /** (benchmark, configKey) -> index into points. */
-    std::map<std::string, std::size_t> index;
-    /** Grid points before deduplication, for reporting. */
-    std::size_t submitted = 0;
-
-    void
-    add(const Workload &workload, const MachineConfig &config,
-        const std::string &experiment)
-    {
-        ++submitted;
-        std::string key = workload.name() + "\n" + configKey(config);
-        auto [it, inserted] = index.try_emplace(key, points.size());
-        // Route every point through the assembly cache so the static
-        // bounds pass, the sweep, and any batch share one build per
-        // (benchmark, threads, scale).
-        if (inserted)
-            points.push_back({&cachedWorkload(workload), config, {}});
-        std::vector<std::string> &tags =
-            points[it->second].experiments;
-        if (tags.empty() || tags.back() != experiment)
-            tags.push_back(experiment);
-    }
-
-    void
-    addForGroup(BenchmarkGroup group, const MachineConfig &config,
-                const std::string &experiment)
-    {
-        for (const Workload *workload : workloadsInGroup(group))
-            add(*workload, config, experiment);
-    }
-};
-
-/** The full figure/table grid of the paper's evaluation section. */
-Suite
-buildSuite()
-{
-    Suite suite;
-    const auto groups = {BenchmarkGroup::LivermoreLoops,
-                         BenchmarkGroup::GroupII};
-    auto figureId = [](BenchmarkGroup group, int ll_figure) {
-        return format("fig%02d",
-                      group == BenchmarkGroup::LivermoreLoops
-                          ? ll_figure
-                          : ll_figure + 1);
-    };
-
-    for (BenchmarkGroup group : groups) {
-        // Figures 3/4: fetch policies (plus the base case).
-        std::string fig = figureId(group, 3);
-        suite.addForGroup(group, paperConfig(1), fig);
-        for (FetchPolicy policy : {FetchPolicy::TrueRoundRobin,
-                                   FetchPolicy::MaskedRoundRobin,
-                                   FetchPolicy::ConditionalSwitch}) {
-            MachineConfig cfg = paperConfig(4);
-            cfg.fetchPolicy = policy;
-            suite.addForGroup(group, cfg, fig);
-        }
-
-        // Figures 5/6 + the section 5.2 summary: 1-6 threads.
-        fig = figureId(group, 5);
-        for (unsigned threads = 1; threads <= 6; ++threads)
-            suite.addForGroup(group, paperConfig(threads), fig);
-
-        // Figures 7/8 and Table 3: cache organization x threads.
-        fig = figureId(group, 7);
-        for (unsigned threads = 1; threads <= 6; ++threads) {
-            for (std::uint32_t ways : {1u, 2u}) {
-                MachineConfig cfg = paperConfig(threads);
-                cfg.dcache.ways = ways;
-                suite.addForGroup(group, cfg, fig);
-            }
-        }
-
-        // Figures 9/10: SU depth x {1,4} threads.
-        fig = figureId(group, 9);
-        for (unsigned threads : {1u, 4u}) {
-            for (unsigned entries : {16u, 32u, 48u, 64u}) {
-                MachineConfig cfg = paperConfig(threads);
-                cfg.suEntries = entries;
-                suite.addForGroup(group, cfg, fig);
-            }
-        }
-
-        // Figures 11/12 and Table 4: FU complement x {1,4} threads.
-        fig = figureId(group, 11);
-        for (unsigned threads : {1u, 4u}) {
-            for (bool enhanced : {false, true}) {
-                MachineConfig cfg = paperConfig(threads);
-                if (enhanced)
-                    cfg.fu = FuConfig::sdspEnhanced();
-                suite.addForGroup(group, cfg, fig);
-            }
-        }
-
-        // Figures 13/14: commit policy, 4 threads.
-        fig = figureId(group, 13);
-        for (CommitPolicy policy : {CommitPolicy::FlexibleFourBlocks,
-                                    CommitPolicy::LowestBlockOnly}) {
-            MachineConfig cfg = paperConfig(4);
-            cfg.commitPolicy = policy;
-            suite.addForGroup(group, cfg, fig);
-        }
-    }
-    return suite;
-}
+/** One deduplicated grid point and the experiments that need it
+ *  (enumerated by bench_util's buildPaperGrid). */
+using GridPoint = PaperGridPoint;
 
 /**
  * Static IPC upper bound for every grid point, from the sdsp-lint
@@ -333,7 +220,7 @@ main(int argc, char **argv)
         }
     }
 
-    Suite suite = buildSuite();
+    PaperGrid suite = buildPaperGrid();
     std::vector<GridPoint> points;
     for (GridPoint &point : suite.points) {
         if (matchesFilter(point, filter))

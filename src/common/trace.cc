@@ -39,6 +39,30 @@ traceEventName(TraceEventKind kind)
     return "unknown";
 }
 
+const char *
+issueBlockCauseName(IssueBlockCause cause)
+{
+    switch (cause) {
+    case IssueBlockCause::None: return "none";
+    case IssueBlockCause::FuBusy: return "fuBusy";
+    case IssueBlockCause::MemOrder: return "memOrder";
+    case IssueBlockCause::StoreBufferFull: return "storeBufferFull";
+    case IssueBlockCause::CachePort: return "cachePort";
+    }
+    return "unknown";
+}
+
+const char *
+dispatchWaitCauseName(DispatchWaitCause cause)
+{
+    switch (cause) {
+    case DispatchWaitCause::None: return "none";
+    case DispatchWaitCause::SuFull: return "suFull";
+    case DispatchWaitCause::Scoreboard: return "scoreboard";
+    }
+    return "unknown";
+}
+
 // --------------------------------------------------------------------
 // TextTraceSink
 // --------------------------------------------------------------------

@@ -59,6 +59,46 @@ inline constexpr unsigned kNumTraceEventKinds = 11;
 const char *traceEventName(TraceEventKind kind);
 
 /**
+ * Why a ready instruction most recently failed to issue. Recorded on
+ * the SU entry at every failed issue attempt together with the cycle
+ * of the attempt, and published on the CommitInst event; the
+ * critical-path builder uses it to classify issue-side residual edges
+ * (DESIGN.md "Critical-path analysis").
+ */
+enum class IssueBlockCause : std::uint8_t
+{
+    None,            //!< never failed an issue attempt
+    FuBusy,          //!< no free functional unit of its class
+    MemOrder,        //!< conservative load/store disambiguation
+    StoreBufferFull, //!< no store-buffer slot available
+    CachePort,       //!< data-cache port rejection
+};
+
+/** Number of IssueBlockCause values. */
+inline constexpr unsigned kNumIssueBlockCauses = 5;
+
+/** Stable camelCase name of @p cause (JSON / stats key). */
+const char *issueBlockCauseName(IssueBlockCause cause);
+
+/**
+ * Why a fetched block sat in the fetch latch before dispatching.
+ * Recorded while the latch is blocked and stamped on every entry of
+ * the block when it finally dispatches.
+ */
+enum class DispatchWaitCause : std::uint8_t
+{
+    None,       //!< dispatched on its first opportunity
+    SuFull,     //!< the scheduling unit had no free block
+    Scoreboard, //!< 1-bit scoreboard WAW serialization
+};
+
+/** Number of DispatchWaitCause values. */
+inline constexpr unsigned kNumDispatchWaitCauses = 3;
+
+/** Stable camelCase name of @p cause (JSON / stats key). */
+const char *dispatchWaitCauseName(DispatchWaitCause cause);
+
+/**
  * One pipeline event. The fixed fields are meaningful for almost
  * every kind; `args` carries the kind-specific payload:
  *
@@ -102,6 +142,30 @@ struct TraceEvent
     bool hasMemAddr = false;
     /** Resolved outcome of a conditional branch. */
     bool taken = false;
+
+    // ---- CommitInst dependence evidence (critical-path analysis).
+    // Every shipped sink ignores these; the DdgRecorder in
+    // src/critpath consumes them to build the dynamic dependence
+    // graph. ----
+    /** Cycle the entry's last pending operand arrived (== dispatch
+     *  cycle when all operands were present at rename time). */
+    Cycle readyAt = 0;
+    /** Producer tag whose broadcast completed the operands (0 when
+     *  the entry was ready at dispatch). */
+    Tag wakeupSeq = 0;
+    /** Producer tags still in flight when this entry renamed
+     *  (0 = operand was ready); the register RAW edges. */
+    std::array<Tag, 2> waitSeq{};
+    /** Load miss cycles beyond the FU latency (0 on hit/forward). */
+    Cycle missExtra = 0;
+    /** Last failed issue attempt: why and when. */
+    IssueBlockCause issueBlockCause = IssueBlockCause::None;
+    Cycle issueBlockCycle = 0;
+    /** Why the block waited in the fetch latch before dispatch. */
+    DispatchWaitCause dispatchWaitCause = DispatchWaitCause::None;
+    /** The instruction was a resolved-mispredicted control
+     *  transfer (its squash triggered a same-thread refetch). */
+    bool mispredicted = false;
 };
 
 /** Consumer of pipeline events. */

@@ -59,6 +59,24 @@ stallReasonName(StallReason reason)
     return "unknown";
 }
 
+const char *
+latencyStageName(LatencyStage stage)
+{
+    switch (stage) {
+      case LatencyStage::FetchToDispatch:
+        return "fetchToDispatch";
+      case LatencyStage::DispatchToIssue:
+        return "dispatchToIssue";
+      case LatencyStage::IssueToComplete:
+        return "issueToComplete";
+      case LatencyStage::CompleteToCommit:
+        return "completeToCommit";
+      case LatencyStage::FetchToCommit:
+        return "fetchToCommit";
+    }
+    return "unknown";
+}
+
 Processor::Processor(const MachineConfig &config, const Program &program)
     : Processor(config, DecodedProgram::decode(program))
 {
@@ -196,11 +214,17 @@ Processor::commitStage()
 
         // Per-stage latency histograms, sampled once per retired
         // instruction from its lifecycle stamps.
-        latencyDists[0].sample(entry.dispatchedAt - entry.fetchedAt);
-        latencyDists[1].sample(entry.issuedAt - entry.dispatchedAt);
-        latencyDists[2].sample(entry.completedAt - entry.issuedAt);
-        latencyDists[3].sample(now - entry.completedAt);
-        latencyDists[4].sample(now - entry.fetchedAt);
+        auto sample = [&](LatencyStage stage, Cycle value) {
+            latencyDists[static_cast<unsigned>(stage)].sample(value);
+        };
+        sample(LatencyStage::FetchToDispatch,
+               entry.dispatchedAt - entry.fetchedAt);
+        sample(LatencyStage::DispatchToIssue,
+               entry.issuedAt - entry.dispatchedAt);
+        sample(LatencyStage::IssueToComplete,
+               entry.completedAt - entry.issuedAt);
+        sample(LatencyStage::CompleteToCommit, now - entry.completedAt);
+        sample(LatencyStage::FetchToCommit, now - entry.fetchedAt);
 
         if (sink) {
             TraceEvent ev;
@@ -221,6 +245,15 @@ Processor::commitStage()
                 ev.hasMemAddr = true;
             }
             ev.taken = entry.resolvedTaken;
+            // Dependence evidence for the critical-path builder.
+            ev.readyAt = entry.readyAt;
+            ev.wakeupSeq = entry.wakeupTag;
+            ev.waitSeq = {entry.waitTag1, entry.waitTag2};
+            ev.missExtra = entry.missExtra;
+            ev.issueBlockCause = entry.issueBlockCause;
+            ev.issueBlockCycle = entry.issueBlockCycle;
+            ev.dispatchWaitCause = entry.dispatchWaitCause;
+            ev.mispredicted = entry.mispredicted;
             sink->emit(ev);
         }
     }
@@ -379,6 +412,8 @@ Processor::tryIssue(SuEntry &entry)
 
     if (!fus.canIssue(cls, now)) {
         cycleFlags[entry.tid] |= kFlagFuBusy;
+        entry.issueBlockCause = IssueBlockCause::FuBusy;
+        entry.issueBlockCycle = now;
         return false;
     }
 
@@ -392,6 +427,8 @@ Processor::tryIssue(SuEntry &entry)
         if (su.hasOlderUnresolvedStore(entry.tid, entry.seq)) {
             ++statLoadDisambStalls;
             cycleFlags[entry.tid] |= kFlagMemOrder;
+            entry.issueBlockCause = IssueBlockCause::MemOrder;
+            entry.issueBlockCycle = now;
             return false;
         }
         Addr addr = effectiveAddress(entry);
@@ -404,11 +441,14 @@ Processor::tryIssue(SuEntry &entry)
                 ++statCacheBlockedLoads;
                 cache.noteRejection();
                 cycleFlags[entry.tid] |= kFlagCacheReject;
+                entry.issueBlockCause = IssueBlockCause::CachePort;
+                entry.issueBlockCycle = now;
                 return false;
             }
             CacheAccessResult access =
                 cache.access(addr, now, false, entry.tid);
             extra_latency = access.readyCycle - now;
+            entry.missExtra = extra_latency;
             if (extra_latency > 0) {
                 // Open this thread's miss window: until the data is
                 // back, progress-free cycles read as cache-miss
@@ -443,6 +483,8 @@ Processor::tryIssue(SuEntry &entry)
             su.countUnbufferedStoresThrough(entry)) {
             sb.noteFullStall();
             cycleFlags[entry.tid] |= kFlagSbFull;
+            entry.issueBlockCause = IssueBlockCause::StoreBufferFull;
+            entry.issueBlockCycle = now;
             return false;
         }
         Addr addr = effectiveAddress(entry);
@@ -540,6 +582,7 @@ Processor::dispatchStage()
         // cannot shift out, so no new entries can be made.
         ++statSuFullStalls;
         cycleFlags[fetchLatch.tid] |= kFlagSuFull;
+        latchWaitCause = DispatchWaitCause::SuFull;
         return;
     }
 
@@ -557,6 +600,7 @@ Processor::dispatchStage()
                 ++statScoreboardStalls;
                 // WAW wait on an in-flight writer: operand-style.
                 cycleFlags[tid] |= kFlagMemOrder;
+                latchWaitCause = DispatchWaitCause::Scoreboard;
                 return;
             }
         }
@@ -589,6 +633,15 @@ Processor::dispatchStage()
                                             : EntryState::Waiting;
         entry.earliestIssue = now + 1;
 
+        // Dependence evidence: which producers this entry renamed
+        // against, whether it was born ready, and why its block
+        // waited in the latch.
+        entry.waitTag1 = entry.src1.ready ? 0 : entry.src1.tag;
+        entry.waitTag2 = entry.src2.ready ? 0 : entry.src2.tag;
+        if (entry.state == EntryState::Ready)
+            entry.readyAt = now;
+        entry.dispatchWaitCause = latchWaitCause;
+
         // Conditional Switch: the decoder signals the fetch unit on
         // long-latency trigger instructions (paper section 5.1).
         if (slot.inst.isSwitchTrigger())
@@ -600,6 +653,7 @@ Processor::dispatchStage()
 
     su.finishDispatch();
     fetchLatchFull = false;
+    latchWaitCause = DispatchWaitCause::None;
     cycleFlags[tid] |= kFlagProgress;
 
     if (sink) {
@@ -630,6 +684,7 @@ Processor::fetchStage()
         !fetchLatch.insts.empty()) {
         fetchLatch.fetchedAt = now;
         fetchLatchFull = true;
+        latchWaitCause = DispatchWaitCause::None;
         cycleFlags[fetchLatch.tid] |= kFlagProgress;
 
         if (sink) {
@@ -845,12 +900,12 @@ Processor::reportStats(StatsRegistry &registry) const
         }
     }
 
-    static const char *const kLatencyNames[5] = {
-        "latency.fetchToDispatch", "latency.dispatchToIssue",
-        "latency.issueToComplete", "latency.completeToCommit",
-        "latency.fetchToCommit"};
-    for (unsigned i = 0; i < 5; ++i)
-        registry.addDistribution(kLatencyNames[i], latencyDists[i]);
+    for (unsigned i = 0; i < kNumLatencyStages; ++i) {
+        registry.addDistribution(
+            format("latency.%s",
+                   latencyStageName(static_cast<LatencyStage>(i))),
+            latencyDists[i]);
+    }
 
     fetch.reportStats(registry, "fetch");
     btb.reportStats(registry, "btb");

@@ -83,6 +83,28 @@ inline constexpr unsigned kNumStallReasons = 10;
 const char *stallReasonName(StallReason reason);
 
 /**
+ * The per-instruction lifecycle intervals sampled into latency
+ * histograms at commit. The enumerator value is the histogram index
+ * and latencyStageName() is the "latency.<name>" stats-key suffix, so
+ * sampling sites and reporting can never disagree on what an index
+ * means.
+ */
+enum class LatencyStage : std::uint8_t
+{
+    FetchToDispatch,  //!< fetch latch -> scheduling unit
+    DispatchToIssue,  //!< rename -> functional unit
+    IssueToComplete,  //!< functional unit -> writeback
+    CompleteToCommit, //!< writeback -> retirement
+    FetchToCommit,    //!< whole lifetime
+};
+
+/** Number of LatencyStage values (histogram table width). */
+inline constexpr unsigned kNumLatencyStages = 5;
+
+/** Stable camelCase name of @p stage (stats-key suffix). */
+const char *latencyStageName(LatencyStage stage);
+
+/**
  * Per-PC effective-address overrides for trace-stream replay.
  *
  * A flattened replay stream gives every dynamic load/store its own
@@ -248,13 +270,11 @@ class Processor
         return statStallCycles[tid][static_cast<unsigned>(reason)];
     }
 
-    /** Per-stage latency histogram of committed instructions:
-     *  0 fetch->dispatch, 1 dispatch->issue, 2 issue->complete,
-     *  3 complete->commit, 4 fetch->commit. */
+    /** Per-stage latency histogram of committed instructions. */
     const Distribution &
-    latencyDistribution(unsigned stage) const
+    latencyDistribution(LatencyStage stage) const
     {
-        return latencyDists[stage];
+        return latencyDists[static_cast<unsigned>(stage)];
     }
 
   private:
@@ -311,6 +331,9 @@ class Processor
      *  steady-state loop allocates nothing. */
     FetchedBlock fetchLatch;
     bool fetchLatchFull = false;
+    /** Why the latched block has failed to dispatch so far; stamped
+     *  onto its entries at dispatch (critical-path evidence). */
+    DispatchWaitCause latchWaitCause = DispatchWaitCause::None;
     Tag nextSeq = 1;
     Cycle now = 0;
 
@@ -358,9 +381,9 @@ class Processor
     /** Last su_occupancy counter value emitted to the sink. */
     unsigned lastTracedOccupancy = ~0u;
 
-    /** Committed-instruction per-stage latencies; see
-     *  latencyDistribution() for the index meaning. */
-    std::array<Distribution, 5> latencyDists;
+    /** Committed-instruction per-stage latencies, indexed by
+     *  LatencyStage. */
+    std::array<Distribution, kNumLatencyStages> latencyDists;
 
     /** Scratch buffer reused by the writeback stage. */
     std::vector<FuCompletion> completions;

@@ -389,6 +389,8 @@ SchedulingUnit::broadcast(Tag seq, RegVal value, Cycle now,
             ++readyCount;
             entry.earliestIssue =
                 std::max(entry.earliestIssue, earliest);
+            entry.readyAt = now;
+            entry.wakeupTag = seq;
         }
     }
 

@@ -44,6 +44,7 @@
 
 #include "common/logging.hh"
 #include "common/stats_registry.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "core/config.hh"
 #include "isa/instruction.hh"
@@ -99,6 +100,18 @@ struct SuEntry
     Cycle dispatchedAt = 0; //!< cycle the entry entered the SU
     Cycle issuedAt = 0;     //!< cycle the entry left for its FU
     Cycle completedAt = 0;  //!< cycle the result wrote back
+
+    // ---- Dependence evidence (critical-path analysis). Plain
+    // recording with no timing effect; published on the CommitInst
+    // trace event at retirement. ----
+    Cycle readyAt = 0;  //!< cycle the last pending operand arrived
+    Tag wakeupTag = 0;  //!< broadcast that completed the operands
+    Tag waitTag1 = 0;   //!< src1 producer in flight at rename (0 none)
+    Tag waitTag2 = 0;   //!< src2 producer in flight at rename (0 none)
+    Cycle missExtra = 0; //!< load miss cycles beyond the FU latency
+    Cycle issueBlockCycle = 0; //!< last cycle an issue attempt failed
+    IssueBlockCause issueBlockCause = IssueBlockCause::None;
+    DispatchWaitCause dispatchWaitCause = DispatchWaitCause::None;
 
     // ---- Control transfer bookkeeping ----
     bool predictedTaken = false;

@@ -1,0 +1,63 @@
+#include "critpath/ddg.hh"
+
+#include "isa/instruction.hh"
+
+namespace sdsp
+{
+
+void
+DdgRecorder::emit(const TraceEvent &event)
+{
+    switch (event.kind) {
+      case TraceEventKind::CommitInst: {
+        DdgInst inst;
+        inst.seq = event.seq;
+        inst.tid = event.tid;
+        inst.pc = event.pc;
+        inst.fetchedAt = event.args[0];
+        inst.dispatchedAt = event.args[1];
+        inst.issuedAt = event.args[2];
+        inst.completedAt = event.args[3];
+        inst.committedAt = event.cycle;
+        inst.readyAt = event.readyAt;
+        inst.wakeupSeq = event.wakeupSeq;
+        inst.waitSeq = event.waitSeq;
+        inst.missExtra = event.missExtra;
+        inst.issueBlockCause = event.issueBlockCause;
+        inst.issueBlockCycle = event.issueBlockCycle;
+        inst.dispatchWaitCause = event.dispatchWaitCause;
+        inst.mispredicted = event.mispredicted;
+        Instruction decoded = Instruction::decode(event.word);
+        inst.isLoad = decoded.isLoad();
+        inst.isStore = decoded.isStore();
+        inst.fuClass = decoded.info().fuClass;
+        inst.block =
+            static_cast<std::uint32_t>(trace_.blocks.size());
+        trace_.insts.push_back(inst);
+        break;
+      }
+      case TraceEventKind::CommitBlock: {
+        auto first = pendingFirst_;
+        auto end = static_cast<std::uint32_t>(trace_.insts.size());
+        pendingFirst_ = end;
+        if (end == first)
+            break; // fully squashed block: no committed work
+        DdgBlock block;
+        block.tid = event.tid;
+        block.blockSeq = event.seq;
+        block.committedAt = event.cycle;
+        const DdgInst &head = trace_.insts[first];
+        block.fetchedAt = head.fetchedAt;
+        block.dispatchedAt = head.dispatchedAt;
+        block.dispatchWaitCause = head.dispatchWaitCause;
+        block.firstInst = first;
+        block.instCount = end - first;
+        trace_.blocks.push_back(block);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+} // namespace sdsp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reporting for the critical-path engine: StatsRegistry export and
+ * the sdsp-critpath / bench JSON artifact schema
+ * ("sdsp-critpath-v1").
+ */
+
+#ifndef SDSP_CRITPATH_REPORT_HH
+#define SDSP_CRITPATH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "critpath/ddg.hh"
+
+namespace sdsp
+{
+
+/** One named what-if projection for reporting. */
+struct WhatIfProjection
+{
+    std::string name; //!< e.g. "issueWidth=16,perfectDCache=1"
+    WhatIf whatIf;
+    RelaxResult result;
+};
+
+/**
+ * Append "critpath.*" statistics: cycles, node/edge totals, the
+ * per-class critical-path breakdown (critpath.breakdown.<class> and
+ * critpath.edges.<class>), and non-empty per-class slack histograms
+ * (critpath.slack.<class>).
+ */
+void critpathReportStats(const DdgGraph &graph,
+                         const RelaxResult &baseline,
+                         StatsRegistry &registry);
+
+/**
+ * Serialize one run's analysis as a "sdsp-critpath-v1" JSON
+ * document: measured cycles, exactness flag, critical-path breakdown,
+ * slack summaries, and the given what-if projections (with speedup
+ * vs. measured).
+ */
+std::string critpathJson(const std::string &workload,
+                         const DdgGraph &graph,
+                         const RelaxResult &baseline,
+                         const std::vector<WhatIfProjection> &
+                             projections);
+
+} // namespace sdsp
+
+#endif // SDSP_CRITPATH_REPORT_HH

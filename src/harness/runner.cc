@@ -19,7 +19,8 @@ namespace
 RunResult
 runWorkloadImpl(const Workload &workload, const MachineConfig &config,
                 unsigned scale, const RunLimits *limits,
-                bool *timed_out, std::string *timeout_reason)
+                bool *timed_out, std::string *timeout_reason,
+                TraceSink *sink = nullptr)
 {
     auto start = std::chrono::steady_clock::now();
 
@@ -34,6 +35,8 @@ runWorkloadImpl(const Workload &workload, const MachineConfig &config,
     WorkloadImage image = workload.build(effective.numThreads, scale);
 
     Processor cpu(effective, image.program);
+    if (sink)
+        cpu.setTraceSink(sink);
     auto sim_start = std::chrono::steady_clock::now();
     SimResult sim;
     bool wall_timed_out = false;
@@ -116,10 +119,10 @@ runWorkloadImpl(const Workload &workload, const MachineConfig &config,
 
 RunResult
 runWorkload(const Workload &workload, const MachineConfig &config,
-            unsigned scale)
+            unsigned scale, TraceSink *sink)
 {
     return runWorkloadImpl(workload, config, scale, nullptr, nullptr,
-                           nullptr);
+                           nullptr, sink);
 }
 
 LimitedRunResult

@@ -61,9 +61,13 @@ struct RunResult
  * @param config   Machine configuration (numThreads is taken from
  *                 here and passed to the workload build).
  * @param scale    Problem-size scale in percent.
+ * @param sink     Optional structured-event sink attached for the
+ *                 whole run (e.g. a DdgRecorder); purely
+ *                 observational, the simulation is unchanged.
  */
 RunResult runWorkload(const Workload &workload,
-                      const MachineConfig &config, unsigned scale = 100);
+                      const MachineConfig &config, unsigned scale = 100,
+                      TraceSink *sink = nullptr);
 
 /** Watchdog budgets for one run (0 = unlimited / config default). */
 struct RunLimits

@@ -15,6 +15,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/processor.hh"
+#include "critpath/report.hh"
 #include "harness/runner.hh"
 #include "trace_frontend/replay.hh"
 #include "trace_frontend/trace_format.hh"
@@ -123,6 +124,89 @@ perThreadCommitted(const Processor &cpu, unsigned threads)
         counts.push_back(
             cpu.committedInstructions(static_cast<ThreadId>(t)));
     return counts;
+}
+
+/** Locale-safe "12.34%" via integer basis points (printf %f would
+ *  follow LC_NUMERIC for the decimal point; integers never do). */
+std::string
+percentOf(std::uint64_t part, std::uint64_t whole)
+{
+    if (!whole)
+        return "0.00%";
+    std::uint64_t bp = (part * 10000 + whole / 2) / whole;
+    return format("%llu.%02llu%%",
+                  static_cast<unsigned long long>(bp / 100),
+                  static_cast<unsigned long long>(bp % 100));
+}
+
+/** --stats: the per-thread stall attribution, raw cycles and
+ *  percent-of-total side by side, plus the all-thread totals. */
+void
+printStallTable(std::ostream &out, const Processor &cpu,
+                const MachineConfig &config, Cycle cycles)
+{
+    std::array<std::uint64_t, kNumStallReasons> total{};
+    out << "stall attribution:\n";
+    for (unsigned t = 0; t < config.numThreads; ++t) {
+        out << format("  thread %u (of %llu cycles):\n", t,
+                      static_cast<unsigned long long>(cycles));
+        for (unsigned r = 0; r < kNumStallReasons; ++r) {
+            std::uint64_t charged = cpu.stallCycles(
+                static_cast<ThreadId>(t),
+                static_cast<StallReason>(r));
+            total[r] += charged;
+            if (!charged)
+                continue;
+            out << format(
+                "    %-18s %12llu  %7s\n",
+                stallReasonName(static_cast<StallReason>(r)),
+                static_cast<unsigned long long>(charged),
+                percentOf(charged, cycles).c_str());
+        }
+    }
+    std::uint64_t thread_cycles =
+        static_cast<std::uint64_t>(cycles) * config.numThreads;
+    out << format("  all threads (of %llu thread-cycles):\n",
+                  static_cast<unsigned long long>(thread_cycles));
+    for (unsigned r = 0; r < kNumStallReasons; ++r) {
+        if (!total[r])
+            continue;
+        out << format("    %-18s %12llu  %7s\n",
+                      stallReasonName(static_cast<StallReason>(r)),
+                      static_cast<unsigned long long>(total[r]),
+                      percentOf(total[r], thread_cycles).c_str());
+    }
+}
+
+/** --critpath: build the DDG, verify exactness, print the critical
+ *  path. @return false on an exactness failure (simulator bug). */
+bool
+printCritpath(std::ostream &out, const DdgRecorder &recorder,
+              const MachineConfig &config, const SimResult &sim)
+{
+    DdgGraph graph(recorder.trace(), config, sim.cycles);
+    std::string mismatch = graph.verifyExact();
+    if (!mismatch.empty()) {
+        out << "critpath  : INEXACT — " << mismatch << "\n";
+        return false;
+    }
+    RelaxResult baseline = graph.relax(WhatIf{});
+    out << format("critpath  : %llu cycles (exact), %zu nodes, "
+                  "%zu edges\n",
+                  static_cast<unsigned long long>(baseline.cycles),
+                  graph.nodeCount(), graph.edgeCount());
+    for (unsigned c = 0; c < kNumEdgeClasses; ++c) {
+        if (!baseline.breakdown[c])
+            continue;
+        out << format("  %-16s %10llu  %7s\n",
+                      edgeClassName(static_cast<EdgeClass>(c)),
+                      static_cast<unsigned long long>(
+                          baseline.breakdown[c]),
+                      percentOf(baseline.breakdown[c],
+                                baseline.cycles)
+                          .c_str());
+    }
+    return true;
 }
 
 /** --replay: exact replay with stream verification. */
@@ -280,7 +364,10 @@ cliUsage()
            "  --trace-file PATH    write the text trace to PATH\n"
            "  --trace-json PATH    write a Perfetto/Chrome trace\n"
            "  --stats              dump statistics (scalars,\n"
-           "                       histograms, stall attribution)\n"
+           "                       histograms, stall attribution\n"
+           "                       with percent-of-total columns)\n"
+           "  --critpath           dependence-graph critical-path\n"
+           "                       breakdown (verified exact)\n"
            "  --disasm             print disassembly and exit\n"
            "  --record PATH        record the committed stream as a\n"
            "                       replayable trace\n"
@@ -425,6 +512,8 @@ parseCliOptions(const std::vector<std::string> &args)
             options.trace = true;
         } else if (arg == "--stats") {
             options.stats = true;
+        } else if (arg == "--critpath") {
+            options.critpath = true;
         } else if (arg == "--disasm") {
             options.disasmOnly = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -444,6 +533,9 @@ parseCliOptions(const std::vector<std::string> &args)
         return fail("replay modes take a trace, not a program file");
     if (replay_mode && !options.recordPath.empty())
         return fail("--record needs a program run, not a replay");
+    if (replay_mode && options.critpath)
+        return fail("--critpath needs a program run (use "
+                    "sdsp-critpath --trace for recordings)");
     if (options.programPath.empty() && !replay_mode)
         return fail("no program file given");
     return options;
@@ -537,8 +629,14 @@ runCli(const CliOptions &options, std::ostream &out,
         tee.add(recorder.get());
     }
 
+    std::unique_ptr<DdgRecorder> ddg;
+    if (options.critpath) {
+        ddg = std::make_unique<DdgRecorder>();
+        tee.add(ddg.get());
+    }
+
     bool tracing =
-        options.trace || fileSink || jsonSink || recorder;
+        options.trace || fileSink || jsonSink || recorder || ddg;
     if (tracing)
         cpu.setTraceSink(&tee);
 
@@ -568,11 +666,25 @@ runCli(const CliOptions &options, std::ostream &out,
                           per_thread, out))
         return 1;
 
+    bool critpath_exact = true;
+    if (ddg && sim.finished) {
+        critpath_exact =
+            printCritpath(out, *ddg, options.config, sim);
+    }
+
     if (options.stats) {
         StatsRegistry registry;
         cpu.reportStats(registry);
+        if (ddg && sim.finished && critpath_exact) {
+            DdgGraph graph(ddg->trace(), options.config, sim.cycles);
+            critpathReportStats(graph, graph.relax(WhatIf{}),
+                                registry);
+        }
         out << "\n" << registry.toString();
+        printStallTable(out, cpu, options.config, sim.cycles);
     }
+    if (!critpath_exact)
+        return 1;
     if (sim.finished)
         return 0;
     return wall_timed_out ? 3 : 2;

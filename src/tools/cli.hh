@@ -30,7 +30,11 @@
  *                          trace to PATH
  *     --stats              dump all statistics after the run
  *                          (scalars, latency histograms, and the
- *                          per-thread stall attribution)
+ *                          per-thread stall attribution with
+ *                          percent-of-total columns)
+ *     --critpath           build the dynamic dependence graph and
+ *                          print the critical-path breakdown
+ *                          (verified exact against the cycle count)
  *     --disasm             print the disassembly and exit
  *     --record PATH        record the committed-instruction stream
  *                          as a replayable trace file
@@ -79,6 +83,9 @@ struct CliOptions
     std::string replayStream;
     /** Write a machine-readable run summary here (empty = off). */
     std::string summaryJson;
+    /** Record the dependence graph and print the critical-path
+     *  breakdown after the run. */
+    bool critpath = false;
     /** Wall-clock budget in seconds; 0 = unlimited. A run stopped by
      *  this budget exits with code 3 (cycle cap stays code 2). */
     double timeoutSeconds = 0.0;

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Entry point of the sdsp-critpath analyzer (see critpath_cli.hh).
+ */
+
+#include <iostream>
+
+#include "tools/critpath_cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    sdsp::CritpathCliOptions options =
+        sdsp::parseCritpathCliOptions(args);
+    if (!options.ok) {
+        std::cerr << "sdsp-critpath: " << options.error << "\n\n"
+                  << sdsp::critpathCliUsage();
+        return 1;
+    }
+    return sdsp::runCritpathCli(options, std::cout);
+}
