@@ -41,6 +41,7 @@ paperConfig(unsigned threads)
     MachineConfig cfg;
     cfg.numThreads = threads;
     cfg.maxCycles = 500'000'000;
+    cfg.finalize();
     return cfg;
 }
 

@@ -27,6 +27,7 @@ BM_SimulatorThroughput(benchmark::State &state)
     auto threads = static_cast<unsigned>(state.range(0));
     MachineConfig cfg;
     cfg.numThreads = threads;
+    cfg.finalize();
     WorkloadImage image = workloadByName("Matrix").build(threads, 40);
 
     std::uint64_t simulated = 0;

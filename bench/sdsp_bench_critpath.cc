@@ -8,8 +8,10 @@
  * a what-if grid (wider issue, deeper SU, perfect D-cache, infinite
  * store buffer, no bypassing) from each recorded run in milliseconds,
  * and writes bench_critpath.json. Three spot-check projections are
- * re-simulated for real and, at the golden scale (25%), gated to
- * within 5% of the projection.
+ * re-simulated for real and gated at every scale: within 5% of the
+ * projection up to the golden scale (25%), with the tolerance
+ * widening linearly for larger scales (recorded in the artifact
+ * next to the scale actually run).
  *
  * --grid instead verifies the exactness invariant over every
  * deduplicated point of the paper's figure/table grid (the same
@@ -22,6 +24,7 @@
  * spot-check failure, so CI can gate on this binary alone.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -46,11 +49,29 @@ using namespace sdsp::bench;
 namespace
 {
 
-/** The golden-reference problem scale the spot checks are gated at. */
+/** The golden-reference problem scale the tolerance is anchored at. */
 constexpr unsigned kGoldenScale = 25;
 
-/** Spot-check error tolerance vs. real re-simulation, percent. */
+/** Spot-check error tolerance at the golden scale, percent. */
 constexpr double kSpotTolerancePercent = 5.0;
+
+/**
+ * Gate tolerance for spot checks at @p scale. Projection error is
+ * schedule-dependent and grows with problem size (a relieved
+ * bottleneck reshuffles more memory accesses at larger scales), so
+ * the threshold widens linearly past the golden scale, capped at
+ * 30%. The gate applies at EVERY scale; the tolerance in force is
+ * recorded in the JSON artifact alongside the scale actually run.
+ */
+double
+spotTolerancePercent(unsigned scale)
+{
+    if (scale <= kGoldenScale)
+        return kSpotTolerancePercent;
+    return std::min(30.0, kSpotTolerancePercent *
+                              (static_cast<double>(scale) /
+                               static_cast<double>(kGoldenScale)));
+}
 
 /** Fatal unless @p run finished and verified. */
 void
@@ -351,9 +372,10 @@ main(int argc, char **argv)
             std::printf("  INEXACT: %s\n", report.mismatch.c_str());
     }
 
-    // Spot checks: re-simulate three projections for real.
+    // Spot checks: re-simulate three projections for real. Gated at
+    // every scale with a scale-aware tolerance.
     std::vector<SpotCheck> checks = spotCheckList();
-    bool gated = scale == kGoldenScale;
+    const double tolerance = spotTolerancePercent(scale);
     std::size_t spot_failures = 0;
     parallelFor(checks.size(), jobs, [&](std::size_t i) {
         SpotCheck &check = checks[i];
@@ -385,13 +407,13 @@ main(int argc, char **argv)
              static_cast<double>(check.resimulated)) /
             static_cast<double>(check.resimulated) * 100.0;
         check.errorPercent = error;
-        check.pass = error <= kSpotTolerancePercent &&
-                     error >= -kSpotTolerancePercent;
+        check.pass = error <= tolerance && error >= -tolerance;
     });
-    std::printf("\nspot checks (projection vs. re-simulation%s):\n",
-                gated ? ", gated at 5%" : ", informational");
+    std::printf("\nspot checks (projection vs. re-simulation, gated "
+                "at %.1f%% for scale %u):\n",
+                tolerance, scale);
     for (const SpotCheck &check : checks) {
-        if (!check.pass && gated)
+        if (!check.pass)
             ++spot_failures;
         std::printf("  %-6s t=%u %-22s projected %8llu  real %8llu  "
                     "error %+.2f%%  %s\n",
@@ -401,8 +423,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         check.resimulated),
                     check.errorPercent,
-                    check.pass ? "ok"
-                               : gated ? "FAIL" : "out of tolerance");
+                    check.pass ? "ok" : "FAIL");
     }
 
     // ---- bench_critpath.json ----
@@ -417,6 +438,7 @@ main(int argc, char **argv)
     writer.beginObject();
     writer.field("schema", "sdsp-bench-critpath-v1");
     writer.field("scale", scale);
+    writer.field("spotTolerancePercent", tolerance);
     writer.field("points", std::uint64_t{reports.size()});
     writer.field("inexact", std::uint64_t{inexact});
     writer.field("spot_check_failures", std::uint64_t{spot_failures});
@@ -448,6 +470,9 @@ main(int argc, char **argv)
             writer.beginObject();
             writer.field("name", projection.name);
             writer.field("cycles", projection.result.cycles);
+            writer.field("confidence",
+                         confidenceName(
+                             projection.result.confidence));
             writer.field(
                 "speedup",
                 projection.result.cycles
@@ -470,7 +495,9 @@ main(int argc, char **argv)
         writer.field("projected", check.projected);
         writer.field("resimulated", check.resimulated);
         writer.field("errorPercent", check.errorPercent);
-        writer.field("gated", gated);
+        writer.field("gated", true);
+        writer.field("scale", scale);
+        writer.field("tolerancePercent", tolerance);
         writer.field("pass", check.pass);
         writer.endObject();
     }
@@ -488,7 +515,6 @@ main(int argc, char **argv)
                      "INEXACT\n", inexact);
     if (spot_failures)
         std::fprintf(stderr, "sdsp_bench_critpath: %zu spot checks "
-                     "beyond %.0f%%\n", spot_failures,
-                     kSpotTolerancePercent);
+                     "beyond %.1f%%\n", spot_failures, tolerance);
     return inexact == 0 && spot_failures == 0 ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "core/config.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sdsp
@@ -99,6 +101,15 @@ commitPolicyName(CommitPolicy policy)
       case CommitPolicy::LowestBlockOnly: return "LowestOnly";
     }
     return "?";
+}
+
+MachineConfig &
+MachineConfig::finalize()
+{
+    // 32 architectural registers per resident thread (paper Table 2);
+    // an explicit larger total is kept as-is.
+    numRegisters = std::max(numRegisters, 32 * numThreads);
+    return *this;
 }
 
 void

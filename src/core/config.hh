@@ -221,6 +221,19 @@ struct MachineConfig
         return commitPolicy == CommitPolicy::FlexibleFourBlocks ? 4 : 1;
     }
 
+    /**
+     * Derive dependent defaults after the primary knobs are set.
+     * The paper gives every resident thread the SDSP's 32
+     * architectural registers, but the default total of 128 only
+     * covers 4 threads — an 8-thread config built from defaults
+     * would silently partition 128 into 16 regs/thread and reject
+     * programs that use r16+. Grows numRegisters to 32 per thread
+     * (never shrinks an explicit larger value). Every CLI and bench
+     * driver calls this once the thread count is known.
+     * @return *this for chaining.
+     */
+    MachineConfig &finalize();
+
     /** Fatal on an inconsistent configuration. */
     void validate() const;
 

@@ -41,6 +41,17 @@ edgeClassName(EdgeClass cls)
     return "unknown";
 }
 
+const char *
+confidenceName(Confidence confidence)
+{
+    switch (confidence) {
+      case Confidence::Exact: return "exact";
+      case Confidence::OptimisticBound: return "optimistic-bound";
+      case Confidence::PessimisticBound: return "pessimistic-bound";
+    }
+    return "unknown";
+}
+
 // --------------------------------------------------------------------
 // WhatIf
 // --------------------------------------------------------------------
@@ -154,6 +165,30 @@ WhatIf::applyKeyValue(const std::string &clause, std::string *error)
             "suEntries, perfectDCache, infiniteStoreBuffer, "
             "bypassing, or fuLat.<class>)",
             key.c_str()));
+    }
+    return true;
+}
+
+bool
+WhatIf::isPureCapacityIncrease(const MachineConfig &config) const
+{
+    if (perfectDCache)
+        return false;
+    if (bypassing >= 0 && (bypassing != 0) != config.bypassing)
+        return false;
+    for (unsigned c = 0; c < kNumFuClasses; ++c) {
+        if (fuLatency[c] >= 0 &&
+            static_cast<unsigned>(fuLatency[c]) !=
+                config.fu.latency[c]) {
+            return false;
+        }
+    }
+    if (issueWidth && issueWidth < config.issueWidth)
+        return false;
+    if (suEntries &&
+        std::max(1u, suEntries / config.blockSize) <
+            config.suBlocks()) {
+        return false;
     }
     return true;
 }
@@ -673,7 +708,8 @@ DdgGraph::edgeWeight(const Edge &edge, const unsigned *fu_latency,
 
 void
 DdgGraph::relaxInto(const WhatIf &what_if, std::vector<Cycle> &time,
-                    std::vector<BestEdge> *best) const
+                    std::vector<BestEdge> *best,
+                    std::uint64_t *skipped) const
 {
     const unsigned baseBlocks = cfg_.suBlocks();
     const unsigned baseWidth = cfg_.issueWidth;
@@ -743,8 +779,8 @@ DdgGraph::relaxInto(const WhatIf &what_if, std::vector<Cycle> &time,
         // Rewireable capacity constraints, recomputed from the
         // baseline orderings under the projected capacities. A
         // capacity DECREASE can ask for a source that is not
-        // topologically earlier; such edges are skipped (the
-        // projection stays a valid lower bound).
+        // topologically earlier; such edges are skipped and counted,
+        // and the caller tags the result pessimistic-bound.
         if (node.kind == DdgNodeKind::Dispatch) {
             const std::uint32_t n = dispatchRankOfBlock_[node.owner];
             if (n >= blocksCap) {
@@ -755,6 +791,8 @@ DdgGraph::relaxInto(const WhatIf &what_if, std::vector<Cycle> &time,
                         t = cand;
                         arg = {src, EdgeClass::SuCapacity, 0, false};
                     }
+                } else if (skipped) {
+                    ++*skipped;
                 }
             }
         } else if (node.kind == DdgNodeKind::Issue) {
@@ -768,6 +806,8 @@ DdgGraph::relaxInto(const WhatIf &what_if, std::vector<Cycle> &time,
                         arg = {src, EdgeClass::IssueBandwidth, 1,
                                false};
                     }
+                } else if (skipped) {
+                    ++*skipped;
                 }
             }
         }
@@ -778,15 +818,40 @@ DdgGraph::relaxInto(const WhatIf &what_if, std::vector<Cycle> &time,
     }
 }
 
+Confidence
+classifyWhatIf(const WhatIf &what_if, const MachineConfig &config)
+{
+    if (what_if.isBaseline(config))
+        return Confidence::Exact;
+    const unsigned blocksCap =
+        what_if.suEntries
+            ? std::max(1u, what_if.suEntries / config.blockSize)
+            : config.suBlocks();
+    const unsigned width =
+        what_if.issueWidth ? what_if.issueWidth : config.issueWidth;
+    if (blocksCap < config.suBlocks() || width < config.issueWidth)
+        return Confidence::PessimisticBound;
+    return Confidence::OptimisticBound;
+}
+
+Confidence
+DdgGraph::classify(const WhatIf &what_if) const
+{
+    return classifyWhatIf(what_if, cfg_);
+}
+
 RelaxResult
 DdgGraph::relax(const WhatIf &what_if) const
 {
     std::vector<Cycle> time;
     std::vector<BestEdge> best;
-    relaxInto(what_if, time, &best);
+    std::uint64_t skipped = 0;
+    relaxInto(what_if, time, &best, &skipped);
 
     RelaxResult result;
     result.cycles = time.back();
+    result.confidence = classify(what_if);
+    result.skippedCapacityEdges = skipped;
 
     // Critical path: walk the argmax chain back from End and charge
     // each edge's weight to its class. The charges sum to the

@@ -140,8 +140,10 @@ class DdgRecorder final : public TraceSink
  * larger store buffer, perfect cache, faster FUs) yield sound
  * projections: the projected cycle count never exceeds the measured
  * one and models every recorded constraint that remains. Capacity
- * DECREASES re-use the baseline event order and are weaker
- * (optimistic) bounds — see DESIGN.md §10.
+ * DECREASES re-use the baseline event order, drop every dynamic
+ * constraint whose rewired source is not topologically earlier, and
+ * can come out far below reality — every RelaxResult carries a
+ * Confidence tag making the distinction explicit. See DESIGN.md §10.
  */
 struct WhatIf
 {
@@ -167,7 +169,47 @@ struct WhatIf
      * *error set) on an unknown key or bad value.
      */
     bool applyKeyValue(const std::string &clause, std::string *error);
+
+    /**
+     * True when every change only REMOVES constraints that the
+     * relaxation models structurally (wider issue, deeper SU,
+     * infinite store buffer) relative to @p config. For such
+     * projections `projected <= re-simulated` is sound: dropping
+     * edges can only shorten the longest path. Latency, bypassing
+     * and cache changes re-weight recorded edges instead — they are
+     * near-exact in practice but not one-sided, so they fail this
+     * predicate. A baseline WhatIf trivially passes.
+     */
+    bool isPureCapacityIncrease(const MachineConfig &config) const;
 };
+
+/**
+ * Trust class of a projection. Ordered from strongest to weakest so
+ * the worst class across a set is the numeric maximum.
+ */
+enum class Confidence : std::uint8_t
+{
+    /** Baseline parameters: equals the measured cycle count. */
+    Exact,
+    /** Constraints were only relaxed or re-weighted; for pure
+     *  capacity increases projected <= real holds, and spot checks
+     *  put latency re-weightings within a few percent. */
+    OptimisticBound,
+    /** A capacity DECREASE (suEntries / issueWidth below baseline):
+     *  dynamic edges whose rewired source is not topologically
+     *  earlier are skipped, so the number is only a weak lower
+     *  bound and can be far below reality. */
+    PessimisticBound,
+};
+
+/** Stable kebab-case name ("exact" / "optimistic-bound" /
+ *  "pessimistic-bound") for CLI output and JSON. */
+const char *confidenceName(Confidence confidence);
+
+/** Trust class @p what_if gets against a recording taken on
+ *  @p config — the rule relax() stamps onto every RelaxResult. */
+Confidence classifyWhatIf(const WhatIf &what_if,
+                          const MachineConfig &config);
 
 // --------------------------------------------------------------------
 // Graph
@@ -230,6 +272,12 @@ struct RelaxResult
     std::array<Cycle, kNumEdgeClasses> breakdown{};
     /** Critical-path edge count by class. */
     std::array<std::uint64_t, kNumEdgeClasses> edgeCounts{};
+    /** Trust class of this projection (see Confidence). */
+    Confidence confidence = Confidence::Exact;
+    /** Dynamic capacity constraints skipped because a capacity
+     *  decrease rewired them to a non-earlier source — the evidence
+     *  behind a PessimisticBound tag. */
+    std::uint64_t skippedCapacityEdges = 0;
 };
 
 /**
@@ -277,6 +325,10 @@ class DdgGraph
      *  the baseline, which reproduces the measured cycles). */
     RelaxResult relax(const WhatIf &what_if) const;
 
+    /** Trust class @p what_if would get against this recording's
+     *  baseline config (same rule relax() applies). */
+    Confidence classify(const WhatIf &what_if) const;
+
     /**
      * Baseline self-check: relax with baseline parameters and
      * compare EVERY node's computed time against its observed time.
@@ -310,9 +362,11 @@ class DdgGraph
                      bool perfect_dcache, bool bypassing) const;
 
     /** Shared body of relax()/verifyExact(): fills @p time (and
-     *  optionally @p best) for every node. */
+     *  optionally @p best) for every node; counts dynamic capacity
+     *  constraints skipped by a capacity decrease into @p skipped. */
     void relaxInto(const WhatIf &what_if, std::vector<Cycle> &time,
-                   std::vector<BestEdge> *best) const;
+                   std::vector<BestEdge> *best,
+                   std::uint64_t *skipped = nullptr) const;
 
     MachineConfig cfg_;
     Cycle measured_ = 0;

@@ -108,6 +108,9 @@ critpathJson(const std::string &workload, const DdgGraph &graph,
         w.beginObject();
         w.field("name", p.name);
         w.field("cycles", p.result.cycles);
+        w.field("confidence", confidenceName(p.result.confidence));
+        w.field("skippedCapacityEdges",
+                p.result.skippedCapacityEdges);
         w.field("speedup",
                 p.result.cycles
                     ? static_cast<double>(graph.measuredCycles()) /

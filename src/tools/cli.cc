@@ -223,6 +223,7 @@ runReplayExact(const CliOptions &options, std::ostream &out)
 
     MachineConfig config = options.config;
     config.numThreads = trace.threads;
+    config.finalize();
 
     ExactReplayResult replay = replayExact(trace, config);
 
@@ -300,6 +301,7 @@ runReplayStream(const CliOptions &options, std::ostream &out)
 
     MachineConfig config = options.config;
     config.numThreads = static_cast<unsigned>(sources.size());
+    config.finalize();
 
     StreamReplayOptions stream_options;
     stream_options.blockSize = config.blockSize;
@@ -538,6 +540,7 @@ parseCliOptions(const std::vector<std::string> &args)
                     "sdsp-critpath --trace for recordings)");
     if (options.programPath.empty() && !replay_mode)
         return fail("no program file given");
+    options.config.finalize();
     return options;
 }
 

@@ -253,6 +253,7 @@ runCritpathCli(const CritpathCliOptions &options, std::ostream &out)
     // ---- Run once with the recorder attached. ----
     DdgRecorder recorder;
     MachineConfig config = options.config;
+    config.finalize();
     Cycle measured = 0;
     std::string name;
 
@@ -286,6 +287,7 @@ runCritpathCli(const CritpathCliOptions &options, std::ostream &out)
             return 1;
         }
         config.numThreads = loaded.trace.threads;
+        config.finalize();
         ExactReplayResult replay =
             replayExact(loaded.trace, config, &recorder);
         if (!replay.sim.finished) {
@@ -401,14 +403,15 @@ runCritpathCli(const CritpathCliOptions &options, std::ostream &out)
                       static_cast<double>(projection.result.cycles)
                 : 0.0;
         out << format("what-if %-32s : %llu cycles (%.3fx, "
-                      "%.1f ms)\n",
+                      "%.1f ms) [%s]\n",
                       projection.name.c_str(),
                       static_cast<unsigned long long>(
                           projection.result.cycles),
                       speedup,
                       std::chrono::duration<double, std::milli>(
                           relax_end - relax_start)
-                          .count());
+                          .count(),
+                      confidenceName(projection.result.confidence));
     }
 
     if (!options.jsonPath.empty()) {

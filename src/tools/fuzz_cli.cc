@@ -75,6 +75,7 @@ gridConfig(std::uint64_t pick)
         config.bypassing = false;
         break;
     }
+    config.finalize();
     return config;
 }
 

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Entry point of the sdsp-explore lattice explorer (see
+ * explore_cli.hh).
+ */
+
+#include <iostream>
+
+#include "tools/explore_cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    sdsp::ExploreCliOptions options =
+        sdsp::parseExploreCliOptions(args);
+    if (!options.ok) {
+        std::cerr << "sdsp-explore: " << options.error << "\n\n"
+                  << sdsp::exploreCliUsage();
+        return 1;
+    }
+    return sdsp::runExploreCli(options, std::cout);
+}

@@ -203,6 +203,74 @@ TEST(Critpath, CapacityIncreasesAreOptimisticBounds)
     }
 }
 
+TEST(Critpath, ConfidenceClassesTagEveryProjection)
+{
+    Recorded run = record("LL1", gridConfig(4));
+    DdgGraph graph(run.trace, run.config, run.cycles);
+
+    // Baseline: exact, and no capacity constraint is ever skipped.
+    RelaxResult baseline = graph.relax(WhatIf{});
+    EXPECT_EQ(baseline.confidence, Confidence::Exact);
+    EXPECT_EQ(baseline.skippedCapacityEdges, 0u);
+
+    // A pure capacity increase is an optimistic bound; every
+    // recorded capacity constraint stays representable.
+    WhatIf increase;
+    std::string error;
+    ASSERT_TRUE(increase.applyKeyValue("suEntries=64", &error));
+    RelaxResult optimistic = graph.relax(increase);
+    EXPECT_EQ(optimistic.confidence, Confidence::OptimisticBound);
+    EXPECT_EQ(optimistic.skippedCapacityEdges, 0u);
+
+    // A capacity DECREASE must be tagged pessimistic-bound, with the
+    // skipped dynamic constraints counted as evidence: under a
+    // smaller capacity some rewired edges point backward in the
+    // recorded topological order and cannot be applied.
+    WhatIf decrease;
+    ASSERT_TRUE(decrease.applyKeyValue("suEntries=16", &error));
+    RelaxResult pessimistic = graph.relax(decrease);
+    EXPECT_EQ(pessimistic.confidence, Confidence::PessimisticBound);
+    EXPECT_GT(pessimistic.skippedCapacityEdges, 0u);
+
+    WhatIf narrower;
+    ASSERT_TRUE(narrower.applyKeyValue("issueWidth=4", &error));
+    EXPECT_EQ(graph.relax(narrower).confidence,
+              Confidence::PessimisticBound);
+
+    // Non-capacity changes (latency, cache, bypassing) re-weight
+    // recorded edges: optimistic-bound, not pessimistic.
+    WhatIf latency;
+    ASSERT_TRUE(latency.applyKeyValue("fuLat.Load=1", &error));
+    EXPECT_EQ(graph.relax(latency).confidence,
+              Confidence::OptimisticBound);
+}
+
+TEST(Critpath, PureCapacityIncreaseDetection)
+{
+    MachineConfig cfg = gridConfig(4);
+    std::string error;
+
+    WhatIf increase;
+    ASSERT_TRUE(
+        increase.applyKeyValue("issueWidth=16", &error));
+    ASSERT_TRUE(increase.applyKeyValue("suEntries=64", &error));
+    ASSERT_TRUE(
+        increase.applyKeyValue("infiniteStoreBuffer=1", &error));
+    EXPECT_TRUE(increase.isPureCapacityIncrease(cfg));
+
+    WhatIf cache;
+    ASSERT_TRUE(cache.applyKeyValue("perfectDCache=1", &error));
+    EXPECT_FALSE(cache.isPureCapacityIncrease(cfg));
+
+    WhatIf narrower;
+    ASSERT_TRUE(narrower.applyKeyValue("issueWidth=4", &error));
+    EXPECT_FALSE(narrower.isPureCapacityIncrease(cfg));
+
+    WhatIf latency;
+    ASSERT_TRUE(latency.applyKeyValue("fuLat.Load=1", &error));
+    EXPECT_FALSE(latency.isPureCapacityIncrease(cfg));
+}
+
 TEST(Critpath, FuzzCorpusRespectsSoundness)
 {
     // Fuzz-generated programs exercise shapes the workloads do not

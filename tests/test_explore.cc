@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the design-space lattice explorer: lattice enumeration
+ * (size, unique names, exactly one Exact point), the additive cost
+ * model, confidence-class propagation into the projections, the
+ * Pareto-frontier invariants (no dominated point, no pessimistic
+ * bound, determinism across job counts), frontier validation against
+ * real re-simulations, the register-budget finalize fix at 8
+ * threads, and the sdsp-explore CLI.
+ */
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "explore/explore.hh"
+#include "explore/lattice.hh"
+#include "harness/runner.hh"
+#include "tools/explore_cli.hh"
+#include "workloads/workload.hh"
+
+namespace sdsp
+{
+namespace
+{
+
+MachineConfig
+baseConfig(unsigned threads = 4)
+{
+    MachineConfig cfg;
+    cfg.numThreads = threads;
+    cfg.finalize();
+    return cfg;
+}
+
+/** Record LL1 fresh at a small scale (deterministic simulator, so
+ *  every call yields identical graphs). */
+std::vector<ExploreRecording>
+ll1Recordings()
+{
+    std::vector<ExploreRecording> recordings;
+    recordings.push_back(
+        recordBaseline(workloadByName("LL1"), baseConfig(), 10));
+    EXPECT_TRUE(recordings[0].error.empty())
+        << recordings[0].error;
+    return recordings;
+}
+
+// ---- Lattice enumeration ----
+
+TEST(Lattice, FullLatticeIsLargeWithUniqueNames)
+{
+    MachineConfig base = baseConfig();
+    std::vector<LatticePoint> points =
+        buildLattice(LatticeAxes::full(), base);
+    EXPECT_EQ(points.size(), LatticeAxes::full().pointCount());
+    EXPECT_GE(points.size(), 2000u);
+
+    std::set<std::string> names;
+    std::size_t exact = 0;
+    for (const LatticePoint &point : points) {
+        names.insert(point.name);
+        EXPECT_GT(point.cost, 0.0) << point.name;
+        if (point.confidence == Confidence::Exact)
+            ++exact;
+    }
+    EXPECT_EQ(names.size(), points.size());
+    // The axes include every baseline value, so exactly one point is
+    // the baseline itself.
+    EXPECT_EQ(exact, 1u);
+}
+
+TEST(Lattice, ReducedLatticeMatchesAdvertisedSize)
+{
+    EXPECT_EQ(LatticeAxes::reduced().pointCount(), 24u);
+}
+
+TEST(Lattice, OverrideAxisReplacesOrAppends)
+{
+    LatticeAxes axes = LatticeAxes::reduced();
+    std::size_t before = axes.axes.size();
+    axes.overrideAxis({"suEntries", {32, 64}});
+    EXPECT_EQ(axes.axes.size(), before);
+    axes.overrideAxis({"fuLat.Load", {1, 2}});
+    EXPECT_EQ(axes.axes.size(), before + 1);
+    EXPECT_EQ(axes.pointCount(), 2u * 2 * 2 * 2 * 2);
+}
+
+TEST(Lattice, CostModelIsMonotoneInCapacity)
+{
+    MachineConfig base = baseConfig();
+    auto costOf = [&](const std::string &spec) {
+        WhatIf what_if;
+        std::string clause, error;
+        std::istringstream clauses(spec);
+        while (std::getline(clauses, clause, ','))
+            EXPECT_TRUE(what_if.applyKeyValue(clause, &error))
+                << error;
+        return latticeCost(what_if, base);
+    };
+    EXPECT_LT(costOf("issueWidth=8"), costOf("issueWidth=16"));
+    EXPECT_LT(costOf("suEntries=32"), costOf("suEntries=64"));
+    EXPECT_LT(costOf("issueWidth=8"),
+              costOf("issueWidth=8,perfectDCache=1"));
+    // A faster functional unit costs more, a slower one less.
+    EXPECT_LT(costOf("fuLat.Load=4"), costOf("fuLat.Load=2"));
+    EXPECT_LT(costOf("fuLat.Load=2"), costOf("fuLat.Load=1"));
+}
+
+// ---- Confidence propagation ----
+
+TEST(Lattice, ClassifiesDecreasesAsPessimistic)
+{
+    MachineConfig base = baseConfig(); // width 8, su 32
+    std::vector<LatticePoint> points =
+        buildLattice(LatticeAxes::reduced(), base);
+    for (const LatticePoint &point : points) {
+        const WhatIf &w = point.whatIf;
+        bool decrease =
+            (w.suEntries && w.suEntries < base.suEntries) ||
+            (w.issueWidth && w.issueWidth < base.issueWidth);
+        if (decrease) {
+            EXPECT_EQ(point.confidence,
+                      Confidence::PessimisticBound)
+                << point.name;
+        } else {
+            EXPECT_NE(point.confidence,
+                      Confidence::PessimisticBound)
+                << point.name;
+        }
+    }
+}
+
+TEST(Explore, ProjectionMergesWorstConfidence)
+{
+    std::vector<ExploreRecording> recordings = ll1Recordings();
+    MachineConfig base = baseConfig();
+    std::vector<LatticePoint> points =
+        buildLattice(LatticeAxes::reduced(), base);
+    projectLattice(points, recordings, 1);
+
+    for (const LatticePoint &point : points) {
+        ASSERT_EQ(point.projected.size(), 1u) << point.name;
+        EXPECT_GT(point.projectedTotal, 0u) << point.name;
+        // The merged projection confidence can never be stronger
+        // than the static classification.
+        EXPECT_GE(static_cast<unsigned>(point.confidence),
+                  static_cast<unsigned>(
+                      classifyWhatIf(point.whatIf, base)))
+            << point.name;
+        // Capacity increases stay optimistic bounds against the
+        // RECORDED baseline: projected <= measured (the theorem the
+        // frontier trusts).
+        if (point.whatIf.isPureCapacityIncrease(base)) {
+            EXPECT_LE(point.projectedTotal,
+                      recordings[0].measured)
+                << point.name;
+        }
+    }
+}
+
+// ---- Pareto frontier ----
+
+TEST(Explore, FrontierInvariants)
+{
+    std::vector<ExploreRecording> recordings = ll1Recordings();
+    MachineConfig base = baseConfig();
+    std::vector<LatticePoint> points =
+        buildLattice(LatticeAxes::reduced(), base);
+    projectLattice(points, recordings, 2);
+
+    std::vector<std::size_t> frontier = paretoFrontier(points);
+    ASSERT_FALSE(frontier.empty());
+
+    // Sorted by cost, strictly improving cycles, never pessimistic.
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+        const LatticePoint &point = points[frontier[f]];
+        EXPECT_NE(point.confidence, Confidence::PessimisticBound)
+            << point.name;
+        if (f) {
+            const LatticePoint &prev = points[frontier[f - 1]];
+            EXPECT_GE(point.cost, prev.cost);
+            EXPECT_LT(point.projectedTotal, prev.projectedTotal);
+        }
+    }
+
+    // No frontier point is dominated by ANY eligible point.
+    for (std::size_t idx : frontier) {
+        const LatticePoint &point = points[idx];
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j == idx ||
+                points[j].confidence == Confidence::PessimisticBound)
+                continue;
+            bool dominates =
+                points[j].cost <= point.cost &&
+                points[j].projectedTotal < point.projectedTotal;
+            EXPECT_FALSE(dominates)
+                << points[j].name << " dominates " << point.name;
+        }
+    }
+}
+
+TEST(Explore, FrontierIsDeterministicAcrossJobCounts)
+{
+    std::vector<ExploreRecording> recordings = ll1Recordings();
+    MachineConfig base = baseConfig();
+
+    auto frontierWith = [&](unsigned jobs) {
+        std::vector<LatticePoint> points =
+            buildLattice(LatticeAxes::reduced(), base);
+        projectLattice(points, recordings, jobs);
+        std::vector<std::string> names;
+        for (std::size_t idx : paretoFrontier(points))
+            names.push_back(points[idx].name);
+        return names;
+    };
+    EXPECT_EQ(frontierWith(1), frontierWith(4));
+}
+
+// ---- Frontier validation (real re-simulations) ----
+
+TEST(Explore, ValidateFrontierEndToEnd)
+{
+    MachineConfig base = baseConfig();
+    const unsigned scale = 10;
+    std::vector<ExploreRecording> recordings;
+    for (const char *name : {"LL1", "LL5", "Sieve"}) {
+        recordings.push_back(
+            recordBaseline(workloadByName(name), base, scale));
+        ASSERT_TRUE(recordings.back().error.empty())
+            << recordings.back().error;
+    }
+
+    std::vector<LatticePoint> points =
+        buildLattice(LatticeAxes::reduced(), base);
+    projectLattice(points, recordings, 2);
+    std::vector<std::size_t> frontier = paretoFrontier(points);
+    ASSERT_FALSE(frontier.empty());
+
+    std::vector<FrontierValidation> validations = validateFrontier(
+        points, frontier, recordings, base, scale, 2);
+    ASSERT_EQ(validations.size(), frontier.size());
+
+    ExploreReport report;
+    report.base = base;
+    report.scale = scale;
+    report.tolerancePercent = exploreTolerancePercent(scale);
+    report.recordings = &recordings;
+    report.points = &points;
+    report.frontier = &frontier;
+    report.validations = &validations;
+    const ExploreSummary summary = summarize(report);
+
+    EXPECT_EQ(summary.latticePoints, points.size());
+    EXPECT_EQ(summary.validated, frontier.size());
+    EXPECT_EQ(summary.resimFailures, 0u);
+    EXPECT_EQ(summary.optimisticViolations, 0u);
+    EXPECT_LE(summary.maxAbsErrorPercent, report.tolerancePercent);
+    for (const FrontierValidation &validation : validations) {
+        EXPECT_TRUE(validation.allOk);
+        EXPECT_EQ(validation.resimulated.size(), recordings.size());
+        if (validation.soundnessGated) {
+            EXPECT_LE(points[validation.point].projectedTotal,
+                      validation.resimTotal)
+                << points[validation.point].name;
+        }
+    }
+
+    // The baseline point re-simulates bit-identically.
+    bool sawExact = false;
+    for (const FrontierValidation &validation : validations) {
+        if (points[validation.point].confidence != Confidence::Exact)
+            continue;
+        sawExact = true;
+        EXPECT_EQ(points[validation.point].projectedTotal,
+                  validation.resimTotal);
+        EXPECT_EQ(validation.errorPercent, 0.0);
+    }
+    EXPECT_TRUE(sawExact);
+
+    // The artifact carries the gate fields.
+    std::string json = exploreJson(report);
+    EXPECT_NE(json.find("\"schema\":\"sdsp-explore-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"optimisticViolations\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tolerancePercent\""), std::string::npos);
+    EXPECT_NE(json.find("\"confidence\""), std::string::npos);
+}
+
+TEST(Explore, ApplyWhatIfMapsEveryKnob)
+{
+    MachineConfig base = baseConfig();
+    WhatIf what_if;
+    std::string error;
+    for (const char *clause :
+         {"issueWidth=16", "suEntries=65", "bypassing=0",
+          "fuLat.Load=0", "perfectDCache=1",
+          "infiniteStoreBuffer=1"})
+        ASSERT_TRUE(what_if.applyKeyValue(clause, &error)) << error;
+
+    MachineConfig cfg = applyWhatIf(what_if, base);
+    EXPECT_EQ(cfg.issueWidth, 16u);
+    // SU entries round down to whole blocks, like the projection.
+    EXPECT_EQ(cfg.suEntries, 65u / base.blockSize * base.blockSize);
+    EXPECT_FALSE(cfg.bypassing);
+    // Latencies clamp at one real cycle.
+    EXPECT_EQ(cfg.fu.latency[static_cast<unsigned>(FuClass::Load)],
+              1u);
+    EXPECT_EQ(cfg.storeBufferEntries, 4096u);
+    EXPECT_EQ(cfg.dcache.missPenalty, 0u);
+}
+
+// ---- The register-budget finalize fix ----
+
+TEST(Config, FinalizeScalesRegistersWithThreads)
+{
+    MachineConfig cfg;
+    cfg.numThreads = 8;
+    // Before the fix an 8-thread machine silently partitioned the
+    // default 128 registers into 16 per thread, breaking programs
+    // that address r16+.
+    cfg.finalize();
+    EXPECT_EQ(cfg.numRegisters, 256u);
+    EXPECT_EQ(cfg.regsPerThread(), 32u);
+
+    // Never shrinks an explicit larger budget.
+    MachineConfig big;
+    big.numThreads = 2;
+    big.numRegisters = 512;
+    big.finalize();
+    EXPECT_EQ(big.numRegisters, 512u);
+}
+
+TEST(Config, EightThreadWorkloadRunsAfterFinalize)
+{
+    MachineConfig cfg = baseConfig(8);
+    EXPECT_EQ(cfg.regsPerThread(), 32u);
+    RunResult run = runWorkload(workloadByName("LL1"), cfg, 10);
+    EXPECT_TRUE(run.finished);
+    EXPECT_TRUE(run.verified) << run.verifyMessage;
+}
+
+// ---- The sdsp-explore CLI ----
+
+TEST(ExploreCli, ParsesAndRejects)
+{
+    ExploreCliOptions ok = parseExploreCliOptions(
+        {"--workloads", "LL1,LL5", "-t", "2", "--scale", "10",
+         "--reduced", "--no-resim", "--axis", "suEntries=32,64"});
+    ASSERT_TRUE(ok.ok) << ok.error;
+    EXPECT_EQ(ok.workloads,
+              (std::vector<std::string>{"LL1", "LL5"}));
+    EXPECT_EQ(ok.threads, 2u);
+    EXPECT_TRUE(ok.reduced);
+    EXPECT_TRUE(ok.noResim);
+
+    EXPECT_FALSE(parseExploreCliOptions({"--bogus"}).ok);
+    EXPECT_FALSE(parseExploreCliOptions({"--axis", "suEntries"}).ok);
+    EXPECT_FALSE(
+        parseExploreCliOptions({"--axis", "noSuchKey=1,2"}).ok);
+    // More than 12 recordings is refused up front.
+    std::vector<std::string> many =
+        {"--workloads",
+         "A1,A2,A3,A4,A5,A6,A7,A8,A9,A10,A11,A12,A13"};
+    EXPECT_FALSE(parseExploreCliOptions(many).ok);
+}
+
+TEST(ExploreCli, ReducedRunProjectsAndReports)
+{
+    ExploreCliOptions options = parseExploreCliOptions(
+        {"--workloads", "LL1", "--scale", "10", "--reduced",
+         "--no-resim", "--jobs", "2"});
+    ASSERT_TRUE(options.ok) << options.error;
+    std::ostringstream out;
+    EXPECT_EQ(runExploreCli(options, out), 0);
+    EXPECT_NE(out.str().find("frontier"), std::string::npos);
+    EXPECT_NE(out.str().find("optimistic-bound"),
+              std::string::npos);
+}
+
+TEST(ExploreCli, UnknownWorkloadFailsCleanly)
+{
+    ExploreCliOptions options = parseExploreCliOptions(
+        {"--workloads", "NoSuchBench", "--reduced", "--no-resim"});
+    ASSERT_TRUE(options.ok);
+    std::ostringstream out;
+    EXPECT_EQ(runExploreCli(options, out), 1);
+    EXPECT_NE(out.str().find("NoSuchBench"), std::string::npos);
+}
+
+} // namespace
+} // namespace sdsp
